@@ -1,0 +1,415 @@
+(* Benchmark harness regenerating the paper's evaluation (see DESIGN.md
+   experiment index):
+
+     table1             Table 1: symbolic traversal vs the proposed method
+     eqpct              the 85% / 54% average-equivalence claim (C1)
+     ablation-fundep    functional dependencies on/off (C2)
+     ablation-sim       simulation seeding on/off (A1)
+     ablation-retime    retiming extension on/off (A2)
+     ablation-engine    BDD vs SAT refinement engine (A3)
+     ablation-dontcare  reachable don't-cares on re-encoded FSMs (A4)
+     micro              Bechamel microbenchmarks of the substrates (B1)
+     all                everything above
+
+   Run with:  dune exec bench/main.exe -- [target ...] *)
+
+let impl_seed = 11
+let line = String.make 100 '-'
+
+let timed f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+let verdict_name = function
+  | Scorr.Equivalent _ -> "proved"
+  | Scorr.Not_equivalent _ -> "REFUTED"
+  | Scorr.Unknown _ -> "unknown"
+
+(* Per-run resource budgets, standing in for the paper's 100 MB / 3600 s. *)
+let traversal_budget =
+  { Reach.Traversal.max_iterations = 100_000; max_live_nodes = 1_500_000; max_seconds = 30.0 }
+
+let scorr_options = { Scorr.default_options with Scorr.Verify.node_limit = 1_500_000 }
+
+let suite_pairs recipe =
+  List.map
+    (fun e ->
+      let spec = Circuits.Suite.aig_of e in
+      let impl = Circuits.Suite.implementation ~recipe ~seed:impl_seed spec in
+      (e, spec, impl))
+    Circuits.Suite.suite
+
+(* --- Table 1 ------------------------------------------------------------- *)
+
+let run_traversal ?(use_fundep = true) spec impl =
+  let product = Scorr.Product.make spec impl in
+  let t0 = Sys.time () in
+  match
+    Reach.Trans.make ~node_limit:traversal_budget.Reach.Traversal.max_live_nodes
+      ~latch_order:(Scorr.Verify.latch_order_from_outputs product)
+      product.Scorr.Product.aig
+  with
+  | exception Bdd.Limit_exceeded ->
+    ("limit:nodes", Sys.time () -. t0, traversal_budget.Reach.Traversal.max_live_nodes, 0)
+  | trans ->
+    let result =
+      Reach.Traversal.check_equivalence ~budget:traversal_budget ~use_fundep trans
+    in
+    let st = result.Reach.Traversal.stats in
+    let status =
+      match result.Reach.Traversal.outcome with
+      | Reach.Traversal.Fixpoint _ -> "proved"
+      | Reach.Traversal.Property_violation _ -> "REFUTED"
+      | Reach.Traversal.Budget_exceeded what -> "limit:" ^ what
+    in
+    (status, st.Reach.Traversal.seconds, st.peak_nodes, st.iterations)
+
+let table1 () =
+  Printf.printf
+    "Table 1: retimed and optimized circuits — traversal vs signal correspondence\n";
+  Printf.printf
+    "(per-run budgets: %.0fs / %d BDD nodes, mirroring the paper's 3600s / 100MB)\n\n"
+    traversal_budget.Reach.Traversal.max_seconds traversal_budget.max_live_nodes;
+  Printf.printf "%-9s %9s | %-11s %8s %9s %6s | %-8s %8s %9s %4s %4s %5s\n" "circuit"
+    "regs" "traversal" "time(s)" "nodes" "#its" "proposed" "time(s)" "nodes" "#its" "(rt)"
+    "eqs%";
+  print_endline line;
+  List.iter
+    (fun (e, spec, impl) ->
+      let regs = Printf.sprintf "%d/%d" (Aig.num_latches spec) (Aig.num_latches impl) in
+      let tstatus, ttime, tnodes, tits = run_traversal spec impl in
+      let v, _ = timed (fun () -> Scorr.check ~options:scorr_options spec impl) in
+      let s = Scorr.verdict_stats v in
+      Printf.printf "%-9s %9s | %-11s %8.2f %9d %6d | %-8s %8.2f %9d %4d (%2d) %5.0f\n%!"
+        e.Circuits.Suite.name regs tstatus ttime tnodes tits (verdict_name v)
+        s.Scorr.Verify.seconds s.peak_bdd_nodes s.iterations s.retime_rounds s.eq_pct)
+    (suite_pairs Circuits.Suite.Retime_opt);
+  print_endline line;
+  print_endline
+    "shape to compare with the paper: traversal exceeds its budget on deep/large\n\
+     circuits while the proposed method proves every pair with modest BDD work."
+
+(* --- C1: average equivalence percentage ------------------------------------ *)
+
+let eqpct () =
+  Printf.printf "C1: percentage of spec signals with an implementation correspondence\n";
+  Printf.printf "(paper: 85%% for retimed-only circuits, 54%% after script.rugged)\n\n";
+  Printf.printf "%-9s %14s %14s\n" "circuit" "retime-only" "retime+opt";
+  print_endline (String.make 40 '-');
+  let totals = [| 0.0; 0.0 |] in
+  let count = ref 0 in
+  List.iter
+    (fun e ->
+      let spec = Circuits.Suite.aig_of e in
+      let pct recipe =
+        let impl = Circuits.Suite.implementation ~recipe ~seed:impl_seed spec in
+        let v = Scorr.check ~options:scorr_options spec impl in
+        (Scorr.verdict_stats v).Scorr.Verify.eq_pct
+      in
+      let p_r = pct Circuits.Suite.Retime_only in
+      let p_o = pct Circuits.Suite.Retime_opt in
+      totals.(0) <- totals.(0) +. p_r;
+      totals.(1) <- totals.(1) +. p_o;
+      incr count;
+      Printf.printf "%-9s %13.0f%% %13.0f%%\n%!" e.Circuits.Suite.name p_r p_o)
+    Circuits.Suite.suite;
+  print_endline (String.make 40 '-');
+  Printf.printf "%-9s %13.0f%% %13.0f%%\n" "average"
+    (totals.(0) /. float_of_int !count)
+    (totals.(1) /. float_of_int !count)
+
+(* --- C2: functional dependencies ---------------------------------------------- *)
+
+let ablation_fundep () =
+  Printf.printf "C2: functional dependencies on/off (for the traversal and for Q)\n\n";
+  Printf.printf "%-9s | %-11s %8s | %-11s %8s | %-8s %8s | %-8s %8s\n" "circuit"
+    "trav+fd" "time" "trav-fd" "time" "scorr+fd" "time" "scorr-fd" "time";
+  print_endline line;
+  let entries = [ "ctr8"; "ctr16"; "gray12"; "crc16"; "traffic"; "arb4"; "alu4" ] in
+  List.iter
+    (fun name ->
+      match Circuits.Suite.find name with
+      | None -> ()
+      | Some e ->
+        let spec = Circuits.Suite.aig_of e in
+        let impl =
+          Circuits.Suite.implementation ~recipe:Circuits.Suite.Retime_opt ~seed:impl_seed
+            spec
+        in
+        let t1, tt1, _, _ = run_traversal ~use_fundep:true spec impl in
+        let t0, tt0, _, _ = run_traversal ~use_fundep:false spec impl in
+        let sc use_fundep =
+          let options = { scorr_options with Scorr.Verify.use_fundep } in
+          let v, t = timed (fun () -> Scorr.check ~options spec impl) in
+          (verdict_name v, t)
+        in
+        let s1, st1 = sc true in
+        let s0, st0 = sc false in
+        Printf.printf "%-9s | %-11s %8.2f | %-11s %8.2f | %-8s %8.2f | %-8s %8.2f\n%!" name
+          t1 tt1 t0 tt0 s1 st1 s0 st0)
+    entries
+
+(* --- A1: simulation seeding ----------------------------------------------------- *)
+
+let ablation_sim () =
+  Printf.printf "A1: random-simulation seeding of the fixed point (Section 4)\n\n";
+  Printf.printf "%-9s | %-8s %6s %8s | %-8s %6s %8s\n" "circuit" "seeded" "#its" "time"
+    "unseeded" "#its" "time";
+  print_endline line;
+  List.iter
+    (fun (e, spec, impl) ->
+      let run use_sim_seed =
+        let options = { scorr_options with Scorr.Verify.use_sim_seed } in
+        let v, t = timed (fun () -> Scorr.check ~options spec impl) in
+        (verdict_name v, (Scorr.verdict_stats v).Scorr.Verify.iterations, t)
+      in
+      let v1, i1, t1 = run true in
+      let v0, i0, t0 = run false in
+      Printf.printf "%-9s | %-8s %6d %8.2f | %-8s %6d %8.2f\n%!" e.Circuits.Suite.name v1 i1
+        t1 v0 i0 t0)
+    (List.filter
+       (fun (e, _, _) ->
+         List.mem e.Circuits.Suite.name
+           [ "ctr8"; "gray12"; "crc16"; "traffic"; "arb4"; "det-bin"; "mod10" ])
+       (suite_pairs Circuits.Suite.Retime_opt))
+
+(* --- A2: retiming extension ------------------------------------------------------- *)
+
+let ablation_retime () =
+  Printf.printf "A2: candidate extension by forward retiming with lag 1 (Fig. 3)\n\n";
+  Printf.printf "%-9s | %-8s %5s | %-8s\n" "circuit" "with" "(rt)" "without";
+  print_endline (String.make 44 '-');
+  List.iter
+    (fun (e, spec, impl) ->
+      let run use_retime =
+        let options = { scorr_options with Scorr.Verify.use_retime } in
+        Scorr.check ~options spec impl
+      in
+      let v1 = run true and v0 = run false in
+      Printf.printf "%-9s | %-8s (%2d) | %-8s\n%!" e.Circuits.Suite.name (verdict_name v1)
+        (Scorr.verdict_stats v1).Scorr.Verify.retime_rounds (verdict_name v0))
+    (suite_pairs Circuits.Suite.Retime_only)
+
+(* --- A3: engines --------------------------------------------------------------------- *)
+
+let ablation_engine () =
+  Printf.printf
+    "A3: BDD refinement (the paper) vs SAT refinement (the paper's future work)\n\n";
+  Printf.printf "%-9s | %-8s %8s %9s | %-8s %8s %9s\n" "circuit" "bdd" "time" "nodes" "sat"
+    "time" "calls";
+  print_endline line;
+  List.iter
+    (fun (e, spec, impl) ->
+      let run engine =
+        let options = { scorr_options with Scorr.Verify.engine } in
+        timed (fun () -> Scorr.check ~options spec impl)
+      in
+      let vb, tb = run Scorr.Verify.Bdd_engine in
+      let vs, ts = run Scorr.Verify.Sat_engine in
+      Printf.printf "%-9s | %-8s %8.2f %9d | %-8s %8.2f %9d\n%!" e.Circuits.Suite.name
+        (verdict_name vb) tb (Scorr.verdict_stats vb).Scorr.Verify.peak_bdd_nodes
+        (verdict_name vs) ts (Scorr.verdict_stats vs).Scorr.Verify.sat_calls)
+    (List.filter
+       (fun (e, _, _) -> not (List.mem e.Circuits.Suite.name [ "ctr32"; "crc32" ]))
+       (suite_pairs Circuits.Suite.Retime_opt))
+
+(* --- A4: reachable don't-cares -------------------------------------------------------- *)
+
+let ablation_dontcare () =
+  Printf.printf
+    "A4: strengthening Q with an approximate reachable state space (Section 3 ext.)\n\n";
+  let pairs =
+    [ ("mod5/ring5",
+       (fun () -> fst (Aig.of_netlist (Circuits.Counter.modulo 5))),
+       fun () -> fst (Aig.of_netlist (Circuits.Counter.ring 5)));
+      ("mod10/ring10",
+       (fun () -> fst (Aig.of_netlist (Circuits.Counter.modulo 10))),
+       fun () -> fst (Aig.of_netlist (Circuits.Counter.ring 10)));
+      ("det bin/onehot",
+       (fun () ->
+         fst (Aig.of_netlist (Circuits.Fsm.detector ~onehot:false [ true; false; true; true ]))),
+       fun () ->
+         fst (Aig.of_netlist (Circuits.Fsm.detector ~onehot:true [ true; false; true; true ])));
+    ]
+  in
+  Printf.printf "%-16s | %-8s %8s %9s | %-8s %8s %9s\n" "pair" "plain" "time" "nodes"
+    "with-dc" "time" "nodes";
+  print_endline line;
+  List.iter
+    (fun (name, mk_spec, mk_impl) ->
+      let spec = mk_spec () and impl = mk_impl () in
+      let run use_reach_dontcare =
+        let options =
+          { scorr_options with Scorr.Verify.use_reach_dontcare; reach_block_size = 12 }
+        in
+        timed (fun () -> Scorr.check ~options spec impl)
+      in
+      let v0, t0 = run false in
+      let v1, t1 = run true in
+      Printf.printf "%-16s | %-8s %8.2f %9d | %-8s %8.2f %9d\n%!" name (verdict_name v0) t0
+        (Scorr.verdict_stats v0).Scorr.Verify.peak_bdd_nodes (verdict_name v1) t1
+        (Scorr.verdict_stats v1).Scorr.Verify.peak_bdd_nodes)
+    pairs
+
+(* --- E1: k-inductive SAT unrolling (extension) ----------------------------------------- *)
+
+let ablation_unroll () =
+  Printf.printf
+    "E1 (extension): k-inductive unrolling of the SAT engine (k=1 is the paper)\n\n";
+  Printf.printf "%-9s | %-8s %8s %7s | %-8s %8s %7s | %-8s %8s %7s\n" "circuit" "k=1"
+    "time" "calls" "k=2" "time" "calls" "k=3" "time" "calls";
+  print_endline line;
+  List.iter
+    (fun (e, spec, impl) ->
+      let run k =
+        let options =
+          { scorr_options with Scorr.Verify.engine = Scorr.Verify.Sat_engine; sat_unroll = k }
+        in
+        timed (fun () -> Scorr.check ~options spec impl)
+      in
+      let cells =
+        List.map
+          (fun k ->
+            let v, t = run k in
+            Printf.sprintf "%-8s %8.2f %7d" (verdict_name v) t
+              (Scorr.verdict_stats v).Scorr.Verify.sat_calls)
+          [ 1; 2; 3 ]
+      in
+      Printf.printf "%-9s | %s\n%!" e.Circuits.Suite.name (String.concat " | " cells))
+    (List.filter
+       (fun (e, _, _) ->
+         List.mem e.Circuits.Suite.name
+           [ "ctr8"; "gray12"; "crc16"; "crc32"; "traffic"; "mod10"; "arb4"; "bus" ])
+       (suite_pairs Circuits.Suite.Retime_opt))
+
+(* --- E3: plain output k-induction baseline ---------------------------------------------- *)
+
+let ablation_induction () =
+  Printf.printf
+    "E3 (context): plain k-induction on the outputs vs signal correspondence\n";
+  Printf.printf
+    "(output equality is rarely inductive by itself: the signal-level relation is the point)\n\n";
+  Printf.printf "%-9s | %-10s %8s | %-8s %8s\n" "circuit" "k-induct" "time" "scorr" "time";
+  print_endline line;
+  List.iter
+    (fun (e, spec, impl) ->
+      let product = Scorr.Product.make spec impl in
+      let (ind, ti) =
+        timed (fun () ->
+            Reach.Induction.check ~max_k:6 ~max_sat_calls:5_000 product.Scorr.Product.aig)
+      in
+      let ind_name =
+        match ind with
+        | Reach.Induction.Proved k -> Printf.sprintf "proved@%d" k
+        | Reach.Induction.Refuted _ -> "REFUTED"
+        | Reach.Induction.Unknown _ -> "unknown"
+      in
+      let v, ts = timed (fun () -> Scorr.check ~options:scorr_options spec impl) in
+      Printf.printf "%-9s | %-10s %8.2f | %-8s %8.2f\n%!" e.Circuits.Suite.name ind_name ti
+        (verdict_name v) ts)
+    (List.filter
+       (fun (e, _, _) ->
+         List.mem e.Circuits.Suite.name
+           [ "ctr8"; "gray12"; "crc16"; "traffic"; "mod10"; "arb4"; "alu4"; "det-bin" ])
+       (suite_pairs Circuits.Suite.Retime_opt))
+
+(* --- B1: microbenchmarks ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let bdd_image =
+    Test.make ~name:"bdd: counter image step"
+      (Staged.stage (fun () ->
+           let a, _ = Aig.of_netlist (Circuits.Counter.binary 12) in
+           let trans = Reach.Trans.make a in
+           ignore (Reach.Trans.image trans trans.Reach.Trans.init)))
+  in
+  let bdd_build =
+    Test.make ~name:"bdd: build alu4 outputs"
+      (Staged.stage (fun () ->
+           let a, _ = Aig.of_netlist (Circuits.Pipeline.alu 4) in
+           let m = Bdd.create () in
+           let bdd_of = Engines.Aig_bdd.build_default m a in
+           List.iter (fun (_, l) -> ignore (bdd_of l)) (Aig.pos a)))
+  in
+  let sat_php =
+    Test.make ~name:"sat: pigeonhole 5/4"
+      (Staged.stage (fun () ->
+           let s = Sat.create () in
+           let var p h = (p * 4) + h in
+           Sat.ensure_vars s 20;
+           for p = 0 to 4 do
+             Sat.add_clause s (List.init 4 (fun h -> Sat.Lit.pos (var p h)))
+           done;
+           for h = 0 to 3 do
+             for p1 = 0 to 4 do
+               for p2 = p1 + 1 to 4 do
+                 Sat.add_clause s [ Sat.Lit.neg (var p1 h); Sat.Lit.neg (var p2 h) ]
+               done
+             done
+           done;
+           ignore (Sat.solve s)))
+  in
+  let aig_sim =
+    Test.make ~name:"aig: 64x64 frames of crc32"
+      (Staged.stage
+         (let a, _ = Aig.of_netlist (Circuits.Lfsr.crc ~poly:0x04C11DB7 32) in
+          let frames = Aig.Sim.random_frames ~seed:1 ~n_pis:1 ~n_frames:64 in
+          fun () -> ignore (Aig.Sim.run a frames)))
+  in
+  let scorr_small =
+    Test.make ~name:"scorr: traffic retime+opt"
+      (Staged.stage
+         (let spec = Circuits.Suite.aig_of (Option.get (Circuits.Suite.find "traffic")) in
+          let impl =
+            Circuits.Suite.implementation ~recipe:Circuits.Suite.Retime_opt ~seed:3 spec
+          in
+          fun () -> ignore (Scorr.check spec impl)))
+  in
+  let tests =
+    Test.make_grouped ~name:"seqver" [ bdd_build; bdd_image; sat_php; aig_sim; scorr_small ]
+  in
+  Printf.printf "B1: substrate microbenchmarks (Bechamel, monotonic clock)\n\n";
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 2.0) () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "%-34s %14.0f ns/run\n" name est
+      | Some _ | None -> Printf.printf "%-34s (no estimate)\n" name)
+    (List.sort compare rows)
+
+(* --- driver ---------------------------------------------------------------------------------- *)
+
+let targets =
+  [ ("table1", table1); ("eqpct", eqpct); ("ablation-fundep", ablation_fundep);
+    ("ablation-sim", ablation_sim); ("ablation-retime", ablation_retime);
+    ("ablation-engine", ablation_engine); ("ablation-dontcare", ablation_dontcare);
+    ("ablation-unroll", ablation_unroll); ("ablation-induction", ablation_induction);
+    ("micro", micro) ]
+
+let () =
+  let run name =
+    match List.assoc_opt name targets with
+    | Some f ->
+      f ();
+      print_newline ()
+    | None ->
+      Printf.eprintf "unknown bench target %s; available: %s all\n" name
+        (String.concat " " (List.map fst targets));
+      exit 1
+  in
+  match Array.to_list Sys.argv with
+  | _ :: [] | [ _; "all" ] ->
+    List.iter
+      (fun (_, f) ->
+        f ();
+        print_newline ())
+      targets
+  | _ :: names -> List.iter run names
+  | [] -> ()

@@ -1,0 +1,313 @@
+(* seqver — command-line driver for the sequential equivalence checker.
+
+   Subcommands: verify (the paper's method, the register-correspondence
+   special case, or the traversal baseline), gen (emit suite circuits),
+   opt (apply the synthesis pipeline), sim (random simulation), stats. *)
+
+let read_circuit path =
+  if Filename.check_suffix path ".aag" then Aig.Aiger.parse_file path
+  else begin
+    let netlist =
+      if Filename.check_suffix path ".bench" then Netlist.Bench.parse_file path
+      else Netlist.Blif.parse_file path
+    in
+    (match Netlist.validate netlist with
+    | Ok () -> ()
+    | Error msg -> failwith (Printf.sprintf "%s: %s" path msg));
+    fst (Aig.of_netlist netlist)
+  end
+
+let write_circuit path aig =
+  if Filename.check_suffix path ".aag" then Aig.Aiger.to_file path aig
+  else failwith "seqver: can only write .aag files from AIGs"
+
+(* --- verify ----------------------------------------------------------------- *)
+
+type method_kind = M_scorr | M_regcorr | M_traversal | M_auto
+
+let pp_stats (s : Scorr.stats) =
+  Printf.printf
+    "  iterations:      %d\n  retime rounds:   %d\n  candidates:      %d\n\
+    \  classes:         %d\n  peak BDD nodes:  %d\n  SAT calls:       %d\n\
+    \  equivalences:    %.1f%%\n  time:            %.2f s\n"
+    s.Scorr.Verify.iterations s.retime_rounds s.candidates s.classes
+    s.peak_bdd_nodes s.sat_calls s.eq_pct s.seconds
+
+let run_verify spec_path impl_path meth engine no_sim_seed no_fundep no_retime dontcare
+    node_limit unroll seconds show_classes quiet =
+  let spec = read_circuit spec_path and impl = read_circuit impl_path in
+  let options =
+    {
+      Scorr.default_options with
+      Scorr.Verify.engine =
+        (match engine with "sat" -> Scorr.Verify.Sat_engine | _ -> Scorr.Verify.Bdd_engine);
+      use_sim_seed = not no_sim_seed;
+      use_fundep = not no_fundep;
+      use_retime = not no_retime;
+      use_reach_dontcare = dontcare;
+      node_limit;
+      sat_unroll = unroll;
+    }
+  in
+  let exit_of = function
+    | Scorr.Equivalent stats ->
+      if not quiet then begin
+        print_endline "EQUIVALENT";
+        pp_stats stats
+      end;
+      0
+    | Scorr.Not_equivalent { frame; trace; stats } ->
+      if not quiet then begin
+        Printf.printf "NOT EQUIVALENT (difference at frame %d)\n" frame;
+        (match trace with
+        | Some inputs ->
+          print_endline "  witness input trace (one vector per frame):";
+          Array.iteri
+            (fun t frame_inputs ->
+              Printf.printf "    t=%d:" t;
+              Array.iter (fun b -> print_string (if b then " 1" else " 0")) frame_inputs;
+              print_newline ())
+            inputs
+        | None -> ());
+        pp_stats stats
+      end;
+      1
+    | Scorr.Unknown stats ->
+      if not quiet then begin
+        print_endline "UNKNOWN (the method is sound but incomplete)";
+        pp_stats stats
+      end;
+      2
+  in
+  match meth with
+  | M_auto -> exit_of (Scorr.portfolio ~options spec impl)
+  | M_scorr ->
+    if show_classes then begin
+      let verdict, product, relation = Scorr.Verify.run_with_relation ~options spec impl in
+      (match relation with
+      | Some partition -> Format.printf "%a" Scorr.Verify.pp_relation (product, partition)
+      | None -> ());
+      exit_of verdict
+    end
+    else exit_of (Scorr.check ~options spec impl)
+  | M_regcorr -> exit_of (Scorr.register_correspondence ~options spec impl)
+  | M_traversal -> (
+    let product = Scorr.Product.make spec impl in
+    let trans =
+      Reach.Trans.make ~node_limit
+        ~latch_order:(Scorr.Verify.latch_order_from_outputs product)
+        product.Scorr.Product.aig
+    in
+    let budget =
+      {
+        Reach.Traversal.max_iterations = max_int;
+        max_live_nodes = node_limit;
+        max_seconds = seconds;
+      }
+    in
+    let result = Reach.Traversal.check_equivalence ~budget ~use_fundep:(not no_fundep) trans in
+    let st = result.Reach.Traversal.stats in
+    let report verdict code =
+      if not quiet then begin
+        print_endline verdict;
+        Printf.printf "  depth:           %d\n  peak BDD nodes:  %d\n  dependencies:    %d\n  time:            %.2f s\n"
+          st.Reach.Traversal.iterations st.peak_nodes st.dependencies_found st.seconds
+      end;
+      code
+    in
+    match result.Reach.Traversal.outcome with
+    | Reach.Traversal.Fixpoint _ -> report "EQUIVALENT (traversal fixpoint)" 0
+    | Reach.Traversal.Property_violation d ->
+      report (Printf.sprintf "NOT EQUIVALENT (violation at depth %d)" d) 1
+    | Reach.Traversal.Budget_exceeded what ->
+      report (Printf.sprintf "UNKNOWN (budget exceeded: %s)" what) 2)
+
+(* --- gen ---------------------------------------------------------------------- *)
+
+let run_gen name out fmt list_only =
+  if list_only then begin
+    List.iter
+      (fun e ->
+        Printf.printf "%-10s %s\n" e.Circuits.Suite.name e.Circuits.Suite.description)
+      Circuits.Suite.suite;
+    0
+  end
+  else
+    match Circuits.Suite.find name with
+    | None ->
+      Printf.eprintf "seqver gen: unknown circuit %s (try --list)\n" name;
+      1
+    | Some e ->
+      let netlist = e.Circuits.Suite.build () in
+      let text =
+        match fmt with
+        | "bench" -> Netlist.Bench.to_string netlist
+        | _ -> Netlist.Blif.to_string netlist
+      in
+      (match out with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc
+      | None -> print_string text);
+      0
+
+(* --- opt ----------------------------------------------------------------------- *)
+
+let run_opt in_path out_path recipe seed =
+  let aig = read_circuit in_path in
+  let recipe =
+    match recipe with
+    | "retime" -> Circuits.Suite.Retime_only
+    | _ -> Circuits.Suite.Retime_opt
+  in
+  let impl = Circuits.Suite.implementation ~recipe ~seed aig in
+  write_circuit out_path impl;
+  Printf.printf "%s -> %s\n" (Format.asprintf "%a" Aig.pp_stats aig)
+    (Format.asprintf "%a" Aig.pp_stats impl);
+  0
+
+(* --- sim ------------------------------------------------------------------------ *)
+
+let run_sim path frames seed =
+  let aig = read_circuit path in
+  let stimuli = Aig.Sim.random_frames ~seed ~n_pis:(Aig.num_pis aig) ~n_frames:frames in
+  let outs, _ = Aig.Sim.run aig stimuli in
+  List.iteri
+    (fun t frame ->
+      Printf.printf "frame %3d:" t;
+      List.iter (fun (name, w) -> Printf.printf " %s=%Lx" name w) frame;
+      print_newline ())
+    outs;
+  0
+
+(* --- bmc ------------------------------------------------------------------------ *)
+
+let run_bmc spec_path impl_path depth =
+  let spec = read_circuit spec_path and impl = read_circuit impl_path in
+  let product = Scorr.Product.make spec impl in
+  match Reach.Bmc.check ~max_depth:depth product.Scorr.Product.aig with
+  | Reach.Bmc.No_counterexample d ->
+    Printf.printf "no difference within %d frames\n" (d + 1);
+    0
+  | Reach.Bmc.Counterexample cex ->
+    Printf.printf "NOT EQUIVALENT: outputs differ at frame %d\n" cex.Reach.Bmc.depth;
+    Array.iteri
+      (fun t frame ->
+        Printf.printf "  t=%d:" t;
+        Array.iter (fun b -> print_string (if b then " 1" else " 0")) frame;
+        print_newline ())
+      cex.Reach.Bmc.inputs;
+    1
+  | Reach.Bmc.Budget what ->
+    Printf.printf "budget exceeded: %s\n" what;
+    2
+
+(* --- stats ---------------------------------------------------------------------- *)
+
+let run_stats path =
+  let aig = read_circuit path in
+  Format.printf "%a@." Aig.pp_stats aig;
+  0
+
+(* --- cmdliner wiring ------------------------------------------------------------- *)
+
+open Cmdliner
+
+let verify_cmd =
+  let spec = Arg.(required & pos 0 (some file) None & info [] ~docv:"SPEC") in
+  let impl = Arg.(required & pos 1 (some file) None & info [] ~docv:"IMPL") in
+  let meth =
+    let parse = function
+      | "scorr" -> Ok M_scorr
+      | "regcorr" -> Ok M_regcorr
+      | "traversal" -> Ok M_traversal
+      | "auto" -> Ok M_auto
+      | s -> Error (`Msg ("unknown method " ^ s))
+    in
+    let print ppf m =
+      Format.pp_print_string ppf
+        (match m with
+        | M_scorr -> "scorr"
+        | M_regcorr -> "regcorr"
+        | M_traversal -> "traversal"
+        | M_auto -> "auto")
+    in
+    Arg.(value & opt (conv (parse, print)) M_scorr
+         & info [ "m"; "method" ] ~doc:"Method: scorr, regcorr, traversal or auto (portfolio).")
+  in
+  let engine =
+    Arg.(value & opt string "bdd" & info [ "e"; "engine" ] ~doc:"Refinement engine: bdd or sat.")
+  in
+  let no_sim_seed = Arg.(value & flag & info [ "no-sim-seed" ] ~doc:"Disable simulation seeding.") in
+  let no_fundep = Arg.(value & flag & info [ "no-fundep" ] ~doc:"Disable functional dependencies.") in
+  let no_retime = Arg.(value & flag & info [ "no-retime" ] ~doc:"Disable retiming extension.") in
+  let dontcare =
+    Arg.(value & flag & info [ "dontcare" ] ~doc:"Strengthen Q with approximate reachability.")
+  in
+  let node_limit =
+    Arg.(value & opt int 2_000_000 & info [ "node-limit" ] ~doc:"BDD node budget.")
+  in
+  let unroll =
+    Arg.(value & opt int 1
+         & info [ "k"; "unroll" ] ~doc:"SAT-engine induction depth (1 = the paper).")
+  in
+  let seconds =
+    Arg.(value & opt float 60.0 & info [ "time-limit" ] ~doc:"Traversal time budget (s).")
+  in
+  let show_classes =
+    Arg.(value & flag & info [ "show-classes" ] ~doc:"Print the correspondence relation.")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only set the exit code.") in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Check sequential equivalence of two circuits")
+    Term.(
+      const run_verify $ spec $ impl $ meth $ engine $ no_sim_seed $ no_fundep $ no_retime
+      $ dontcare $ node_limit $ unroll $ seconds $ show_classes $ quiet)
+
+let gen_cmd =
+  let circuit_name = Arg.(value & pos 0 string "" & info [] ~docv:"NAME") in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.") in
+  let fmt =
+    Arg.(value & opt string "blif" & info [ "format" ] ~doc:"Output format: blif or bench.")
+  in
+  let list_only = Arg.(value & flag & info [ "list" ] ~doc:"List available circuits.") in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Emit a benchmark circuit as BLIF or .bench")
+    Term.(const run_gen $ circuit_name $ out $ fmt $ list_only)
+
+let opt_cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT") in
+  let output = Arg.(required & pos 1 (some string) None & info [] ~docv:"OUTPUT.aag") in
+  let recipe =
+    Arg.(value & opt string "retime+opt" & info [ "recipe" ] ~doc:"retime or retime+opt.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  Cmd.v
+    (Cmd.info "opt" ~doc:"Produce a retimed/optimized implementation")
+    Term.(const run_opt $ input $ output $ recipe $ seed)
+
+let sim_cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT") in
+  let frames = Arg.(value & opt int 8 & info [ "frames" ] ~doc:"Number of frames.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Randomly simulate a circuit")
+    Term.(const run_sim $ input $ frames $ seed)
+
+let bmc_cmd =
+  let spec = Arg.(required & pos 0 (some file) None & info [] ~docv:"SPEC") in
+  let impl = Arg.(required & pos 1 (some file) None & info [] ~docv:"IMPL") in
+  let depth = Arg.(value & opt int 20 & info [ "depth" ] ~doc:"Unrolling depth.") in
+  Cmd.v
+    (Cmd.info "bmc" ~doc:"Bounded refutation with a concrete trace")
+    Term.(const run_bmc $ spec $ impl $ depth)
+
+let stats_cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT") in
+  Cmd.v (Cmd.info "stats" ~doc:"Print circuit statistics") Term.(const run_stats $ input)
+
+let () =
+  let doc = "sequential equivalence checking without state space traversal" in
+  let info = Cmd.info "seqver" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ verify_cmd; bmc_cmd; gen_cmd; opt_cmd; sim_cmd; stats_cmd ]))

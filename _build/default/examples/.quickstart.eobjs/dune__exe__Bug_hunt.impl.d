@@ -1,0 +1,1 @@
+examples/bug_hunt.ml: Aig Circuits Format List Reach Scorr Transform

@@ -1,0 +1,1 @@
+examples/certificate.ml: Aig Circuits Format Scorr

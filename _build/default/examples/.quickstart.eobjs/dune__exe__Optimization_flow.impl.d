@@ -1,0 +1,1 @@
+examples/optimization_flow.ml: Aig Circuits Format Reach Scorr Transform

@@ -1,0 +1,1 @@
+examples/optimization_flow.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aig Circuits Format Netlist Reach Scorr

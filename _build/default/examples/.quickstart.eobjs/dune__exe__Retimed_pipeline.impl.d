@@ -1,0 +1,1 @@
+examples/retimed_pipeline.ml: Aig Circuits Format Scorr Transform

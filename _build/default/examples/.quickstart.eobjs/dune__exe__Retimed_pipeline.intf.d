@@ -1,0 +1,1 @@
+examples/retimed_pipeline.mli:

@@ -1,0 +1,51 @@
+(* Retiming verification: take the two-stage ALU pipeline, move its
+   registers with backward/forward retiming, and prove the results
+   sequentially equivalent — the workload class that motivated the paper
+   (retiming barely changes the combinational structure, so internal
+   signal correspondences abound).
+
+   Run with:  dune exec examples/retimed_pipeline.exe *)
+
+let describe label aig = Format.printf "%-22s %a@." label Aig.pp_stats aig
+
+let check label spec impl =
+  match Scorr.check spec impl with
+  | Scorr.Equivalent stats ->
+    Format.printf
+      "%-22s EQUIVALENT  (%d iterations, %d candidates, %.0f%% of spec signals matched, %.2fs)@."
+      label stats.Scorr.Verify.iterations stats.candidates stats.eq_pct stats.seconds
+  | Scorr.Not_equivalent { frame; _ } ->
+    Format.printf "%-22s NOT EQUIVALENT at frame %d (unexpected!)@." label frame
+  | Scorr.Unknown _ -> Format.printf "%-22s UNKNOWN (unexpected for this workload)@." label
+
+let () =
+  let spec, _ = Aig.of_netlist (Circuits.Pipeline.alu 4) in
+  describe "pipeline (spec)" spec;
+
+  (* Backward retiming: the output register is pushed back into the ALU,
+     splitting into per-fanin registers with justified initial values. *)
+  let bwd = Transform.Retime.backward ~max_steps:1 spec in
+  describe "backward retimed" bwd;
+  check "spec vs backward" spec bwd;
+
+  (* Forward retiming: input registers move forward across the first
+     gates; initial values are recomputed through the gate functions. *)
+  let fwd = Transform.Retime.forward ~max_steps:2 spec in
+  describe "forward retimed" fwd;
+  check "spec vs forward" spec fwd;
+
+  (* Both, plus logic restructuring in between (the paper's workload). *)
+  let impl = Circuits.Suite.implementation ~recipe:Circuits.Suite.Retime_opt ~seed:42 spec in
+  describe "retimed + optimized" impl;
+  check "spec vs retime+opt" spec impl;
+
+  (* For contrast: register correspondence alone (the restricted method
+     of [5]/[9]) cannot relate the moved registers. *)
+  (match Scorr.register_correspondence spec bwd with
+  | Scorr.Equivalent _ -> Format.printf "register correspondence: proved (surprising!)@."
+  | Scorr.Unknown _ ->
+    Format.printf
+      "register correspondence alone: UNKNOWN — retimed registers have no@.";
+    Format.printf
+      "1-to-1 partner; this is the gap the paper's generalization closes.@."
+  | Scorr.Not_equivalent _ -> Format.printf "register correspondence: refuted (bug!)@.")

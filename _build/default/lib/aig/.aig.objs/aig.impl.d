@@ -1,0 +1,1 @@
+lib/aig/aig.ml: Aiger Asim Cnf Graph Of_netlist

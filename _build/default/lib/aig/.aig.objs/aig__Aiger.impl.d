@@ -1,0 +1,1 @@
+lib/aig/aiger.ml: Array Buffer Char Graph Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/aig/asim.ml: Array Graph Int64 List Random

@@ -1,0 +1,1 @@
+lib/aig/cnf.ml: Array Graph Sat

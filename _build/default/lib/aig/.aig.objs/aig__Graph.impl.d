@@ -1,0 +1,1 @@
+lib/aig/graph.ml: Array Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/aig/of_netlist.ml: Array Graph List Netlist

@@ -1,0 +1,17 @@
+(* Public API of the AIG library; see aig.mli. *)
+
+include Graph
+
+module Sim = struct
+  let eval_comb = Asim.eval_comb
+  let lit_word = Asim.lit_word
+  let initial_latch_words = Asim.initial_latch_words
+  let step = Asim.step
+  let run = Asim.run
+  let random_frames = Asim.random_frames
+end
+
+module Cnf = Cnf
+module Aiger = Aiger
+
+let of_netlist = Of_netlist.convert

@@ -1,0 +1,56 @@
+(* Bit-parallel (64 patterns per word) simulation of AIGs, both purely
+   combinational evaluation and clocked sequential runs.  This is the
+   engine behind the random-simulation seeding of the fixed-point
+   iteration (paper Section 4) and behind fraiging. *)
+
+let lit_word values l =
+  let w = values.(Graph.node_of_lit l) in
+  if Graph.lit_is_compl l then Int64.lognot w else w
+
+(* Evaluate all nodes given one word per PI and one word per latch output.
+   Returns the full node-value array (words per node id). *)
+let eval_comb t ~pi_words ~latch_words =
+  let values = Array.make (Graph.num_nodes t) 0L in
+  for id = 0 to Graph.num_nodes t - 1 do
+    values.(id) <-
+      (match Graph.node t id with
+      | Graph.Const -> 0L
+      | Graph.Pi i -> pi_words.(i)
+      | Graph.Latch i -> latch_words.(i)
+      | Graph.And (a, b) -> Int64.logand (lit_word values a) (lit_word values b))
+  done;
+  values
+
+let initial_latch_words t =
+  Array.init (Graph.num_latches t) (fun i ->
+      if Graph.latch_init t i then -1L else 0L)
+
+(* One clocked step: evaluate, then capture next-state words. *)
+let step t ~pi_words ~latch_words =
+  let values = eval_comb t ~pi_words ~latch_words in
+  let next =
+    Array.init (Graph.num_latches t) (fun i -> lit_word values (Graph.latch_next t i))
+  in
+  (values, next)
+
+(* Run a sequence of input frames from the initial state; returns per-frame
+   output words and the final state. *)
+let run t frames =
+  let state = ref (initial_latch_words t) in
+  let outs =
+    List.map
+      (fun pi_words ->
+        let values, next = step t ~pi_words ~latch_words:!state in
+        state := next;
+        List.map (fun (name, l) -> (name, lit_word values l)) (Graph.pos t))
+      frames
+  in
+  (outs, !state)
+
+let random_frames ~seed ~n_pis ~n_frames =
+  let rng = Random.State.make [| seed; 0x5e41 |] in
+  List.init n_frames (fun _ ->
+      Array.init n_pis (fun _ ->
+          Int64.logxor
+            (Random.State.int64 rng Int64.max_int)
+            (Int64.shift_left (Random.State.int64 rng 2L) 62)))

@@ -1,0 +1,45 @@
+(* Tseitin encoding of AIG combinational logic into a SAT solver: one SAT
+   variable per AND node plus the caller-supplied variables for PIs and
+   latch outputs.  The "extra variables representing intermediate signals"
+   of the paper's future-work section. *)
+
+(* Encode the combinational structure of [t].  [pi_var i] / [latch_var i]
+   give the SAT variable of input i / latch i (created by the caller, so
+   several unrollings can share or rename them).  Returns a function from
+   AIG literal to SAT literal. *)
+let encode solver t ~pi_var ~latch_var =
+  let n = Graph.num_nodes t in
+  let var_of = Array.make n (-1) in
+  (* constant node: a frozen variable forced to false once per solver *)
+  let const_var = Sat.new_var solver in
+  Sat.add_clause solver [ Sat.Lit.neg const_var ];
+  var_of.(0) <- const_var;
+  let sat_lit l =
+    let v = var_of.(Graph.node_of_lit l) in
+    Sat.Lit.make v (not (Graph.lit_is_compl l))
+  in
+  for id = 1 to n - 1 do
+    match Graph.node t id with
+    | Graph.Const -> ()
+    | Graph.Pi i -> var_of.(id) <- pi_var i
+    | Graph.Latch i -> var_of.(id) <- latch_var i
+    | Graph.And (a, b) ->
+      let v = Sat.new_var solver in
+      var_of.(id) <- v;
+      let la = sat_lit a and lb = sat_lit b in
+      let lv = Sat.Lit.pos v in
+      (* v <-> a & b *)
+      Sat.add_clause solver [ Sat.Lit.negate lv; la ];
+      Sat.add_clause solver [ Sat.Lit.negate lv; lb ];
+      Sat.add_clause solver [ lv; Sat.Lit.negate la; Sat.Lit.negate lb ]
+  done;
+  sat_lit
+
+(* Fresh SAT variables for each PI and latch, then encode. *)
+let encode_fresh solver t =
+  let pi_vars = Array.init (Graph.num_pis t) (fun _ -> Sat.new_var solver) in
+  let latch_vars = Array.init (Graph.num_latches t) (fun _ -> Sat.new_var solver) in
+  let lit_of =
+    encode solver t ~pi_var:(fun i -> pi_vars.(i)) ~latch_var:(fun i -> latch_vars.(i))
+  in
+  (pi_vars, latch_vars, lit_of)

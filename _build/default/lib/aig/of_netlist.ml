@@ -1,0 +1,51 @@
+(* Conversion of gate-level netlists into structurally hashed AIGs.
+   Multi-input gates are decomposed into balanced AND/XOR trees. *)
+
+let rec balanced_fold f = function
+  | [] -> invalid_arg "balanced_fold: empty"
+  | [ x ] -> x
+  | xs ->
+    let rec split k acc = function
+      | rest when k = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | x :: rest -> split (k - 1) (x :: acc) rest
+    in
+    let left, right = split (List.length xs / 2) [] xs in
+    f (balanced_fold f left) (balanced_fold f right)
+
+(* Returns the AIG plus the literal of every netlist net. *)
+let convert c =
+  let t = Graph.create () in
+  let lit_of = Array.make (Netlist.num_nets c) (-1) in
+  List.iter (fun net -> lit_of.(net) <- Graph.add_pi t) (Netlist.inputs c);
+  List.iter
+    (fun net -> lit_of.(net) <- Graph.add_latch t ~init:(Netlist.latch_init c net))
+    (Netlist.latches c);
+  List.iter
+    (fun net ->
+      match Netlist.node c net with
+      | Netlist.Input | Netlist.Latch _ -> ()
+      | Netlist.Gate (fn, fanins) ->
+        let ins = Array.to_list (Array.map (fun f -> lit_of.(f)) fanins) in
+        let aig_and a b = Graph.mk_and t a b in
+        let aig_xor a b = Graph.mk_xor t a b in
+        lit_of.(net) <-
+          (match fn with
+          | Netlist.And -> balanced_fold aig_and ins
+          | Netlist.Nand -> Graph.lit_not (balanced_fold aig_and ins)
+          | Netlist.Or -> Graph.lit_not (balanced_fold aig_and (List.map Graph.lit_not ins))
+          | Netlist.Nor -> balanced_fold aig_and (List.map Graph.lit_not ins)
+          | Netlist.Xor -> balanced_fold aig_xor ins
+          | Netlist.Xnor -> Graph.lit_not (balanced_fold aig_xor ins)
+          | Netlist.Not -> Graph.lit_not (List.nth ins 0)
+          | Netlist.Buf -> List.nth ins 0
+          | Netlist.Const0 -> Graph.lit_false
+          | Netlist.Const1 -> Graph.lit_true))
+    (Netlist.topo_order c);
+  List.iter
+    (fun latch_net ->
+      Graph.set_latch_next t lit_of.(latch_net)
+        ~next:lit_of.(Netlist.latch_data c latch_net))
+    (Netlist.latches c);
+  List.iter (fun (name, net) -> Graph.add_po t name lit_of.(net)) (Netlist.outputs c);
+  (t, fun net -> lit_of.(net))

@@ -1,0 +1,1 @@
+lib/bdd/bdd.ml: Analyze Node Ops Reorder

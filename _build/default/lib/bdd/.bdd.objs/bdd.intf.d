@@ -1,0 +1,1 @@
+lib/bdd/bdd.mli: Format

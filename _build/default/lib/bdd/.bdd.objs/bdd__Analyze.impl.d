@@ -1,0 +1,1 @@
+lib/bdd/analyze.ml: Format Hashtbl List Node

@@ -1,0 +1,1 @@
+lib/bdd/node.ml: Array Hashtbl

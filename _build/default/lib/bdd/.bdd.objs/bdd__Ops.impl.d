@@ -1,0 +1,1 @@
+lib/bdd/ops.ml: Array Hashtbl List Node

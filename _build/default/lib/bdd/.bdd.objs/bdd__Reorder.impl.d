@@ -1,0 +1,1 @@
+lib/bdd/reorder.ml: Analyze Array Hashtbl List Node Ops

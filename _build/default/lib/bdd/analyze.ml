@@ -1,0 +1,162 @@
+(* Structural queries on BDDs: support, size, evaluation, model counting,
+   model extraction and printing. *)
+
+open Node
+
+let support f =
+  let seen = Hashtbl.create 64 in
+  let vars = Hashtbl.create 16 in
+  let rec go f =
+    match f with
+    | Zero | One -> ()
+    | Node n ->
+      if not (Hashtbl.mem seen n.id) then begin
+        Hashtbl.add seen n.id ();
+        Hashtbl.replace vars n.var ();
+        go n.lo;
+        go n.hi
+      end
+  in
+  go f;
+  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
+
+let size f =
+  let seen = Hashtbl.create 64 in
+  let rec go acc f =
+    match f with
+    | Zero | One -> acc
+    | Node n ->
+      if Hashtbl.mem seen n.id then acc
+      else begin
+        Hashtbl.add seen n.id ();
+        go (go (acc + 1) n.lo) n.hi
+      end
+  in
+  go 0 f
+
+let size_list fs =
+  let seen = Hashtbl.create 64 in
+  let rec go acc f =
+    match f with
+    | Zero | One -> acc
+    | Node n ->
+      if Hashtbl.mem seen n.id then acc
+      else begin
+        Hashtbl.add seen n.id ();
+        go (go (acc + 1) n.lo) n.hi
+      end
+  in
+  List.fold_left go 0 fs
+
+let rec eval f env =
+  match f with
+  | Zero -> false
+  | One -> true
+  | Node n -> if env n.var then eval n.hi env else eval n.lo env
+
+(* Number of satisfying assignments over [nvars] variables. *)
+let sat_count m ~nvars f =
+  let memo = Hashtbl.create 256 in
+  (* weight of a subfunction rooted strictly below level [above] *)
+  let nlevels = nvars in
+  let rec go f =
+    match f with
+    | Zero -> (0.0, nlevels)
+    | One -> (1.0, nlevels)
+    | Node n -> (
+      let lv = level m n.var in
+      match Hashtbl.find_opt memo n.id with
+      | Some c -> (c, lv)
+      | None ->
+        let clo, llo = go n.lo and chi, lhi = go n.hi in
+        let clo = clo *. (2.0 ** float_of_int (llo - lv - 1)) in
+        let chi = chi *. (2.0 ** float_of_int (lhi - lv - 1)) in
+        let c = clo +. chi in
+        Hashtbl.add memo n.id c;
+        (c, lv))
+  in
+  let c, lv = go f in
+  c *. (2.0 ** float_of_int lv)
+
+(* One satisfying assignment as a partial cube, or [None] if unsat. *)
+let any_sat f =
+  let rec go acc f =
+    match f with
+    | Zero -> None
+    | One -> Some (List.rev acc)
+    | Node n -> (
+      match go ((n.var, true) :: acc) n.hi with
+      | Some cube -> Some cube
+      | None -> go ((n.var, false) :: acc) n.lo)
+  in
+  go [] f
+
+(* All satisfying partial cubes, for tests on small functions. *)
+let all_sat f =
+  let rec go acc f k =
+    match f with
+    | Zero -> k
+    | One -> List.rev acc :: k
+    | Node n -> go ((n.var, true) :: acc) n.hi (go ((n.var, false) :: acc) n.lo k)
+  in
+  go [] f []
+
+let pp ?(max_cubes = 8) ppf f =
+  match f with
+  | Zero -> Format.fprintf ppf "false"
+  | One -> Format.fprintf ppf "true"
+  | Node _ ->
+    let cubes = all_sat f in
+    let shown = List.filteri (fun i _ -> i < max_cubes) cubes in
+    let pp_lit ppf (v, b) = Format.fprintf ppf "%sx%d" (if b then "" else "~") v in
+    let pp_cube ppf cube =
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.fprintf ppf ".")
+        pp_lit ppf cube
+    in
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf " + ")
+      pp_cube ppf shown;
+    if List.length cubes > max_cubes then Format.fprintf ppf " + ..."
+
+let to_dot ppf f =
+  let seen = Hashtbl.create 64 in
+  Format.fprintf ppf "digraph bdd {@.";
+  Format.fprintf ppf "  n0 [label=\"0\",shape=box];@.";
+  Format.fprintf ppf "  n1 [label=\"1\",shape=box];@.";
+  let rec go f =
+    match f with
+    | Zero | One -> ()
+    | Node n ->
+      if not (Hashtbl.mem seen n.id) then begin
+        Hashtbl.add seen n.id ();
+        Format.fprintf ppf "  n%d [label=\"x%d\"];@." n.id n.var;
+        Format.fprintf ppf "  n%d -> n%d [style=dashed];@." n.id (id n.lo);
+        Format.fprintf ppf "  n%d -> n%d;@." n.id (id n.hi);
+        go n.lo;
+        go n.hi
+      end
+  in
+  go f;
+  Format.fprintf ppf "}@."
+
+(* [size_at_most f k] is [Some n] when the DAG has n <= k nodes, [None]
+   otherwise; the walk aborts as soon as the bound is exceeded, so probing
+   a huge function for smallness is cheap. *)
+let size_at_most f k =
+  let seen = Hashtbl.create 64 in
+  let exception Too_big in
+  let count = ref 0 in
+  let rec go f =
+    match f with
+    | Node.Zero | Node.One -> ()
+    | Node.Node n ->
+      if not (Hashtbl.mem seen n.id) then begin
+        incr count;
+        if !count > k then raise Too_big;
+        Hashtbl.add seen n.id ();
+        go n.lo;
+        go n.hi
+      end
+  in
+  match go f with () -> Some !count | exception Too_big -> None

@@ -1,0 +1,129 @@
+(* Hash-consed ROBDD nodes and the manager that owns them.
+
+   Nodes are immutable and unique within a manager: two nodes of the same
+   manager are semantically equal iff they are physically equal.  The
+   branching order is given by [level_of_var]; the variable with the
+   smallest level is tested first.  Terminals [Zero]/[One] sit below every
+   variable (conceptual level [max_int]). *)
+
+type t =
+  | Zero
+  | One
+  | Node of { var : int; lo : t; hi : t; id : int }
+
+exception Limit_exceeded
+
+type manager = {
+  unique : (int * int * int, t) Hashtbl.t;
+  mutable node_limit : int;
+  mutable next_id : int;
+  mutable level_of_var : int array;
+  mutable nvars : int;
+  and_memo : (int * int, t) Hashtbl.t;
+  or_memo : (int * int, t) Hashtbl.t;
+  xor_memo : (int * int, t) Hashtbl.t;
+  not_memo : (int, t) Hashtbl.t;
+  ite_memo : (int * int * int, t) Hashtbl.t;
+  mutable nodes_made : int;
+}
+
+let id = function Zero -> 0 | One -> 1 | Node n -> n.id
+
+let create ?(cache_size = 1 lsl 14) () =
+  {
+    unique = Hashtbl.create cache_size;
+    node_limit = max_int;
+    next_id = 2;
+    level_of_var = Array.make 16 0;
+    nvars = 0;
+    and_memo = Hashtbl.create cache_size;
+    or_memo = Hashtbl.create cache_size;
+    xor_memo = Hashtbl.create cache_size;
+    not_memo = Hashtbl.create cache_size;
+    ite_memo = Hashtbl.create cache_size;
+    nodes_made = 0;
+  }
+
+let clear_caches m =
+  Hashtbl.reset m.and_memo;
+  Hashtbl.reset m.or_memo;
+  Hashtbl.reset m.xor_memo;
+  Hashtbl.reset m.not_memo;
+  Hashtbl.reset m.ite_memo
+
+let nvars m = m.nvars
+
+(* Grow the level table so that variable [v] exists; fresh variables are
+   appended at the bottom of the current order. *)
+let ensure_var m v =
+  if v < 0 then invalid_arg "Bdd: negative variable";
+  if v >= m.nvars then begin
+    let needed = v + 1 in
+    if needed > Array.length m.level_of_var then begin
+      let bigger = Array.make (max needed (2 * Array.length m.level_of_var)) 0 in
+      Array.blit m.level_of_var 0 bigger 0 m.nvars;
+      m.level_of_var <- bigger
+    end;
+    for i = m.nvars to v do
+      m.level_of_var.(i) <- i
+    done;
+    m.nvars <- needed
+  end
+
+let level m v = m.level_of_var.(v)
+let terminal_level = max_int
+
+let top_level m = function
+  | Zero | One -> terminal_level
+  | Node n -> level m n.var
+
+let top_var = function Zero | One -> -1 | Node n -> n.var
+
+(* The single node constructor: enforces reduction (no redundant test) and
+   uniqueness (hash-consing). *)
+let mk m ~var ~lo ~hi =
+  if lo == hi then lo
+  else begin
+    let key = (var, id lo, id hi) in
+    match Hashtbl.find_opt m.unique key with
+    | Some n -> n
+    | None ->
+      if Hashtbl.length m.unique >= m.node_limit then raise Limit_exceeded;
+      let n = Node { var; lo; hi; id = m.next_id } in
+      m.next_id <- m.next_id + 1;
+      m.nodes_made <- m.nodes_made + 1;
+      Hashtbl.add m.unique key n;
+      n
+  end
+
+let var m v =
+  ensure_var m v;
+  mk m ~var:v ~lo:Zero ~hi:One
+
+let nvar m v =
+  ensure_var m v;
+  mk m ~var:v ~lo:One ~hi:Zero
+
+(* Cofactors of [f] with respect to the variable at level [lv]; identity
+   when [f] does not test that level at its root. *)
+let cofactors m f lv =
+  match f with
+  | Zero | One -> (f, f)
+  | Node n -> if level m n.var = lv then (n.lo, n.hi) else (f, f)
+
+let live_nodes m = Hashtbl.length m.unique
+let made_nodes m = m.nodes_made
+
+(* Install a new global order.  Only callers that subsequently rebuild all
+   their roots (see {!Reorder}) may use this; existing nodes built under the
+   old order keep their structure and become stale. *)
+let set_level_of_var m levels =
+  if Array.length levels <> m.nvars then
+    invalid_arg "Bdd: set_level_of_var: wrong length";
+  Array.blit levels 0 m.level_of_var 0 m.nvars
+
+let set_node_limit m limit = m.node_limit <- limit
+
+let memo_entries m =
+  Hashtbl.length m.and_memo + Hashtbl.length m.or_memo + Hashtbl.length m.xor_memo
+  + Hashtbl.length m.not_memo + Hashtbl.length m.ite_memo

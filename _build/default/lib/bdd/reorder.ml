@@ -1,0 +1,93 @@
+(* Variable (re)ordering.
+
+   Nodes are immutable, so reordering is performed by rebuilding root
+   functions inside a fresh manager that carries the new order.  This is
+   the honest substitute for in-place dynamic sifting documented in
+   DESIGN.md: a static order good for circuits (interleaving related
+   variable groups) plus an optional greedy improvement pass. *)
+
+open Node
+
+(* Rebuild [roots] inside [dst]; [dst] may use any variable order. *)
+let copy_to ~dst roots =
+  let memo = Hashtbl.create 1024 in
+  let rec go f =
+    match f with
+    | Zero -> Zero
+    | One -> One
+    | Node n -> (
+      match Hashtbl.find_opt memo n.id with
+      | Some r -> r
+      | None ->
+        let lo = go n.lo and hi = go n.hi in
+        let r = Ops.ite dst (Node.var dst n.var) hi lo in
+        Hashtbl.add memo n.id r;
+        r)
+  in
+  List.map go roots
+
+(* Fresh manager whose order places variable [order.(i)] at level [i]. *)
+let manager_with_order order =
+  let dst = create () in
+  let n = Array.length order in
+  ensure_var dst (n - 1);
+  let levels = Array.make n 0 in
+  Array.iteri (fun lv v -> levels.(v) <- lv) order;
+  set_level_of_var dst levels;
+  dst
+
+let with_order ~order roots =
+  let dst = manager_with_order order in
+  (dst, copy_to ~dst roots)
+
+(* Interleave k groups of variables: [ [a0;a1]; [b0;b1] ] gives the order
+   a0 b0 a1 b1.  Used to interleave specification and implementation state
+   variables, the classical good order for product machines. *)
+let interleave groups =
+  let rec round acc groups =
+    let heads, tails =
+      List.fold_right
+        (fun g (hs, ts) ->
+          match g with [] -> (hs, ts) | h :: t -> (h :: hs, t :: ts))
+        groups ([], [])
+    in
+    match heads with
+    | [] -> List.rev acc
+    | _ -> round (List.rev_append heads acc) tails
+  in
+  round [] groups
+
+(* Greedy sifting-by-rebuild: repeatedly try swapping adjacent levels and
+   keep a swap when it shrinks the shared size of the roots.  [max_passes]
+   bounds the cost; each accepted or rejected swap is a full rebuild. *)
+let sift ?(max_passes = 1) m roots =
+  let n = nvars m in
+  if n <= 1 then (m, roots)
+  else begin
+    let current_order =
+      let order = Array.make n 0 in
+      for v = 0 to n - 1 do
+        order.(level m v) <- v
+      done;
+      order
+    in
+    let best_m = ref m and best_roots = ref roots in
+    let best_size = ref (Analyze.size_list roots) in
+    for _pass = 1 to max_passes do
+      for lv = 0 to n - 2 do
+        let order = Array.copy current_order in
+        let tmp = order.(lv) in
+        order.(lv) <- order.(lv + 1);
+        order.(lv + 1) <- tmp;
+        let m', roots' = with_order ~order !best_roots in
+        let size' = Analyze.size_list roots' in
+        if size' < !best_size then begin
+          best_m := m';
+          best_roots := roots';
+          best_size := size';
+          Array.blit order 0 current_order 0 n
+        end
+      done
+    done;
+    (!best_m, !best_roots)
+  end

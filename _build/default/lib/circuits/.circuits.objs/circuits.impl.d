@@ -1,0 +1,1 @@
+lib/circuits/circuits.ml: Arbiter Composite Counter Fig2 Fsm Lfsr Pipeline Suite

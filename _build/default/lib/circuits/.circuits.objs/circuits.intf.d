@@ -1,0 +1,1 @@
+lib/circuits/circuits.mli: Aig Netlist

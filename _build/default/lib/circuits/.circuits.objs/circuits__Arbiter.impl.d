@@ -1,0 +1,1 @@
+lib/circuits/arbiter.ml: Array List Netlist Printf

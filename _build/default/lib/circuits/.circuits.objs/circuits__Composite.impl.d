@@ -1,0 +1,1 @@
+lib/circuits/composite.ml: Array List Netlist Printf

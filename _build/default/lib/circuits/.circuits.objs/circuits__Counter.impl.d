@@ -1,0 +1,1 @@
+lib/circuits/counter.ml: Array List Netlist Printf

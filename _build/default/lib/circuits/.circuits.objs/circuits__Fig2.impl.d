@@ -1,0 +1,1 @@
+lib/circuits/fig2.ml: Aig Netlist

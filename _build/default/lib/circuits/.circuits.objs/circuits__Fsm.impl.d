@@ -1,0 +1,1 @@
+lib/circuits/fsm.ml: Array List Netlist Printf

@@ -1,0 +1,1 @@
+lib/circuits/lfsr.ml: Array List Netlist Printf

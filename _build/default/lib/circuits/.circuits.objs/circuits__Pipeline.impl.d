@@ -1,0 +1,1 @@
+lib/circuits/pipeline.ml: List Netlist Printf

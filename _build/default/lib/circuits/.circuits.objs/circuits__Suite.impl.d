@@ -1,0 +1,1 @@
+lib/circuits/suite.ml: Aig Arbiter Composite Counter Fsm Lfsr List Netlist Pipeline Transform

@@ -1,0 +1,39 @@
+(* A round-robin bus arbiter over n requesters: a one-hot priority token
+   ring plus per-channel grant logic — a control circuit with substantial
+   register feedback, in the spirit of the mid-size ISCAS'89 entries. *)
+
+let round_robin ?(name = "arb") n =
+  let c = Netlist.create (Printf.sprintf "%s%d" name n) in
+  let reqs = List.init n (fun i -> Netlist.add_input ~name:(Printf.sprintf "req%d" i) c) in
+  let req = Array.of_list reqs in
+  (* token: one-hot pointer to the highest-priority requester *)
+  let token =
+    Array.init n (fun i -> Netlist.add_latch ~name:(Printf.sprintf "tok%d" i) c ~init:(i = 0))
+  in
+  (* grant_i = req_i and no higher-priority request, priority rotating
+     from the token position *)
+  let grants =
+    Array.init n (fun i ->
+        (* requester i wins if for some distance d, token is at (i-d) and
+           requesters (i-d)..(i-1) are all idle *)
+        let terms =
+          List.init n (fun d ->
+              let start = ((i - d) mod n + n) mod n in
+              let idle =
+                List.init d (fun j ->
+                    Netlist.bnot c req.(((start + j) mod n + n) mod n))
+              in
+              Netlist.add_gate c Netlist.And (token.(start) :: req.(i) :: idle))
+        in
+        Netlist.add_gate c Netlist.Or terms)
+  in
+  (* token advances past the granted requester; stays put if no grant *)
+  let any_grant = Netlist.add_gate c Netlist.Or (Array.to_list grants) in
+  let no_grant = Netlist.bnot c any_grant in
+  for i = 0 to n - 1 do
+    let after_grant = grants.(((i - 1) mod n + n) mod n) in
+    let hold = Netlist.band c no_grant token.(i) in
+    Netlist.set_latch_data c token.(i) ~data:(Netlist.bor c after_grant hold);
+    Netlist.add_output c (Printf.sprintf "gnt%d" i) grants.(i)
+  done;
+  c

@@ -1,0 +1,10 @@
+(* Public API of the benchmark circuit library. *)
+
+module Counter = Counter
+module Lfsr = Lfsr
+module Fsm = Fsm
+module Pipeline = Pipeline
+module Arbiter = Arbiter
+module Composite = Composite
+module Fig2 = Fig2
+module Suite = Suite

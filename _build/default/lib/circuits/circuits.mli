@@ -1,0 +1,88 @@
+(** Parameterized benchmark circuits: the synthetic suite standing in for
+    the ISCAS'89 benchmarks of the paper's Table 1 (see DESIGN.md for the
+    substitution rationale).  All builders return well-formed netlists
+    ([Netlist.validate] holds). *)
+
+(** Counters: deep state spaces and re-encodable phase generators. *)
+module Counter : sig
+  val binary : ?name:string -> int -> Netlist.t
+  (** n-bit binary up-counter with enable and synchronous reset; outputs
+      the count bits and a carry — the s838-style deep circuit. *)
+
+  val gray : ?name:string -> int -> Netlist.t
+  (** Binary core with Gray-coded outputs. *)
+
+  val modulo : ?name:string -> int -> Netlist.t
+  (** Modulo-k counter on ceil(log2 k) bits with one-hot phase outputs;
+      states k..2^n-1 are unreachable (don't-care workload). *)
+
+  val ring : ?name:string -> int -> Netlist.t
+  (** One-hot ring counter with the same phase outputs as [modulo]. *)
+end
+
+(** Shift-register-shaped datapaths. *)
+module Lfsr : sig
+  val fibonacci : ?name:string -> taps:int list -> int -> Netlist.t
+  val crc : ?name:string -> poly:int -> int -> Netlist.t
+  val shift : ?name:string -> probe:int list -> int -> Netlist.t
+end
+
+(** Control-dominated FSMs. *)
+module Fsm : sig
+  val traffic : ?name:string -> unit -> Netlist.t
+  (** A four-state traffic-light controller. *)
+
+  val detector : ?name:string -> onehot:bool -> bool list -> Netlist.t
+  (** Serial pattern detector; [onehot] selects the state encoding, so the
+      same behaviour exists in two structurally different versions. *)
+end
+
+(** Pipelined datapaths. *)
+module Pipeline : sig
+  val alu : ?name:string -> int -> Netlist.t
+  (** Two-stage pipelined ALU (and/or/xor/add) over [width]-bit operands. *)
+end
+
+(** Round-robin arbitration. *)
+module Arbiter : sig
+  val round_robin : ?name:string -> int -> Netlist.t
+end
+
+(** Composite system-level blocks (the larger suite rows). *)
+module Composite : sig
+  val bus_controller :
+    ?name:string -> timer_bits:int -> channels:int -> history:int -> unit -> Netlist.t
+  (** Timer + round-robin token + grant logic + history parity alarm. *)
+
+  val transmitter :
+    ?name:string -> payload_bits:int -> crc_bits:int -> poly:int -> unit -> Netlist.t
+  (** Busy FSM + payload shift register + streaming CRC. *)
+end
+
+(** The paper's Fig. 2 running example (reconstruction). *)
+module Fig2 : sig
+  val specification : unit -> Netlist.t
+  val implementation : unit -> Netlist.t
+
+  val pair : unit -> Aig.t * Aig.t
+  (** Both sides, already converted to AIGs. *)
+end
+
+(** The Table 1 suite and the synthesis recipes that produce the
+    implementations under verification. *)
+module Suite : sig
+  type entry = { name : string; description : string; build : unit -> Netlist.t }
+
+  val suite : entry list
+  val find : string -> entry option
+
+  type recipe = Retime_only | Retime_opt
+
+  val recipe_name : recipe -> string
+
+  val implementation : recipe:recipe -> seed:int -> Aig.t -> Aig.t
+  (** Apply the recipe to a specification: [Retime_only] moves registers,
+      [Retime_opt] additionally rewrites, fraigs and sweeps. *)
+
+  val aig_of : entry -> Aig.t
+end

@@ -1,0 +1,113 @@
+(* Composite system-level circuits: several interacting blocks (timer,
+   arbiter, channel detectors, status pipeline) wired together, giving the
+   larger register counts and mixed control/datapath structure of the
+   upper ISCAS'89 rows. *)
+
+(* A small bus controller:
+   - an n-bit timer counts while 'run' is high and raises 'tick' on wrap;
+   - a k-channel round-robin token rotates on every tick;
+   - each channel ANDs its request with the token to form a grant;
+   - a grant history shift register drives a parity alarm output. *)
+let bus_controller ?(name = "bus") ~timer_bits ~channels ~history () =
+  let c = Netlist.create (Printf.sprintf "%s_t%d_c%d" name timer_bits channels) in
+  let run = Netlist.add_input ~name:"run" c in
+  let reqs =
+    List.init channels (fun i -> Netlist.add_input ~name:(Printf.sprintf "req%d" i) c)
+  in
+  (* timer *)
+  let timer =
+    List.init timer_bits (fun i -> Netlist.add_latch ~name:(Printf.sprintf "t%d" i) c ~init:false)
+  in
+  let carry = ref run in
+  List.iter
+    (fun q ->
+      let sum = Netlist.bxor c q !carry in
+      Netlist.set_latch_data c q ~data:sum;
+      carry := Netlist.band c q !carry)
+    timer;
+  let tick = !carry in
+  Netlist.add_output c "tick" tick;
+  (* token ring advanced by tick *)
+  let token =
+    Array.init channels (fun i ->
+        Netlist.add_latch ~name:(Printf.sprintf "tok%d" i) c ~init:(i = 0))
+  in
+  let ntick = Netlist.bnot c tick in
+  for i = 0 to channels - 1 do
+    let prev = token.(((i - 1) mod channels + channels) mod channels) in
+    let d = Netlist.bor c (Netlist.band c tick prev) (Netlist.band c ntick token.(i)) in
+    Netlist.set_latch_data c token.(i) ~data:d
+  done;
+  (* grants *)
+  let grants =
+    List.mapi
+      (fun i req ->
+        let g = Netlist.band c req token.(i) in
+        Netlist.add_output c (Printf.sprintf "gnt%d" i) g;
+        g)
+      reqs
+  in
+  let any = Netlist.add_gate c Netlist.Or grants in
+  (* grant history shift register with parity alarm *)
+  let hist =
+    List.init history (fun i -> Netlist.add_latch ~name:(Printf.sprintf "h%d" i) c ~init:false)
+  in
+  let arr = Array.of_list hist in
+  for i = 0 to history - 1 do
+    Netlist.set_latch_data c arr.(i) ~data:(if i = 0 then any else arr.(i - 1))
+  done;
+  let parity = Netlist.add_gate c Netlist.Xor hist in
+  Netlist.add_output c "alarm" (Netlist.band c parity any);
+  c
+
+(* A transmit pipeline: a payload shift-in register, a CRC over the
+   stream, and a busy FSM — datapath plus control in one block. *)
+let transmitter ?(name = "tx") ~payload_bits ~crc_bits ~poly () =
+  let c = Netlist.create (Printf.sprintf "%s_p%d" name payload_bits) in
+  let din = Netlist.add_input ~name:"din" c in
+  let start = Netlist.add_input ~name:"start" c in
+  (* busy FSM: idle (0) / sending (1), toggled by start and a length timer *)
+  let busy = Netlist.add_latch ~name:"busy" c ~init:false in
+  let timer =
+    List.init 3 (fun i -> Netlist.add_latch ~name:(Printf.sprintf "len%d" i) c ~init:false)
+  in
+  let carry = ref busy in
+  List.iter
+    (fun q ->
+      Netlist.set_latch_data c q ~data:(Netlist.bxor c q !carry);
+      carry := Netlist.band c q !carry)
+    timer;
+  let done_ = !carry in
+  let busy_next =
+    Netlist.bor c
+      (Netlist.band c (Netlist.bnot c busy) start)
+      (Netlist.band c busy (Netlist.bnot c done_))
+  in
+  Netlist.set_latch_data c busy ~data:busy_next;
+  Netlist.add_output c "busy" busy;
+  (* payload shift register, shifting only while busy *)
+  let stages =
+    List.init payload_bits (fun i ->
+        Netlist.add_latch ~name:(Printf.sprintf "p%d" i) c ~init:false)
+  in
+  let arr = Array.of_list stages in
+  let nbusy = Netlist.bnot c busy in
+  for i = 0 to payload_bits - 1 do
+    let shifted = if i = 0 then din else arr.(i - 1) in
+    let d = Netlist.bor c (Netlist.band c busy shifted) (Netlist.band c nbusy arr.(i)) in
+    Netlist.set_latch_data c arr.(i) ~data:d
+  done;
+  Netlist.add_output c "dout" arr.(payload_bits - 1);
+  (* CRC over the outgoing bit *)
+  let crc =
+    List.init crc_bits (fun i -> Netlist.add_latch ~name:(Printf.sprintf "c%d" i) c ~init:false)
+  in
+  let crc_arr = Array.of_list crc in
+  let fb = Netlist.bxor c crc_arr.(crc_bits - 1) arr.(payload_bits - 1) in
+  for i = 0 to crc_bits - 1 do
+    let shifted = if i = 0 then fb else crc_arr.(i - 1) in
+    let d = if i > 0 && (poly lsr i) land 1 = 1 then Netlist.bxor c shifted fb else shifted in
+    Netlist.set_latch_data c crc_arr.(i) ~data:d
+  done;
+  Netlist.add_output c "crc_out" crc_arr.(crc_bits - 1);
+  c

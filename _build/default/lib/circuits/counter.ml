@@ -1,0 +1,100 @@
+(* Counters: the deep-state-space workloads (the paper's s838-style
+   circuits, whose 2^n-deep product state space defeats traversal while
+   signal correspondence is immediate). *)
+
+(* n-bit binary up-counter with enable and synchronous reset.
+   Outputs: all counter bits plus a carry-out. *)
+let binary ?(name = "counter") n =
+  let c = Netlist.create (Printf.sprintf "%s%d" name n) in
+  let en = Netlist.add_input ~name:"en" c in
+  let rst = Netlist.add_input ~name:"rst" c in
+  let bits = List.init n (fun i -> Netlist.add_latch ~name:(Printf.sprintf "q%d" i) c ~init:false) in
+  let nrst = Netlist.bnot c rst in
+  let carry = ref en in
+  List.iteri
+    (fun i q ->
+      let sum = Netlist.bxor c q !carry in
+      let d = Netlist.band c nrst sum in
+      Netlist.set_latch_data c q ~data:d;
+      Netlist.add_output c (Printf.sprintf "count%d" i) q;
+      carry := Netlist.band c q !carry)
+    bits;
+  Netlist.add_output c "carry" !carry;
+  c
+
+(* Gray-code counter: q' = binary_to_gray(binary+1) tracked via an
+   internal binary counter... implemented directly: a binary counter with
+   gray-coded outputs, so the outputs walk a Gray sequence. *)
+let gray ?(name = "gray") n =
+  let c = Netlist.create (Printf.sprintf "%s%d" name n) in
+  let en = Netlist.add_input ~name:"en" c in
+  let rst = Netlist.add_input ~name:"rst" c in
+  let bits = List.init n (fun i -> Netlist.add_latch ~name:(Printf.sprintf "b%d" i) c ~init:false) in
+  let nrst = Netlist.bnot c rst in
+  let carry = ref en in
+  List.iteri
+    (fun _ q ->
+      let sum = Netlist.bxor c q !carry in
+      let d = Netlist.band c nrst sum in
+      Netlist.set_latch_data c q ~data:d;
+      carry := Netlist.band c q !carry)
+    bits;
+  let arr = Array.of_list bits in
+  for i = 0 to n - 1 do
+    let g = if i = n - 1 then arr.(i) else Netlist.bxor c arr.(i) arr.(i + 1) in
+    Netlist.add_output c (Printf.sprintf "g%d" i) g
+  done;
+  c
+
+(* Modulo-k counter over ceil(log2 k) bits with one-hot phase outputs:
+   states k..2^n-1 are unreachable, which makes this the canonical
+   workload for the reachable-don't-care extension. *)
+let modulo ?(name = "mod") k =
+  let n =
+    let rec bits v acc = if v <= 1 then acc else bits ((v + 1) / 2) (acc + 1) in
+    max 1 (bits k 0)
+  in
+  let c = Netlist.create (Printf.sprintf "%s%d" name k) in
+  let en = Netlist.add_input ~name:"en" c in
+  let bits_l = List.init n (fun i -> Netlist.add_latch ~name:(Printf.sprintf "b%d" i) c ~init:false) in
+  let arr = Array.of_list bits_l in
+  (* wrap = (count = k-1) *)
+  let eq_const value =
+    let lits =
+      List.init n (fun i ->
+          if (value lsr i) land 1 = 1 then arr.(i) else Netlist.bnot c arr.(i))
+    in
+    Netlist.add_gate c Netlist.And lits
+  in
+  let wrap = Netlist.band c en (eq_const (k - 1)) in
+  let nwrap = Netlist.bnot c wrap in
+  let carry = ref en in
+  List.iteri
+    (fun _ q ->
+      let sum = Netlist.bxor c q !carry in
+      let d = Netlist.band c nwrap sum in
+      Netlist.set_latch_data c q ~data:d;
+      carry := Netlist.band c q !carry)
+    bits_l;
+  for v = 0 to k - 1 do
+    Netlist.add_output c (Printf.sprintf "phase%d" v) (eq_const v)
+  done;
+  c
+
+(* One-hot ring counter with k phases and an enable: the re-encoded twin
+   of [modulo k]. *)
+let ring ?(name = "ring") k =
+  let c = Netlist.create (Printf.sprintf "%s%d" name k) in
+  let en = Netlist.add_input ~name:"en" c in
+  let regs =
+    List.init k (fun i -> Netlist.add_latch ~name:(Printf.sprintf "r%d" i) c ~init:(i = 0))
+  in
+  let arr = Array.of_list regs in
+  let nen = Netlist.bnot c en in
+  for i = 0 to k - 1 do
+    let prev = arr.((i + k - 1) mod k) in
+    let d = Netlist.bor c (Netlist.band c en prev) (Netlist.band c nen arr.(i)) in
+    Netlist.set_latch_data c arr.(i) ~data:d;
+    Netlist.add_output c (Printf.sprintf "phase%d" i) arr.(i)
+  done;
+  c

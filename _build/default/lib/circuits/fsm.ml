@@ -1,0 +1,139 @@
+(* Control-dominated finite state machines in several encodings — the
+   shallow ISCAS'89-style circuits of the suite. *)
+
+(* A traffic-light controller: two roads, a sensor input, timer built from
+   a small counter.  States: GREEN_NS (0), YELLOW_NS (1), GREEN_EW (2),
+   YELLOW_EW (3); binary-encoded. *)
+let traffic ?(name = "traffic") () =
+  let c = Netlist.create name in
+  let car_ew = Netlist.add_input ~name:"car_ew" c in
+  let timer_done = Netlist.add_input ~name:"timer_done" c in
+  let s0 = Netlist.add_latch ~name:"s0" c ~init:false in
+  let s1 = Netlist.add_latch ~name:"s1" c ~init:false in
+  let ns0 = Netlist.bnot c s0 in
+  let ns1 = Netlist.bnot c s1 in
+  let green_ns = Netlist.band c ns1 ns0 in
+  let yellow_ns = Netlist.band c ns1 s0 in
+  let green_ew = Netlist.band c s1 ns0 in
+  let yellow_ew = Netlist.band c s1 s0 in
+  (* transitions: GREEN_NS -> YELLOW_NS when car_ew; YELLOW_NS -> GREEN_EW
+     when timer_done; GREEN_EW -> YELLOW_EW when timer_done; YELLOW_EW ->
+     GREEN_NS when timer_done *)
+  let adv_g_ns = Netlist.band c green_ns car_ew in
+  let adv = Netlist.band c (Netlist.bnot c green_ns) timer_done in
+  let advance = Netlist.bor c adv_g_ns adv in
+  (* next state = state + 1 (mod 4) when advance, else state *)
+  let n0 = Netlist.bmux c ~sel:advance ~t1:(Netlist.bnot c s0) ~t0:s0 in
+  let n1 = Netlist.bmux c ~sel:advance ~t1:(Netlist.bxor c s1 s0) ~t0:s1 in
+  Netlist.set_latch_data c s0 ~data:n0;
+  Netlist.set_latch_data c s1 ~data:n1;
+  Netlist.add_output c "light_ns_green" green_ns;
+  Netlist.add_output c "light_ns_yellow" yellow_ns;
+  Netlist.add_output c "light_ew_green" green_ew;
+  Netlist.add_output c "light_ew_yellow" yellow_ew;
+  c
+
+(* Sequence detector for a given bit pattern over a serial input, Mealy
+   output; [onehot] selects the encoding so the same behaviour exists in
+   two structurally different versions. *)
+let detector ?(name = "detect") ~onehot pattern =
+  let k = List.length pattern in
+  if k = 0 then invalid_arg "Fsm.detector: empty pattern";
+  let c =
+    Netlist.create (Printf.sprintf "%s_%s" name (if onehot then "onehot" else "bin"))
+  in
+  let din = Netlist.add_input ~name:"din" c in
+  let ndin = Netlist.bnot c din in
+  (* states 0..k: how many pattern bits matched so far; state k emits *)
+  let n_states = k + 1 in
+  if onehot then begin
+    let regs =
+      List.init n_states (fun i ->
+          Netlist.add_latch ~name:(Printf.sprintf "h%d" i) c ~init:(i = 0))
+    in
+    let arr = Array.of_list regs in
+    (* transition: from state i, on matching bit go to i+1 else restart
+       (to 1 if din matches pattern head, else 0) *)
+    let head_match = if List.nth pattern 0 then din else ndin in
+    let to_state = Array.make n_states [] in
+    for i = 0 to k - 1 do
+      let want = List.nth pattern i in
+      let bit = if want then din else ndin in
+      let go = Netlist.band c arr.(i) bit in
+      to_state.(i + 1) <- go :: to_state.(i + 1);
+      (* mismatch: fall back to 1 when the new bit restarts the pattern,
+         else to 0 *)
+      let miss = Netlist.band c arr.(i) (Netlist.bnot c bit) in
+      if i <> 0 then begin
+        to_state.(1) <- Netlist.band c miss head_match :: to_state.(1);
+        to_state.(0) <- Netlist.band c miss (Netlist.bnot c head_match) :: to_state.(0)
+      end
+      else to_state.(0) <- miss :: to_state.(0)
+    done;
+    (* accepting state behaves like state 0 for the next symbol *)
+    to_state.(1) <- Netlist.band c arr.(k) head_match :: to_state.(1);
+    to_state.(0) <- Netlist.band c arr.(k) (Netlist.bnot c head_match) :: to_state.(0);
+    Array.iteri
+      (fun i q ->
+        let d =
+          match to_state.(i) with
+          | [] -> Netlist.const0 c
+          | [ x ] -> x
+          | xs -> Netlist.add_gate c Netlist.Or xs
+        in
+        Netlist.set_latch_data c q ~data:d)
+      arr;
+    Netlist.add_output c "found" arr.(k);
+    c
+  end
+  else begin
+    (* binary encoding over ceil(log2 (k+1)) bits, built from the one-hot
+       transition structure by encoding each state's next-state value *)
+    let nbits =
+      let rec go v acc = if v <= 1 then acc else go ((v + 1) / 2) (acc + 1) in
+      max 1 (go n_states 0)
+    in
+    let regs =
+      List.init nbits (fun i -> Netlist.add_latch ~name:(Printf.sprintf "e%d" i) c ~init:false)
+    in
+    let arr = Array.of_list regs in
+    let in_state v =
+      let lits =
+        List.init nbits (fun i ->
+            if (v lsr i) land 1 = 1 then arr.(i) else Netlist.bnot c arr.(i))
+      in
+      Netlist.add_gate c Netlist.And lits
+    in
+    let head_match = if List.nth pattern 0 then din else ndin in
+    (* next-state value for each current state *)
+    let next_of = Array.make n_states (Netlist.const0 c, Netlist.const0 c) in
+    (* (go target encoded via muxes) build per-bit sum-of-products *)
+    let bit_terms = Array.make nbits [] in
+    let add_transition ~from ~target ~cond =
+      for b = 0 to nbits - 1 do
+        if (target lsr b) land 1 = 1 then
+          bit_terms.(b) <- Netlist.band c (in_state from) cond :: bit_terms.(b)
+      done
+    in
+    ignore next_of;
+    for i = 0 to k - 1 do
+      let want = List.nth pattern i in
+      let bit = if want then din else ndin in
+      add_transition ~from:i ~target:(i + 1) ~cond:bit;
+      let miss = Netlist.bnot c bit in
+      if i <> 0 then
+        add_transition ~from:i ~target:1 ~cond:(Netlist.band c miss head_match)
+    done;
+    add_transition ~from:k ~target:1 ~cond:head_match;
+    for b = 0 to nbits - 1 do
+      let d =
+        match bit_terms.(b) with
+        | [] -> Netlist.const0 c
+        | [ x ] -> x
+        | xs -> Netlist.add_gate c Netlist.Or xs
+      in
+      Netlist.set_latch_data c arr.(b) ~data:d
+    done;
+    Netlist.add_output c "found" (in_state k);
+    c
+  end

@@ -1,0 +1,67 @@
+(* Linear feedback shift registers and CRC circuits: register-rich
+   datapaths with long re-convergent feedback, good retiming targets. *)
+
+(* Fibonacci LFSR with the given tap positions (bit indices xored into the
+   feedback).  The register starts at 1 (all-zero is the stuck state). *)
+let fibonacci ?(name = "lfsr") ~taps n =
+  let c = Netlist.create (Printf.sprintf "%s%d" name n) in
+  let en = Netlist.add_input ~name:"en" c in
+  let regs =
+    List.init n (fun i -> Netlist.add_latch ~name:(Printf.sprintf "s%d" i) c ~init:(i = 0))
+  in
+  let arr = Array.of_list regs in
+  let feedback =
+    match List.map (fun t -> arr.(t)) taps with
+    | [] -> invalid_arg "Lfsr.fibonacci: no taps"
+    | [ t ] -> t
+    | t :: rest -> List.fold_left (fun acc x -> Netlist.bxor c acc x) t rest
+  in
+  let nen = Netlist.bnot c en in
+  for i = 0 to n - 1 do
+    let shifted = if i = 0 then feedback else arr.(i - 1) in
+    let d = Netlist.bor c (Netlist.band c en shifted) (Netlist.band c nen arr.(i)) in
+    Netlist.set_latch_data c arr.(i) ~data:d
+  done;
+  Netlist.add_output c "out" arr.(n - 1);
+  Netlist.add_output c "fb" feedback;
+  c
+
+(* Serial CRC: shift register with polynomial feedback xored with a data
+   input — the classic serial CRC update. *)
+let crc ?(name = "crc") ~poly n =
+  let c = Netlist.create (Printf.sprintf "%s%d" name n) in
+  let din = Netlist.add_input ~name:"din" c in
+  let regs =
+    List.init n (fun i -> Netlist.add_latch ~name:(Printf.sprintf "c%d" i) c ~init:false)
+  in
+  let arr = Array.of_list regs in
+  let fb = Netlist.bxor c arr.(n - 1) din in
+  for i = 0 to n - 1 do
+    let shifted = if i = 0 then fb else arr.(i - 1) in
+    let d = if i > 0 && (poly lsr i) land 1 = 1 then Netlist.bxor c shifted fb else shifted in
+    Netlist.set_latch_data c arr.(i) ~data:d
+  done;
+  Netlist.add_output c "crc_msb" arr.(n - 1);
+  Netlist.add_output c "crc_lsb" arr.(0);
+  c
+
+(* Shift register with a parity output over selected stages. *)
+let shift ?(name = "shift") ~probe n =
+  let c = Netlist.create (Printf.sprintf "%s%d" name n) in
+  let din = Netlist.add_input ~name:"din" c in
+  let regs =
+    List.init n (fun i -> Netlist.add_latch ~name:(Printf.sprintf "z%d" i) c ~init:false)
+  in
+  let arr = Array.of_list regs in
+  for i = 0 to n - 1 do
+    Netlist.set_latch_data c arr.(i) ~data:(if i = 0 then din else arr.(i - 1))
+  done;
+  let parity =
+    match List.map (fun i -> arr.(i)) probe with
+    | [] -> Netlist.const0 c
+    | [ p ] -> p
+    | p :: rest -> List.fold_left (fun acc x -> Netlist.bxor c acc x) p rest
+  in
+  Netlist.add_output c "tap" arr.(n - 1);
+  Netlist.add_output c "parity" parity;
+  c

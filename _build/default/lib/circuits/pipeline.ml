@@ -1,0 +1,54 @@
+(* A small pipelined datapath: registered inputs, an ALU stage and a
+   registered output — the kind of structure where retiming moves
+   registers across the ALU. *)
+
+(* [width]-bit two-operand ALU pipeline.
+   op=00: and, 01: or, 10: xor, 11: add (ripple carry).
+   Stage 1 registers operands and op; stage 2 registers the result. *)
+let alu ?(name = "alu") width =
+  let c = Netlist.create (Printf.sprintf "%s%d" name width) in
+  let a = List.init width (fun i -> Netlist.add_input ~name:(Printf.sprintf "a%d" i) c) in
+  let b = List.init width (fun i -> Netlist.add_input ~name:(Printf.sprintf "b%d" i) c) in
+  let op0 = Netlist.add_input ~name:"op0" c in
+  let op1 = Netlist.add_input ~name:"op1" c in
+  let reg ?name net =
+    let q = Netlist.add_latch ?name c ~init:false in
+    Netlist.set_latch_data c q ~data:net;
+    q
+  in
+  let ra = List.map (fun n -> reg n) a in
+  let rb = List.map (fun n -> reg n) b in
+  let rop0 = reg ~name:"rop0" op0 in
+  let rop1 = reg ~name:"rop1" op1 in
+  (* ALU over registered operands *)
+  let and_r = List.map2 (fun x y -> Netlist.band c x y) ra rb in
+  let or_r = List.map2 (fun x y -> Netlist.bor c x y) ra rb in
+  let xor_r = List.map2 (fun x y -> Netlist.bxor c x y) ra rb in
+  let add_r =
+    let carry = ref (Netlist.const0 c) in
+    List.map2
+      (fun x y ->
+        let s = Netlist.bxor c (Netlist.bxor c x y) !carry in
+        let cout =
+          Netlist.bor c (Netlist.band c x y) (Netlist.band c !carry (Netlist.bxor c x y))
+        in
+        carry := cout;
+        s)
+      ra rb
+  in
+  let result =
+    List.map2
+      (fun (a_, o_) (x_, d_) ->
+        (* mux4: op1 ? (op0 ? add : xor) : (op0 ? or : and) *)
+        let hi = Netlist.bmux c ~sel:rop0 ~t1:d_ ~t0:x_ in
+        let lo = Netlist.bmux c ~sel:rop0 ~t1:o_ ~t0:a_ in
+        Netlist.bmux c ~sel:rop1 ~t1:hi ~t0:lo)
+      (List.combine and_r or_r)
+      (List.combine xor_r add_r)
+  in
+  List.iteri
+    (fun i r ->
+      let q = reg ~name:(Printf.sprintf "rout%d" i) r in
+      Netlist.add_output c (Printf.sprintf "res%d" i) q)
+    result;
+  c

@@ -1,0 +1,72 @@
+(* The benchmark suite standing in for the retimed/optimized ISCAS'89
+   circuits of Table 1 (see DESIGN.md for the substitution rationale):
+   shallow controllers, deep counters, register-rich datapaths and
+   composite designs, each paired with implementations produced by the
+   library's own synthesis pipeline. *)
+
+type entry = { name : string; description : string; build : unit -> Netlist.t }
+
+let suite =
+  [ { name = "ctr8"; description = "8-bit binary counter";
+      build = (fun () -> Counter.binary 8) };
+    { name = "ctr16"; description = "16-bit binary counter";
+      build = (fun () -> Counter.binary 16) };
+    { name = "ctr32"; description = "32-bit binary counter (s838-style depth)";
+      build = (fun () -> Counter.binary 32) };
+    { name = "gray12"; description = "12-bit Gray-output counter";
+      build = (fun () -> Counter.gray 12) };
+    { name = "mod10"; description = "mod-10 phase counter";
+      build = (fun () -> Counter.modulo 10) };
+    { name = "lfsr16"; description = "16-bit LFSR (taps 15,13,12,10)";
+      build = (fun () -> Lfsr.fibonacci ~taps:[ 15; 13; 12; 10 ] 16) };
+    { name = "crc16"; description = "serial CRC-16 (0x8005)";
+      build = (fun () -> Lfsr.crc ~poly:0x8005 16) };
+    { name = "crc32"; description = "serial CRC-32 (0x04C11DB7)";
+      build = (fun () -> Lfsr.crc ~poly:0x04C11DB7 32) };
+    { name = "shift24"; description = "24-stage shift register with parity";
+      build = (fun () -> Lfsr.shift ~probe:[ 3; 11; 23 ] 24) };
+    { name = "traffic"; description = "traffic-light controller";
+      build = (fun () -> Fsm.traffic ()) };
+    { name = "det-bin"; description = "sequence detector (binary encoding)";
+      build = (fun () -> Fsm.detector ~onehot:false [ true; false; true; true ]) };
+    { name = "alu4"; description = "4-bit two-stage ALU pipeline";
+      build = (fun () -> Pipeline.alu 4) };
+    { name = "alu8"; description = "8-bit two-stage ALU pipeline";
+      build = (fun () -> Pipeline.alu 8) };
+    { name = "arb4"; description = "4-channel round-robin arbiter";
+      build = (fun () -> Arbiter.round_robin 4) };
+    { name = "arb6"; description = "6-channel round-robin arbiter";
+      build = (fun () -> Arbiter.round_robin 6) };
+    { name = "bus"; description = "bus controller (timer+token+history)";
+      build = (fun () -> Composite.bus_controller ~timer_bits:6 ~channels:4 ~history:8 ()) };
+    { name = "tx"; description = "transmitter (FSM+shift+CRC)";
+      build = (fun () -> Composite.transmitter ~payload_bits:16 ~crc_bits:8 ~poly:0x07 ()) };
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) suite
+
+(* Synthesis recipes applied to a specification to obtain the
+   implementation under verification:
+   - [Retime_only]: backward + forward register moves (the paper's "[14]
+     circuits" analogue; expected high signal-correspondence percentage);
+   - [Retime_opt]: retiming plus cut rewriting and fraiging (the
+     "+ script.rugged" analogue; fewer surviving correspondences). *)
+type recipe = Retime_only | Retime_opt
+
+let recipe_name = function Retime_only -> "retime" | Retime_opt -> "retime+opt"
+
+let implementation ~recipe ~seed spec_aig =
+  match recipe with
+  | Retime_only -> Transform.Retime.backward ~max_steps:1 spec_aig
+  | Retime_opt ->
+    let a = Transform.Retime.backward ~max_steps:1 spec_aig in
+    let a = Transform.Opt.rewrite ~seed ~p:0.6 a in
+    let a = Transform.Retime.forward ~max_steps:2 a in
+    let a, _ = Transform.Fraig.sweep ~seed a in
+    let a = Transform.Opt.rewrite ~seed:(seed + 1) ~p:0.4 a in
+    Transform.Opt.latch_sweep a
+
+let aig_of entry =
+  let netlist = entry.build () in
+  let aig, _ = Aig.of_netlist netlist in
+  aig

@@ -1,0 +1,1 @@
+lib/core/scorr.ml: Engine_bdd Engine_sat Partition Product Retime_aug Simseed Verify

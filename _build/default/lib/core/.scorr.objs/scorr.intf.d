@@ -1,0 +1,1 @@
+lib/core/scorr.mli: Aig Bdd Format Hashtbl Sat

@@ -1,0 +1,1 @@
+lib/core/engine_bdd.ml: Aig Array Bdd Engines Hashtbl List Partition Product

@@ -1,0 +1,1 @@
+lib/core/engine_sat.ml: Aig Array Hashtbl List Partition Product Sat

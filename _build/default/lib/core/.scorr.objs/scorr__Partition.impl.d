@@ -1,0 +1,1 @@
+lib/core/partition.ml: Aig Array Format Hashtbl List Printf String

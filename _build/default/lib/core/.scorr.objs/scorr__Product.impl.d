@@ -1,0 +1,1 @@
+lib/core/product.ml: Aig Array Int64 List Printf Random

@@ -1,0 +1,1 @@
+lib/core/retime_aug.ml: Aig List Product

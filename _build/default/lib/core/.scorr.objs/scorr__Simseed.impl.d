@@ -1,0 +1,1 @@
+lib/core/simseed.ml: Aig Array Int64 List Partition Product

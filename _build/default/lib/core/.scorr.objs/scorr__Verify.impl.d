@@ -1,0 +1,1 @@
+lib/core/verify.ml: Aig Array Bdd Engine_bdd Engine_sat Format Fun Hashtbl Int64 List Partition Printf Product Reach Retime_aug Sat Simseed String Sys

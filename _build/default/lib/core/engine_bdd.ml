@@ -1,0 +1,264 @@
+(* BDD-based refinement engine, faithful to the paper's implementation:
+   current-state functions f_v(s, x_t) and next-state functions
+   nu_v(s, x_t, x_{t+1}) = f_v(delta(s, x_t), x_{t+1}) are represented as
+   BDDs over input and state variables (no intermediate-signal variables);
+   the correspondence condition Q is a BDD whose complement acts as a
+   don't-care set, optionally strengthened by an upper bound of the
+   reachable state space and compressed through functional-dependency
+   substitution of state variables (Section 4). *)
+
+exception Budget_exceeded of string
+
+type ctx = {
+  p : Product.t;
+  m : Bdd.manager;
+  n_pis : int;
+  n_latches : int;
+  x1 : int array; (* current-frame input variables *)
+  s : int array; (* state variables *)
+  x2 : int array; (* next-frame input variables *)
+  cur : int -> Bdd.t; (* f_v over (x1, s), by literal *)
+  delta : Bdd.t array; (* next-state function of each latch, over (x1, s) *)
+  nxt : int -> Bdd.t; (* nu_v over (s, x1, x2), by literal *)
+  ini : int -> Bdd.t; (* f_v(s0, x1), by literal *)
+  use_fundep : bool;
+  care : Bdd.t; (* over s: upper bound of reachable states (or one) *)
+  node_limit : int;
+  mutable peak_nodes : int;
+}
+
+let note ctx =
+  let live = Bdd.live_nodes ctx.m in
+  if live > ctx.peak_nodes then ctx.peak_nodes <- live;
+  if live > ctx.node_limit then raise (Budget_exceeded "bdd nodes");
+  (* operation caches are unbounded; keep memory proportional to the
+     unique table *)
+  if Bdd.memo_entries ctx.m > (4 * live) + 1_000_000 then Bdd.clear_caches ctx.m
+
+(* [latch_order], when given, lists product latch indices in the order
+   their state variables should be placed (correspondence candidates
+   adjacent); [care_of] may compute a reachable upper bound over the state
+   variables once they exist. *)
+let make ?(use_fundep = true) ?latch_order ?care_of ?(node_limit = max_int) p =
+  let aig = p.Product.aig in
+  let m = Bdd.create () in
+  if node_limit < max_int then Bdd.set_node_limit m (2 * node_limit);
+  let n_pis = Aig.num_pis aig in
+  let n_latches = Aig.num_latches aig in
+  let x1 = Array.init n_pis (fun i -> i) in
+  let s =
+    let positions = Array.make n_latches (-1) in
+    (match latch_order with
+    | Some order -> Array.iteri (fun pos i -> positions.(i) <- pos) order
+    | None ->
+      for i = 0 to n_latches - 1 do
+        positions.(i) <- i
+      done);
+    Array.init n_latches (fun i -> n_pis + positions.(i))
+  in
+  let x2 = Array.init n_pis (fun i -> n_pis + n_latches + i) in
+  let cur =
+    Engines.Aig_bdd.build m aig
+      ~pi_var:(fun i -> Bdd.var m x1.(i))
+      ~latch_var:(fun i -> Bdd.var m s.(i))
+  in
+  let delta = Array.init n_latches (fun i -> cur (Aig.latch_next aig i)) in
+  (* nu functions are built lazily: only signals that share a class ever
+     need their next-state function, and after simulation seeding most
+     classes are small *)
+  let nxt =
+    let memo : (int, Bdd.t) Hashtbl.t = Hashtbl.create 1024 in
+    let rec node_fn id =
+      match Hashtbl.find_opt memo id with
+      | Some f -> f
+      | None ->
+        let f =
+          match Aig.node aig id with
+          | Aig.Const -> Bdd.zero
+          | Aig.Pi i -> Bdd.var m x2.(i)
+          | Aig.Latch i -> delta.(i)
+          | Aig.And (a, b) -> Bdd.mk_and m (lit_fn a) (lit_fn b)
+        in
+        Hashtbl.add memo id f;
+        f
+    and lit_fn l =
+      let f = node_fn (Aig.node_of_lit l) in
+      if Aig.lit_is_compl l then Bdd.mk_not m f else f
+    in
+    lit_fn
+  in
+  let ini =
+    Engines.Aig_bdd.build m aig
+      ~pi_var:(fun i -> Bdd.var m x1.(i))
+      ~latch_var:(fun i -> if Aig.latch_init aig i then Bdd.one else Bdd.zero)
+  in
+  let care = match care_of with Some f -> f m s | None -> Bdd.one in
+  let ctx =
+    { p; m; n_pis; n_latches; x1; s; x2; cur; delta; nxt; ini; use_fundep; care;
+      node_limit; peak_nodes = 0 }
+  in
+  note ctx;
+  ctx
+
+let norm ctx f pol = if pol then Bdd.mk_not ctx.m f else f
+
+(* normalized functions of a node *)
+let norm_cur ctx partition id = norm ctx (ctx.cur (Aig.lit_of_node id)) (Partition.polarity partition id)
+let norm_nxt ctx partition id = norm ctx (ctx.nxt (Aig.lit_of_node id)) (Partition.polarity partition id)
+let norm_ini ctx partition id = norm ctx (ctx.ini (Aig.lit_of_node id)) (Partition.polarity partition id)
+
+(* Exact initial-state partition T0 (Equation 2): group by the canonical
+   BDD of the normalized function at s0 — hash-consing makes equality a
+   key comparison. *)
+let refine_initial ctx partition =
+  ignore (Partition.refine_by_key partition (fun id -> Bdd.id (norm_ini ctx partition id)));
+  note ctx
+
+(* Functional-dependency substitution (Section 4): replace a state
+   variable by an equivalent function from its class, enabling the
+   correspondence condition to be applied as a smaller don't-care set.
+   Greedy and cycle-free: a chosen function is composed with the
+   substitutions selected so far and rejected if it still mentions the
+   variable being replaced. *)
+let fundep_subst ?(max_fn_size = 8) ctx partition =
+  let nvars = Bdd.nvars ctx.m in
+  let subst = Array.make nvars None in
+  let any = ref false in
+  for i = 0 to ctx.n_latches - 1 do
+    let node = Aig.latch_node ctx.p.Product.aig i in
+    if Partition.is_candidate partition node then begin
+      let cls = Partition.class_of partition node in
+      let others = List.filter (fun w -> w <> node) (Partition.members partition cls) in
+      let si = ctx.s.(i) in
+      (* keep substitutions cheap: large replacement functions make the
+         later compositions of the nu functions explode, so probe sizes
+         with an early-abort bound *)
+      let bounded_size f =
+        match Bdd.size_at_most f max_fn_size with Some n -> n | None -> max_int
+      in
+      let try_target w =
+        let g_w = norm_cur ctx partition w in
+        let h = if Partition.polarity partition node then Bdd.mk_not ctx.m g_w else g_w in
+        if bounded_size h > max_fn_size then None
+        else begin
+          let h' = if !any then Bdd.vector_compose ctx.m h subst else h in
+          if bounded_size h' > max_fn_size || List.mem si (Bdd.support h') then None
+          else Some h'
+        end
+      in
+      (* prefer single-node replacements (other state variables or
+         constants): these are plain renames *)
+      let by_size =
+        let keyed =
+          List.map (fun w -> (bounded_size (norm_cur ctx partition w), w)) others
+        in
+        List.map snd (List.sort compare (List.filter (fun (k, _) -> k <= max_fn_size) keyed))
+      in
+      match List.find_map try_target by_size with
+      | Some h' ->
+        subst.(si) <- Some h';
+        any := true
+      | None -> ()
+    end
+  done;
+  if !any then Some subst else None
+
+let rec balanced_and m = function
+  | [] -> Bdd.one
+  | [ f ] -> f
+  | fs ->
+    let rec split k acc = function
+      | rest when k = 0 -> (acc, rest)
+      | [] -> (acc, [])
+      | f :: rest -> split (k - 1) (f :: acc) rest
+    in
+    let left, right = split (List.length fs / 2) [] fs in
+    Bdd.mk_and m (balanced_and m left) (balanced_and m right)
+
+(* The correspondence condition of the current partition (Definition 1),
+   with substitution applied, conjoined with the reachable care set.
+   Substituted functions are shared per node, not per pair. *)
+let correspondence_condition ?(memo = Hashtbl.create 256) ctx partition subst =
+  let apply f = match subst with Some s -> Bdd.vector_compose ctx.m f s | None -> f in
+  let cur_of id =
+    match Hashtbl.find_opt memo id with
+    | Some f -> f
+    | None ->
+      let f = apply (norm_cur ctx partition id) in
+      Hashtbl.add memo id f;
+      f
+  in
+  let constraints =
+    List.filter_map
+      (fun (rep, id) ->
+        note ctx;
+        let frep = cur_of rep and fid = cur_of id in
+        if Bdd.equal frep fid then None else Some (Bdd.mk_iff ctx.m frep fid))
+      (Partition.constraint_pairs partition)
+  in
+  let result = Bdd.mk_and ctx.m (balanced_and ctx.m constraints) (apply ctx.care) in
+  note ctx;
+  result
+
+(* One application of Equation (3): split classes whose members' next-state
+   functions differ on some state satisfying Q.  Returns true when any
+   class split. *)
+(* One application of Equation (3).  As described in Section 4, the
+   complement of the correspondence condition is used as a don't-care set
+   while the next-state functions are *built*: whenever an intermediate
+   result grows beyond a bound, it is simplified with Coudert–Madre
+   restrict against Q.  The simplified functions agree with the exact nu
+   on every state satisfying Q, which is all the comparison needs. *)
+let refine_once ?(clamp_size = 2_000) ctx partition =
+  let m = ctx.m in
+  let subst = if ctx.use_fundep then fundep_subst ctx partition else None in
+  let q = correspondence_condition ctx partition subst in
+  if Bdd.is_false q then false
+  else begin
+    let apply f = match subst with Some s -> Bdd.vector_compose m f s | None -> f in
+    let clamp f =
+      match Bdd.size_at_most f clamp_size with
+      | Some _ -> f
+      | None ->
+        note ctx;
+        Bdd.restrict m f ~care:q
+    in
+    let aig = ctx.p.Product.aig in
+    (* per-iteration build of Q-simplified nu functions *)
+    let memo = Hashtbl.create 256 in
+    let rec nu_node id =
+      match Hashtbl.find_opt memo id with
+      | Some f -> f
+      | None ->
+        let f =
+          match Aig.node aig id with
+          | Aig.Const -> Bdd.zero
+          | Aig.Pi i -> Bdd.var m ctx.x2.(i)
+          | Aig.Latch i ->
+            clamp (apply ctx.delta.(i))
+          | Aig.And (a, b) -> clamp (Bdd.mk_and m (nu_lit a) (nu_lit b))
+        in
+        Hashtbl.add memo id f;
+        f
+    and nu_lit l =
+      let f = nu_node (Aig.node_of_lit l) in
+      if Aig.lit_is_compl l then Bdd.mk_not m f else f
+    in
+    let nu_of id =
+      let f = nu_node id in
+      if Partition.polarity partition id then Bdd.mk_not m f else f
+    in
+    let changed = ref false in
+    List.iter
+      (fun cls ->
+        note ctx;
+        let equal rep id =
+          let frep = nu_of rep and fid = nu_of id in
+          Bdd.equal frep fid
+          || Bdd.is_false (Bdd.mk_and m q (Bdd.mk_xor m frep fid))
+        in
+        if Partition.refine_class partition cls ~equal then changed := true)
+      (Partition.multi_member_classes partition);
+    note ctx;
+    !changed
+  end

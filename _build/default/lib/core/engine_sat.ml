@@ -1,0 +1,231 @@
+(* SAT-based refinement engine: the paper's future-work variant built on
+   "extra variables representing intermediate signals" (Tseitin encoding).
+
+   The product machine is unrolled into [k]+1 time frames sharing one
+   solver: frame 1 starts from a free state, each later frame feeds the
+   latches with the previous frame's next-state values.  The
+   correspondence condition Q is assumed in frames 1..k through equality
+   selector literals, and candidate pairs are compared in frame k+1 —
+   [k] = 1 is exactly the paper's Equation (3); larger [k] is the
+   k-inductive strengthening (signals must stay equal for k steps before
+   the relation is required to propagate), which proves strictly more
+   pairs at higher cost.  The base case adapts accordingly: classes must
+   agree on the first k frames reachable from the initial state.
+
+   Because everything is assumption-based, the clause database and all
+   learned clauses persist across every query of every iteration.  A
+   satisfying assignment is a concrete Q-conforming run that distinguishes
+   some pair; its last-frame values split every affected class at once
+   (counterexample-driven bulk refinement). *)
+
+exception Budget_exceeded of string
+
+type ctx = {
+  p : Product.t;
+  k : int; (* induction depth; 1 = the paper *)
+  solver : Sat.t; (* the k+1-frame unrolling *)
+  frames : (int -> Sat.Lit.t) array; (* frames.(i) for i = 0..k: lit maps *)
+  solver0 : Sat.t; (* the initialized unrolling: frames 0..k-1 from s0 *)
+  init_frames : (int -> Sat.Lit.t) array;
+  eq_sel : (int * int * int, int) Hashtbl.t; (* (frame, la, lb) selectors *)
+  diff_sel : (int * int, int) Hashtbl.t; (* last-frame difference selectors *)
+  diff_sel0 : (int * int * int, int) Hashtbl.t; (* (frame, la, lb) *)
+  mutable sat_calls : int;
+  max_sat_calls : int;
+}
+
+(* Chain [n] frames of [aig] inside [solver].  [first_latch_var] supplies
+   the frame-0 latch variables; later frames capture the previous frame's
+   next-state values through fresh tied variables. *)
+let unroll solver aig ~n ~first_latch_var =
+  let n_latches = Aig.num_latches aig in
+  let frames = Array.make n (fun _ -> 0) in
+  let latch_vars = ref first_latch_var in
+  for i = 0 to n - 1 do
+    let this_latch = !latch_vars in
+    let x_vars = Array.init (Aig.num_pis aig) (fun _ -> Sat.new_var solver) in
+    let lit_of =
+      Aig.Cnf.encode solver aig ~pi_var:(fun j -> x_vars.(j)) ~latch_var:this_latch
+    in
+    frames.(i) <- lit_of;
+    (* tie the next frame's state to this frame's next-state functions *)
+    let next_latch =
+      Array.init n_latches (fun j ->
+          let v = Sat.new_var solver in
+          let next = lit_of (Aig.latch_next aig j) in
+          Sat.add_clause solver [ Sat.Lit.neg v; next ];
+          Sat.add_clause solver [ Sat.Lit.pos v; Sat.Lit.negate next ];
+          v)
+    in
+    latch_vars := fun j -> next_latch.(j)
+  done;
+  frames
+
+let make ?(max_sat_calls = max_int) ?(k = 1) p =
+  if k < 1 then invalid_arg "Engine_sat.make: k must be >= 1";
+  let aig = p.Product.aig in
+  let solver = Sat.create () in
+  let s_vars = Array.init (Aig.num_latches aig) (fun _ -> Sat.new_var solver) in
+  let frames = unroll solver aig ~n:(k + 1) ~first_latch_var:(fun i -> s_vars.(i)) in
+  let solver0 = Sat.create () in
+  let s0_vars =
+    Array.init (Aig.num_latches aig) (fun i ->
+        let v = Sat.new_var solver0 in
+        Sat.add_clause solver0 [ Sat.Lit.make v (Aig.latch_init aig i) ];
+        v)
+  in
+  let init_frames = unroll solver0 aig ~n:k ~first_latch_var:(fun i -> s0_vars.(i)) in
+  {
+    p;
+    k;
+    solver;
+    frames;
+    solver0;
+    init_frames;
+    eq_sel = Hashtbl.create 256;
+    diff_sel = Hashtbl.create 256;
+    diff_sel0 = Hashtbl.create 256;
+    sat_calls = 0;
+    max_sat_calls;
+  }
+
+let norm_key la lb = if la <= lb then (la, lb) else (lb, la)
+
+(* selector literal sel with sel -> (a <-> b) *)
+let equality_selector solver table key a b =
+  match Hashtbl.find_opt table key with
+  | Some v -> Sat.Lit.pos v
+  | None ->
+    let v = Sat.new_var solver in
+    let sl = Sat.Lit.pos v and ns = Sat.Lit.neg v in
+    Sat.add_clause solver [ ns; Sat.Lit.negate a; b ];
+    Sat.add_clause solver [ ns; a; Sat.Lit.negate b ];
+    Hashtbl.replace table key v;
+    sl
+
+(* selector literal sel with sel -> (a <> b) *)
+let difference_selector solver table key a b =
+  match Hashtbl.find_opt table key with
+  | Some v -> Sat.Lit.pos v
+  | None ->
+    let v = Sat.new_var solver in
+    let sl = Sat.Lit.pos v and ns = Sat.Lit.neg v in
+    Sat.add_clause solver [ ns; a; b ];
+    Sat.add_clause solver [ ns; Sat.Lit.negate a; Sat.Lit.negate b ];
+    Hashtbl.replace table key v;
+    sl
+
+let check_budget ctx =
+  ctx.sat_calls <- ctx.sat_calls + 1;
+  if ctx.sat_calls > ctx.max_sat_calls then raise (Budget_exceeded "sat calls")
+
+let lit_value solver l =
+  let v = Sat.value solver (Sat.Lit.var l) in
+  if Sat.Lit.sign l then v else not v
+
+(* Split every class according to a model's valuation of [frame_lit]. *)
+let bulk_split partition frame_lit solver =
+  ignore
+    (Partition.refine_by_key partition (fun id ->
+         lit_value solver (frame_lit (Partition.norm_lit partition id))))
+
+(* Initial-state refinement: classes must agree on every input in each of
+   the first k frames from s0 (Equation 2 for k = 1). *)
+let refine_initial ctx partition =
+  let rec clean_pass () =
+    let violated =
+      List.find_map
+        (fun cls ->
+          match Partition.members partition cls with
+          | [] | [ _ ] -> None
+          | rep :: rest ->
+            let check_frame frame =
+              let lit_of = ctx.init_frames.(frame) in
+              let a = lit_of (Partition.norm_lit partition rep) in
+              List.find_map
+                (fun id ->
+                  let b = lit_of (Partition.norm_lit partition id) in
+                  if a = b then None
+                  else begin
+                    let la, lb =
+                      norm_key (Partition.norm_lit partition rep)
+                        (Partition.norm_lit partition id)
+                    in
+                    let dsel =
+                      difference_selector ctx.solver0 ctx.diff_sel0 (frame, la, lb) a b
+                    in
+                    check_budget ctx;
+                    match Sat.solve ~assumptions:[ dsel ] ctx.solver0 with
+                    | Sat.Unsat -> None
+                    | Sat.Sat -> Some frame
+                  end)
+                rest
+            in
+            let rec frames frame =
+              if frame >= ctx.k then None
+              else match check_frame frame with Some f -> Some f | None -> frames (frame + 1)
+            in
+            frames 0)
+        (Partition.multi_member_classes partition)
+    in
+    match violated with
+    | Some frame ->
+      bulk_split partition ctx.init_frames.(frame) ctx.solver0;
+      clean_pass ()
+    | None -> ()
+  in
+  clean_pass ()
+
+(* The Q assumptions of the current partition: one equality selector per
+   (representative, member) pair and per assumed frame 1..k. *)
+let q_assumptions ctx partition =
+  List.concat_map
+    (fun (rep, id) ->
+      let la = Partition.norm_lit partition rep and lb = Partition.norm_lit partition id in
+      List.filter_map
+        (fun frame ->
+          let lit_of = ctx.frames.(frame) in
+          let a = lit_of la and b = lit_of lb in
+          if a = b then None
+          else
+            let ka, kb = norm_key la lb in
+            Some (equality_selector ctx.solver ctx.eq_sel (frame, ka, kb) a b))
+        (List.init ctx.k (fun i -> i)))
+    (Partition.constraint_pairs partition)
+
+(* One refinement event (Equation 3 generalized to k frames): find a pair
+   whose frame-(k+1) values differ on some run conforming to Q for k
+   frames; split all classes with the witness.  Returns false when a full
+   scan finds no violation. *)
+let refine_once ctx partition =
+  let q = q_assumptions ctx partition in
+  let last = ctx.frames.(ctx.k) in
+  let violated =
+    List.find_map
+      (fun cls ->
+        match Partition.members partition cls with
+        | [] | [ _ ] -> None
+        | rep :: rest ->
+          let a = last (Partition.norm_lit partition rep) in
+          List.find_map
+            (fun id ->
+              let b = last (Partition.norm_lit partition id) in
+              if a = b then None
+              else begin
+                let key =
+                  norm_key (Partition.norm_lit partition rep) (Partition.norm_lit partition id)
+                in
+                let dsel = difference_selector ctx.solver ctx.diff_sel key a b in
+                check_budget ctx;
+                match Sat.solve ~assumptions:(dsel :: q) ctx.solver with
+                | Sat.Unsat -> None
+                | Sat.Sat -> Some ()
+              end)
+            rest)
+      (Partition.multi_member_classes partition)
+  in
+  match violated with
+  | Some () ->
+    bulk_split partition last ctx.solver;
+    true
+  | None -> false

@@ -1,0 +1,122 @@
+(* The product machine: both circuits side by side over shared primary
+   inputs, with the union of their latches.  Signal correspondence runs on
+   the set of all signals of this machine (paper Section 3); the symbolic
+   traversal baseline runs on the same AIG via [Reach].
+
+   Structural hashing of the underlying AIG means syntactically identical
+   logic of the two circuits is shared; such shared nodes are trivial
+   correspondences. *)
+
+type side = { n_latches : int; latch_offset : int; lit_in_product : int -> int }
+
+type t = {
+  aig : Aig.t;
+  spec : side;
+  impl : side;
+  is_spec : bool array; (* per product node id (at construction time) *)
+  is_impl : bool array;
+  outputs : (string * int * int) list; (* name, spec literal, impl literal *)
+  n_original_nodes : int; (* nodes beyond this are retiming helpers *)
+}
+
+let make spec_aig impl_aig =
+  if Aig.num_pis spec_aig <> Aig.num_pis impl_aig then
+    invalid_arg "Product.make: circuits have different numbers of inputs";
+  let aig = Aig.create () in
+  let pi_lits = Array.init (Aig.num_pis spec_aig) (fun _ -> Aig.add_pi aig) in
+  let spec_latch_lits =
+    Array.init (Aig.num_latches spec_aig) (fun i ->
+        Aig.add_latch aig ~init:(Aig.latch_init spec_aig i))
+  in
+  let impl_latch_lits =
+    Array.init (Aig.num_latches impl_aig) (fun i ->
+        Aig.add_latch aig ~init:(Aig.latch_init impl_aig i))
+  in
+  let tr_spec =
+    Aig.copy_into aig ~src:spec_aig
+      ~pi_lit:(fun i -> pi_lits.(i))
+      ~latch_lit:(fun i -> spec_latch_lits.(i))
+  in
+  let tr_impl =
+    Aig.copy_into aig ~src:impl_aig
+      ~pi_lit:(fun i -> pi_lits.(i))
+      ~latch_lit:(fun i -> impl_latch_lits.(i))
+  in
+  List.iteri
+    (fun i _ ->
+      Aig.set_latch_next aig spec_latch_lits.(i)
+        ~next:(tr_spec (Aig.latch_next spec_aig i)))
+    (Aig.latch_ids spec_aig);
+  List.iteri
+    (fun i _ ->
+      Aig.set_latch_next aig impl_latch_lits.(i)
+        ~next:(tr_impl (Aig.latch_next impl_aig i)))
+    (Aig.latch_ids impl_aig);
+  (* pair outputs by name *)
+  let impl_pos = Aig.pos impl_aig in
+  let outputs =
+    List.map
+      (fun (name, ls) ->
+        match List.assoc_opt name impl_pos with
+        | Some li -> (name, tr_spec ls, tr_impl li)
+        | None -> invalid_arg (Printf.sprintf "Product.make: output %s unmatched" name))
+      (Aig.pos spec_aig)
+  in
+  if List.length impl_pos <> List.length outputs then
+    invalid_arg "Product.make: implementation has extra outputs";
+  (* a PO on the product so Reach can check equivalence directly *)
+  let ok =
+    List.fold_left
+      (fun acc (_, ls, li) -> Aig.mk_and aig acc (Aig.mk_xnor aig ls li))
+      Aig.lit_true outputs
+  in
+  Aig.add_po aig "outputs_agree" ok;
+  (* origin marks *)
+  let n = Aig.num_nodes aig in
+  let is_spec = Array.make n false and is_impl = Array.make n false in
+  for id = 0 to Aig.num_nodes spec_aig - 1 do
+    is_spec.(Aig.node_of_lit (tr_spec (Aig.lit_of_node id))) <- true
+  done;
+  for id = 0 to Aig.num_nodes impl_aig - 1 do
+    is_impl.(Aig.node_of_lit (tr_impl (Aig.lit_of_node id))) <- true
+  done;
+  {
+    aig;
+    spec =
+      {
+        n_latches = Aig.num_latches spec_aig;
+        latch_offset = 0;
+        lit_in_product = tr_spec;
+      };
+    impl =
+      {
+        n_latches = Aig.num_latches impl_aig;
+        latch_offset = Aig.num_latches spec_aig;
+        lit_in_product = tr_impl;
+      };
+    is_spec;
+    is_impl;
+    outputs;
+    n_original_nodes = n;
+  }
+
+(* Candidate signals for the correspondence: the constant, the PIs, every
+   latch output and every AND node (including retiming helpers added
+   later). *)
+let candidate_nodes t =
+  List.init (Aig.num_nodes t.aig) (fun id -> id)
+
+let node_is_spec t id = id < Array.length t.is_spec && t.is_spec.(id)
+let node_is_impl t id = id < Array.length t.is_impl && t.is_impl.(id)
+let node_is_helper t id = id >= t.n_original_nodes
+
+(* Reference valuation (paper Section 3): the initial state plus one fixed
+   input vector; used to normalize every signal's polarity, which lets the
+   method detect antivalences as well as equivalences. *)
+let reference_values ?(seed = 0x90) t =
+  let n_pis = Aig.num_pis t.aig in
+  let rng = Random.State.make [| seed |] in
+  let pi_words = Array.init n_pis (fun _ -> if Random.State.bool rng then 1L else 0L) in
+  let latch_words = Aig.Sim.initial_latch_words t.aig in
+  let values = Aig.Sim.eval_comb t.aig ~pi_words ~latch_words in
+  Array.init (Aig.num_nodes t.aig) (fun id -> Int64.logand values.(id) 1L = 1L)

@@ -1,0 +1,40 @@
+(* Candidate-set extension by forward retiming with lag 1 (paper Fig. 3).
+
+   No latch is moved — so no initialization problem arises; instead, for
+   every AND gate whose fanins are both latch outputs, the combinational
+   logic that a forward retiming move *would* create is added to the
+   product machine: an AND over the latches' data inputs.  The new signal
+   equals, one cycle early, the original gate's output; its presence in F
+   lets the fixed point relate signals across a retiming boundary.
+   Because new AND nodes can again satisfy the condition in a later round,
+   repeated application also covers retimings with larger lags. *)
+
+(* One augmentation round over the product machine; mutates the AIG and
+   returns the number of signals added. *)
+let augment product =
+  let aig = product.Product.aig in
+  let n_before = Aig.num_nodes aig in
+  (* collect the moves first: adding nodes while scanning would rescan them *)
+  let moves = ref [] in
+  for id = 0 to n_before - 1 do
+    match Aig.node aig id with
+    | Aig.And (a, b) -> (
+      match (Aig.node aig (Aig.node_of_lit a), Aig.node aig (Aig.node_of_lit b)) with
+      | Aig.Latch i, Aig.Latch j -> moves := (a, i, b, j) :: !moves
+      | _ -> ())
+    | Aig.Const | Aig.Pi _ | Aig.Latch _ -> ()
+  done;
+  List.iter
+    (fun (a, i, b, j) ->
+      let da =
+        let next = Aig.latch_next aig i in
+        if Aig.lit_is_compl a then Aig.lit_not next else next
+      in
+      let db =
+        let next = Aig.latch_next aig j in
+        if Aig.lit_is_compl b then Aig.lit_not next else next
+      in
+      (* structural hashing silently discards moves whose logic exists *)
+      ignore (Aig.mk_and aig da db))
+    (List.rev !moves);
+  Aig.num_nodes aig - n_before

@@ -1,0 +1,262 @@
+(** Sequential equivalence checking without state space traversal.
+
+    The paper's method (van Eijk, DATE'98): prove two sequential circuits
+    equivalent by computing the {e maximum signal correspondence relation}
+    — the greatest equivalence relation over the (polarity-normalized)
+    signals of the product machine that holds in the initial state and is
+    inductive over one time frame — using only combinational techniques.
+
+    Typical use:
+    {[
+      let spec, _ = Aig.of_netlist (Netlist.Blif.parse_file "spec.blif") in
+      let impl, _ = Aig.of_netlist (Netlist.Blif.parse_file "impl.blif") in
+      match Scorr.check spec impl with
+      | Scorr.Equivalent stats -> ...
+      | Scorr.Not_equivalent { frame; _ } -> ...
+      | Scorr.Unknown _ -> ...      (* sound incompleteness *)
+    ]} *)
+
+(** The product machine (shared inputs, union of latches) and per-signal
+    provenance used for the equivalence-percentage statistic. *)
+module Product : sig
+  type side = { n_latches : int; latch_offset : int; lit_in_product : int -> int }
+
+  type t = {
+    aig : Aig.t;
+    spec : side;
+    impl : side;
+    is_spec : bool array;
+    is_impl : bool array;
+    outputs : (string * int * int) list;  (** name, spec literal, impl literal *)
+    n_original_nodes : int;
+  }
+
+  val make : Aig.t -> Aig.t -> t
+  (** Pair two circuits over shared inputs; outputs are matched by name.
+      A PO ["outputs_agree"] is added so {!Reach} can traverse the same
+      machine.
+      @raise Invalid_argument on interface mismatch. *)
+
+  val candidate_nodes : t -> int list
+  val node_is_spec : t -> int -> bool
+  val node_is_impl : t -> int -> bool
+  val node_is_helper : t -> int -> bool
+  (** Nodes added by retiming augmentation (excluded from statistics). *)
+
+  val reference_values : ?seed:int -> t -> bool array
+  (** Valuation of all signals at the initial state under one fixed input
+      vector: the polarity normalization point of Section 3. *)
+end
+
+(** Equivalence classes over candidate signals, refined monotonically. *)
+module Partition : sig
+  type t
+
+  val create : n_nodes:int -> candidates:int list -> pol:bool array -> t
+  val n_classes : t -> int
+  val class_of : t -> int -> int
+  val polarity : t -> int -> bool
+  val members : t -> int -> int list
+  val is_candidate : t -> int -> bool
+
+  val norm_lit : t -> int -> int
+  (** Polarity-normalized literal of a candidate node. *)
+
+  val representative : t -> int -> int
+
+  val refine_by_key : t -> (int -> 'k) -> int
+  (** Split classes by a key; returns the number of classes created. *)
+
+  val refine_class : t -> int -> equal:(int -> int -> bool) -> bool
+  val lits_equal : t -> int -> int -> bool
+  (** Are two literals provably equal under the relation (same class,
+      consistent polarity)? *)
+
+  val constraint_pairs : t -> (int * int) list
+  (** The (representative, member) pairs whose equalities form Q. *)
+
+  val multi_member_classes : t -> int list
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Random sequential simulation seeding (Section 4). *)
+module Simseed : sig
+  val signatures : ?seed:int -> ?n_frames:int -> Product.t -> bool array -> int64 list array
+  val refine : ?seed:int -> ?n_frames:int -> Product.t -> Partition.t -> int
+end
+
+(** BDD refinement engine (the paper's own implementation style). *)
+module Engine_bdd : sig
+  exception Budget_exceeded of string
+
+  type ctx = {
+    p : Product.t;
+    m : Bdd.manager;
+    n_pis : int;
+    n_latches : int;
+    x1 : int array;
+    s : int array;
+    x2 : int array;
+    cur : int -> Bdd.t;
+    delta : Bdd.t array;
+    nxt : int -> Bdd.t;
+    ini : int -> Bdd.t;
+    use_fundep : bool;
+    care : Bdd.t;
+    node_limit : int;
+    mutable peak_nodes : int;
+  }
+
+  val make :
+    ?use_fundep:bool ->
+    ?latch_order:int array ->
+    ?care_of:(Bdd.manager -> int array -> Bdd.t) ->
+    ?node_limit:int ->
+    Product.t ->
+    ctx
+
+  val refine_initial : ctx -> Partition.t -> unit
+  (** Equation (2): exact initial-state partition. *)
+
+  val refine_once : ?clamp_size:int -> ctx -> Partition.t -> bool
+  (** Equation (3): one refinement pass; [true] when a class split.
+      [clamp_size] bounds intermediate nu sizes before the complement of Q
+      is applied as a don't-care set (Section 4). *)
+
+  val correspondence_condition :
+    ?memo:(int, Bdd.t) Hashtbl.t -> ctx -> Partition.t -> Bdd.t option array option -> Bdd.t
+  val fundep_subst : ?max_fn_size:int -> ctx -> Partition.t -> Bdd.t option array option
+
+  val norm_cur : ctx -> Partition.t -> int -> Bdd.t
+  (** Normalized current-state function of a candidate node. *)
+
+  val norm_nxt : ctx -> Partition.t -> int -> Bdd.t
+  val norm_ini : ctx -> Partition.t -> int -> Bdd.t
+end
+
+(** SAT refinement engine with counterexample-driven bulk splitting and an
+    optional k-inductive unrolling (the paper's future-work direction). *)
+module Engine_sat : sig
+  exception Budget_exceeded of string
+
+  type ctx = {
+    p : Product.t;
+    k : int;  (** induction depth; 1 = the paper's Equation (3) *)
+    solver : Sat.t;  (** the k+1-frame unrolling *)
+    frames : (int -> Sat.Lit.t) array;
+    solver0 : Sat.t;  (** frames 0..k-1 from the initial state *)
+    init_frames : (int -> Sat.Lit.t) array;
+    eq_sel : (int * int * int, int) Hashtbl.t;
+    diff_sel : (int * int, int) Hashtbl.t;
+    diff_sel0 : (int * int * int, int) Hashtbl.t;
+    mutable sat_calls : int;
+    max_sat_calls : int;
+  }
+
+  val make : ?max_sat_calls:int -> ?k:int -> Product.t -> ctx
+  val refine_initial : ctx -> Partition.t -> unit
+  val refine_once : ctx -> Partition.t -> bool
+end
+
+(** Candidate-set extension by forward retiming with lag 1 (Fig. 3). *)
+module Retime_aug : sig
+  val augment : Product.t -> int
+  (** Add the combinational logic of every applicable lag-1 forward move;
+      returns the number of new signals. *)
+end
+
+(** The full verification method (Fig. 4). *)
+module Verify : sig
+  type engine_kind = Bdd_engine | Sat_engine
+  type candidate_set = All_signals | Registers_only
+
+  type options = {
+    engine : engine_kind;
+    candidates : candidate_set;
+    use_sim_seed : bool;
+    sim_frames : int;
+    use_fundep : bool;
+    use_retime : bool;
+    max_retime_rounds : int;
+    use_reach_dontcare : bool;
+    reach_block_size : int;
+    node_limit : int;
+    max_sat_calls : int;
+    sat_unroll : int;  (** SAT-engine induction depth; 1 = the paper *)
+    presim_frames : int;
+    bmc_depth : int;  (** exhaustive refutation depth (0 disables) *)
+    seed : int;
+  }
+
+  val default_options : options
+
+  type stats = {
+    iterations : int;
+    retime_rounds : int;
+    candidates : int;
+    classes : int;
+    peak_bdd_nodes : int;
+    sat_calls : int;
+    eq_pct : float;
+    seconds : float;
+  }
+
+  type verdict =
+    | Equivalent of stats
+    | Not_equivalent of {
+        frame : int;
+        trace : bool array array option;
+            (** input vectors of a witnessing run, when available *)
+        stats : stats;
+      }
+    | Unknown of stats
+
+  val verdict_stats : verdict -> stats
+  val run : ?options:options -> Aig.t -> Aig.t -> verdict
+
+  val latch_order_from_outputs : Product.t -> int array
+  (** Structural state-variable order interleaving the two sides along the
+      output-pair cones (exposed for instrumentation and tests). *)
+
+  val run_with_relation :
+    ?options:options -> Aig.t -> Aig.t -> verdict * Product.t * Partition.t option
+  (** Like {!run}, also returning the product machine and (when a fixed
+      point was computed) the final correspondence relation — the
+      checker's certificate. *)
+
+  val pp_relation : Format.formatter -> Product.t * Partition.t -> unit
+  (** Print the multi-member classes of a relation with side/kind tags. *)
+
+  val register_correspondence : ?options:options -> Aig.t -> Aig.t -> verdict
+
+  val portfolio : ?options:options -> ?max_unroll:int -> Aig.t -> Aig.t -> verdict
+  (** Production mode: BDD engine first, then the SAT engine with
+      induction depths 1..[max_unroll]; the first conclusive verdict
+      wins.  All strategies are sound. *)
+end
+
+(** {1 Convenience} *)
+
+type options = Verify.options
+type stats = Verify.stats
+
+type verdict = Verify.verdict =
+  | Equivalent of stats
+  | Not_equivalent of { frame : int; trace : bool array array option; stats : stats }
+  | Unknown of stats
+
+val default_options : options
+
+val check : ?options:options -> Aig.t -> Aig.t -> verdict
+(** Prove sequential equivalence of two circuits.  Sound for all three
+    verdicts; [Unknown] reflects the method's incompleteness or an
+    exceeded resource budget. *)
+
+val register_correspondence : ?options:options -> Aig.t -> Aig.t -> verdict
+(** The restricted method of [5]/[9]: correspondence over registers only,
+    outputs checked combinationally under the tied registers. *)
+
+val portfolio : ?options:options -> ?max_unroll:int -> Aig.t -> Aig.t -> verdict
+(** {!Verify.portfolio}: escalate through engines until conclusive. *)
+
+val verdict_stats : verdict -> stats

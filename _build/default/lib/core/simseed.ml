@@ -1,0 +1,34 @@
+(* Random sequential simulation of the product machine, used to
+   pre-partition the candidate set (paper Section 4): signals that differ
+   on any simulated reachable state are certainly not sequentially
+   equivalent, so the fixed point needs fewer exact iterations. *)
+
+(* Signature of each node: its (polarity-normalized) words over a number
+   of simulated frames starting in the initial state. *)
+let signatures ?(seed = 3) ?(n_frames = 16) product pol =
+  let aig = product.Product.aig in
+  let n = Aig.num_nodes aig in
+  let n_pis = Aig.num_pis aig in
+  let frames = Aig.Sim.random_frames ~seed ~n_pis ~n_frames in
+  let sigs = Array.make n [] in
+  let state = ref (Aig.Sim.initial_latch_words aig) in
+  List.iter
+    (fun pi_words ->
+      let values, next = Aig.Sim.step aig ~pi_words ~latch_words:!state in
+      state := next;
+      for id = 0 to n - 1 do
+        let w = if pol.(id) then Int64.lognot values.(id) else values.(id) in
+        sigs.(id) <- w :: sigs.(id)
+      done)
+    frames;
+  Array.map (fun l -> List.rev l) sigs
+
+(* Refine the partition so that only signals with identical normalized
+   simulation signatures share a class. *)
+let refine ?seed ?n_frames product partition =
+  let sigs =
+    signatures ?seed ?n_frames product (Array.init
+      (Aig.num_nodes product.Product.aig)
+      (fun id -> Partition.polarity partition id))
+  in
+  Partition.refine_by_key partition (fun id -> sigs.(id))

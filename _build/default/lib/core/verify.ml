@@ -1,0 +1,553 @@
+(* The verification method of the paper (outline in Fig. 4):
+
+     1. build the product machine;
+     2. partition the candidate signals by random sequential simulation
+        (Section 4) and by the exact initial-state condition (Eq. 2);
+     3. run the greatest fixed-point iteration (Eq. 3) to the maximum
+        signal correspondence relation;
+     4. if all output pairs correspond, the circuits are sequentially
+        equivalent (Theorem 1);
+     5. otherwise extend the candidate set by forward retiming with lag 1
+        (Fig. 3) and, if it grew, recompute the fixed point.
+
+   The method is sound but incomplete: "Unknown" is a possible answer.
+   Genuine counterexamples are still produced when the circuits differ on
+   a simulated run from the initial state or on the initial frame. *)
+
+type engine_kind = Bdd_engine | Sat_engine
+
+type candidate_set = All_signals | Registers_only
+
+type options = {
+  engine : engine_kind;
+  candidates : candidate_set;
+  use_sim_seed : bool;
+  sim_frames : int;
+  use_fundep : bool;
+  use_retime : bool;
+  max_retime_rounds : int;
+  use_reach_dontcare : bool;
+  reach_block_size : int;
+  node_limit : int;
+  max_sat_calls : int;
+  sat_unroll : int; (* induction depth k of the SAT engine; 1 = the paper *)
+  presim_frames : int;
+  bmc_depth : int; (* exhaustive refutation depth before the fixed point *)
+  seed : int;
+}
+
+let default_options =
+  {
+    engine = Bdd_engine;
+    candidates = All_signals;
+    use_sim_seed = true;
+    sim_frames = 16;
+    use_fundep = true;
+    use_retime = true;
+    max_retime_rounds = 4;
+    use_reach_dontcare = false;
+    reach_block_size = 8;
+    node_limit = 2_000_000;
+    max_sat_calls = 200_000;
+    sat_unroll = 1;
+    presim_frames = 64;
+    bmc_depth = 4;
+    seed = 17;
+  }
+
+type stats = {
+  iterations : int; (* refinement iterations, all rounds *)
+  retime_rounds : int; (* times the retiming extension was invoked *)
+  candidates : int; (* |F| of the last round *)
+  classes : int; (* classes of the final relation *)
+  peak_bdd_nodes : int;
+  sat_calls : int;
+  eq_pct : float; (* % of spec signals with an impl correspondence *)
+  seconds : float;
+}
+
+type verdict =
+  | Equivalent of stats
+  | Not_equivalent of { frame : int; trace : bool array array option; stats : stats }
+  | Unknown of stats
+
+let verdict_stats = function
+  | Equivalent s -> s
+  | Not_equivalent { stats; _ } -> stats
+  | Unknown s -> s
+
+(* --- engine dispatch -------------------------------------------------------- *)
+
+type engine_ops = {
+  refine_initial : Partition.t -> unit;
+  refine_once : Partition.t -> bool;
+  peak_bdd : unit -> int;
+  n_sat_calls : unit -> int;
+}
+
+exception Budget of string
+
+(* A state-variable order placing correspondence candidates adjacently,
+   derived from simulation signatures of the latch outputs. *)
+let latch_order_from_sim ~seed product pol =
+  let aig = product.Product.aig in
+  let n = Aig.num_latches aig in
+  let n_spec = product.Product.spec.Product.n_latches in
+  let sigs = Simseed.signatures ~seed ~n_frames:8 product pol in
+  let key i = sigs.(Aig.latch_node aig i) in
+  (* keep the creation order (which respects each circuit's natural
+     bit-ordering), but pull likely-corresponding latches — those with
+     equal simulation signatures — next to the first member of their
+     group.  Within a group, specification and implementation members are
+     interleaved: groups of many indistinguishable latches (e.g. the high
+     bits of wide counters under short simulation) otherwise place one
+     whole side before the other, which makes the cross-side equalities of
+     the output miter and of Q exponential. *)
+  let placed = Array.make n false in
+  let order = ref [] in
+  for i = 0 to n - 1 do
+    if not placed.(i) then begin
+      let ki = key i in
+      let group = List.filter (fun j -> (not placed.(j)) && key j = ki) (List.init n Fun.id) in
+      List.iter (fun j -> placed.(j) <- true) group;
+      let spec_side = List.filter (fun j -> j < n_spec) group in
+      let impl_side = List.filter (fun j -> j >= n_spec) group in
+      let rec zip a b =
+        match (a, b) with
+        | [], rest | rest, [] -> rest
+        | x :: a, y :: b -> x :: y :: zip a b
+      in
+      order := List.rev_append (zip spec_side impl_side) !order
+    end
+  done;
+  Array.of_list (List.rev !order)
+
+(* Structural state-variable order: walk the output pairs and interleave
+   the specification latches of each output's cone with the implementation
+   latches of its partner's cone.  Latch-to-latch signature matching (the
+   simulation order above) fails when corresponding state lives in a GATE
+   of the other circuit — e.g. after backward retiming — while the output
+   miters always connect both sides. *)
+let latch_order_from_outputs product =
+  let aig = product.Product.aig in
+  let n = Aig.num_latches aig in
+  let n_spec = product.Product.spec.Product.n_latches in
+  let cone_latches lit =
+    let seen = Hashtbl.create 64 in
+    let acc = ref [] in
+    let rec go id =
+      if not (Hashtbl.mem seen id) then begin
+        Hashtbl.add seen id ();
+        match Aig.node aig id with
+        | Aig.Latch i ->
+          acc := i :: !acc;
+          go (Aig.node_of_lit (Aig.latch_next aig i))
+        | Aig.And (a, b) ->
+          go (Aig.node_of_lit a);
+          go (Aig.node_of_lit b)
+        | Aig.Const | Aig.Pi _ -> ()
+      end
+    in
+    go (Aig.node_of_lit lit);
+    List.sort compare !acc
+  in
+  let placed = Array.make n false in
+  let order = ref [] in
+  let rec zip a b =
+    match (a, b) with
+    | [], rest | rest, [] -> rest
+    | x :: a, y :: b -> x :: y :: zip a b
+  in
+  let take latches =
+    let fresh = List.filter (fun i -> not placed.(i)) latches in
+    List.iter (fun i -> placed.(i) <- true) fresh;
+    fresh
+  in
+  List.iter
+    (fun (_, ls, li) ->
+      let sp = take (List.filter (fun i -> i < n_spec) (cone_latches ls)) in
+      let im = take (List.filter (fun i -> i >= n_spec) (cone_latches li)) in
+      order := List.rev_append (zip sp im) !order)
+    product.Product.outputs;
+  (* leftovers (latches unreachable from the outputs), sides interleaved *)
+  let rest = List.filter (fun i -> not placed.(i)) (List.init n Fun.id) in
+  let sp = List.filter (fun i -> i < n_spec) rest in
+  let im = List.filter (fun i -> i >= n_spec) rest in
+  order := List.rev_append (zip sp im) !order;
+  Array.of_list (List.rev !order)
+
+let make_engine (options : options) product pol =
+  match options.engine with
+  | Bdd_engine ->
+    ignore pol;
+    let latch_order = latch_order_from_outputs product in
+    let care_of =
+      if not options.use_reach_dontcare then None
+      else
+        Some
+          (fun m s_vars ->
+            let trans = Reach.Trans.make product.Product.aig in
+            let ub = Reach.Approx.upper_bound ~block_size:options.reach_block_size trans in
+            match Bdd.Reorder.copy_to ~dst:m [ ub ] with
+            | [ ub' ] ->
+              let perm =
+                Array.to_list
+                  (Array.mapi (fun i cs -> (cs, s_vars.(i))) trans.Reach.Trans.cs_vars)
+              in
+              Bdd.rename m ub' perm
+            | _ -> assert false)
+    in
+    let ctx =
+      Engine_bdd.make ~use_fundep:options.use_fundep ~latch_order ?care_of
+        ~node_limit:options.node_limit product
+    in
+    let wrap f x =
+      try f x with
+      | Engine_bdd.Budget_exceeded msg -> raise (Budget msg)
+      | Bdd.Limit_exceeded -> raise (Budget "bdd nodes")
+    in
+    {
+      refine_initial = wrap (Engine_bdd.refine_initial ctx);
+      refine_once = (fun p -> wrap (Engine_bdd.refine_once ctx) p);
+      peak_bdd = (fun () -> ctx.Engine_bdd.peak_nodes);
+      n_sat_calls = (fun () -> 0);
+    }
+  | Sat_engine ->
+    let ctx = Engine_sat.make ~max_sat_calls:options.max_sat_calls ~k:options.sat_unroll product in
+    let wrap f x = try f x with Engine_sat.Budget_exceeded msg -> raise (Budget msg) in
+    {
+      refine_initial = wrap (Engine_sat.refine_initial ctx);
+      refine_once = (fun p -> try Engine_sat.refine_once ctx p with Engine_sat.Budget_exceeded msg -> raise (Budget msg));
+      peak_bdd = (fun () -> 0);
+      n_sat_calls = (fun () -> ctx.Engine_sat.sat_calls);
+    }
+
+(* --- candidate selection ------------------------------------------------------ *)
+
+let candidate_nodes (options : options) product =
+  let aig = product.Product.aig in
+  let keep id =
+    match Aig.node aig id with
+    | Aig.Const -> true
+    | Aig.Latch _ -> true
+    | Aig.Pi _ | Aig.And _ -> options.candidates = All_signals
+  in
+  List.filter keep (Product.candidate_nodes product)
+
+(* --- statistics ---------------------------------------------------------------- *)
+
+let equivalence_percentage product partition =
+  let aig = product.Product.aig in
+  let total = ref 0 and matched = ref 0 in
+  for id = 1 to Aig.num_nodes aig - 1 do
+    if Product.node_is_spec product id && not (Product.node_is_helper product id) then begin
+      match Aig.node aig id with
+      | Aig.And _ | Aig.Latch _ ->
+        incr total;
+        if
+          Partition.is_candidate partition id
+          && List.exists
+               (fun w -> Product.node_is_impl product w)
+               (Partition.members partition (Partition.class_of partition id))
+        then incr matched
+      | Aig.Const | Aig.Pi _ -> ()
+    end
+  done;
+  if !total = 0 then 100.0 else 100.0 *. float_of_int !matched /. float_of_int !total
+
+(* --- sound refutation by simulation ---------------------------------------------- *)
+
+let simulate_difference ~seed ~n_frames spec impl =
+  let n_pis = Aig.num_pis spec in
+  let frames = Aig.Sim.random_frames ~seed ~n_pis ~n_frames in
+  let o1, _ = Aig.Sim.run spec frames and o2, _ = Aig.Sim.run impl frames in
+  (* locate the first frame and bit position where any output pair differs *)
+  let diff_bit f1 f2 =
+    List.fold_left
+      (fun acc (name, w1) ->
+        match acc with
+        | Some _ -> acc
+        | None -> (
+          match List.assoc_opt name f2 with
+          | Some w2 when w1 <> w2 ->
+            let d = Int64.logxor w1 w2 in
+            let rec bit i =
+              if Int64.logand (Int64.shift_right_logical d i) 1L = 1L then i else bit (i + 1)
+            in
+            Some (bit 0)
+          | _ -> None))
+      None f1
+  in
+  let rec scan i frames_seen = function
+    | [], [] -> None
+    | f1 :: r1, f2 :: r2 -> (
+      match diff_bit f1 f2 with
+      | Some bit ->
+        let trace =
+          Array.of_list
+            (List.rev_map
+               (fun words ->
+                 Array.map
+                   (fun w -> Int64.logand (Int64.shift_right_logical w bit) 1L = 1L)
+                   words)
+               frames_seen)
+        in
+        Some (i, trace)
+      | None -> scan (i + 1) frames_seen (r1, r2))
+    | _, _ -> None
+  and scan0 () =
+    let rec go i seen frames o1 o2 =
+      match (frames, o1, o2) with
+      | words :: frames, f1 :: r1, f2 :: r2 -> (
+        let seen = words :: seen in
+        match diff_bit f1 f2 with
+        | Some bit ->
+          let trace =
+            Array.of_list
+              (List.rev_map
+                 (fun ws ->
+                   Array.map
+                     (fun w -> Int64.logand (Int64.shift_right_logical w bit) 1L = 1L)
+                     ws)
+                 seen)
+          in
+          Some (i, trace)
+        | None -> go (i + 1) seen frames r1 r2)
+      | _ -> None
+    in
+    go 0 [] frames o1 o2
+  in
+  ignore scan;
+  scan0 ()
+
+(* --- outputs proved? (Theorem 1) --------------------------------------------------- *)
+
+(* With all signals as candidates, the output functions are themselves
+   members of F, so Theorem 1 reduces to a class-membership test. *)
+let outputs_in_same_class product partition =
+  List.for_all
+    (fun (_, ls, li) -> Partition.lits_equal partition ls li)
+    product.Product.outputs
+
+(* With registers only ([5]/[9]), equivalence of the outputs is a
+   combinational check under the proven register correspondence: tie the
+   corresponding state variables together and compare the output pairs
+   with SAT. *)
+let outputs_proved_by_tying product partition =
+  let aig = product.Product.aig in
+  let solver = Sat.create () in
+  let latch_vars = Array.init (Aig.num_latches aig) (fun _ -> Sat.new_var solver) in
+  let pi_vars = Array.init (Aig.num_pis aig) (fun _ -> Sat.new_var solver) in
+  let lit_of =
+    Aig.Cnf.encode solver aig ~pi_var:(fun i -> pi_vars.(i))
+      ~latch_var:(fun i -> latch_vars.(i))
+  in
+  (* assert the correspondence condition Q over the state variables *)
+  let norm_sat_lit id =
+    (* SAT literal of the normalized function of a latch or const node *)
+    lit_of (Partition.norm_lit partition id)
+  in
+  List.iter
+    (fun cls ->
+      match Partition.members partition cls with
+      | [] | [ _ ] -> ()
+      | rep :: rest ->
+        let is_latch_or_const id =
+          match Aig.node aig id with
+          | Aig.Latch _ | Aig.Const -> true
+          | Aig.Pi _ | Aig.And _ -> false
+        in
+        if is_latch_or_const rep then
+          List.iter
+            (fun id ->
+              if is_latch_or_const id then begin
+                let a = norm_sat_lit rep and b = norm_sat_lit id in
+                Sat.add_clause solver [ Sat.Lit.negate a; b ];
+                Sat.add_clause solver [ a; Sat.Lit.negate b ]
+              end)
+            rest)
+    (Partition.multi_member_classes partition);
+  List.for_all
+    (fun (_, ls, li) ->
+      let a = lit_of ls and b = lit_of li in
+      if a = b then true
+      else begin
+        let s = Sat.new_var solver in
+        let sl = Sat.Lit.pos s and ns = Sat.Lit.neg s in
+        Sat.add_clause solver [ ns; a; b ];
+        Sat.add_clause solver [ ns; Sat.Lit.negate a; Sat.Lit.negate b ];
+        let r = Sat.solve ~assumptions:[ sl ] solver in
+        Sat.add_clause solver [ ns ];
+        r = Sat.Unsat
+      end)
+    product.Product.outputs
+
+let outputs_proved (options : options) product partition =
+  match options.candidates with
+  | All_signals -> outputs_in_same_class product partition
+  | Registers_only -> outputs_proved_by_tying product partition
+
+(* --- main entry --------------------------------------------------------------------- *)
+
+(* Full entry point: the verdict plus, when a fixed point was computed,
+   the product machine and the final correspondence relation — the
+   checker's certificate ("show your work"). *)
+let run_with_relation ?(options = default_options) spec impl =
+  let start = Sys.time () in
+  let product = Product.make spec impl in
+  let iterations = ref 0 in
+  let retime_rounds = ref 0 in
+  let peak_bdd = ref 0 in
+  let sat_calls = ref 0 in
+  let mk_stats partition =
+    {
+      iterations = !iterations;
+      retime_rounds = !retime_rounds;
+      candidates =
+        (match partition with
+        | Some p ->
+          List.length
+            (List.filter
+               (fun id -> Partition.is_candidate p id)
+               (Product.candidate_nodes product))
+        | None -> 0);
+      classes = (match partition with Some p -> Partition.n_classes p | None -> 0);
+      peak_bdd_nodes = !peak_bdd;
+      sat_calls = !sat_calls;
+      eq_pct = (match partition with Some p -> equivalence_percentage product p | None -> 0.0);
+      seconds = Sys.time () -. start;
+    }
+  in
+  let relation = ref None in
+  let finish verdict = (verdict, product, !relation) in
+  finish
+  @@
+  match simulate_difference ~seed:options.seed ~n_frames:options.presim_frames spec impl with
+  | Some (frame, trace) -> Not_equivalent { frame; trace = Some trace; stats = mk_stats None }
+  | None ->
+  (* exhaustive refutation up to a small depth: catches corner-case
+     differences random simulation misses and yields a concrete trace *)
+  match
+    if options.bmc_depth <= 0 then Reach.Bmc.No_counterexample (-1)
+    else Reach.Bmc.check ~max_depth:options.bmc_depth product.Product.aig
+  with
+  | Reach.Bmc.Counterexample cex ->
+    Not_equivalent
+      {
+        frame = cex.Reach.Bmc.depth;
+        trace = Some cex.Reach.Bmc.inputs;
+        stats = mk_stats None;
+      }
+  | Reach.Bmc.No_counterexample _ | Reach.Bmc.Budget _ ->
+    let rec round n =
+      let pol = Product.reference_values ~seed:options.seed product in
+      let partition =
+        Partition.create
+          ~n_nodes:(Aig.num_nodes product.Product.aig)
+          ~candidates:(candidate_nodes options product)
+          ~pol
+      in
+      if options.use_sim_seed then
+        ignore (Simseed.refine ~seed:options.seed ~n_frames:options.sim_frames product partition);
+      relation := Some partition;
+      try
+        let engine =
+          try make_engine options product pol with
+          | Engine_bdd.Budget_exceeded msg | Engine_sat.Budget_exceeded msg ->
+            raise (Budget msg)
+          | Bdd.Limit_exceeded -> raise (Budget "bdd nodes")
+        in
+        let record_stats () =
+          peak_bdd := max !peak_bdd (engine.peak_bdd ());
+          sat_calls := !sat_calls + engine.n_sat_calls ()
+        in
+        engine.refine_initial partition;
+        (* conclusive check: before any Eq.3 refinement, a split output
+           pair reflects a genuine difference at (or simulated from) the
+           initial state.  Only available when the outputs themselves are
+           candidates. *)
+        if
+          options.candidates = All_signals
+          && not (outputs_in_same_class product partition)
+        then begin
+          record_stats ();
+          Not_equivalent { frame = 0; trace = None; stats = mk_stats (Some partition) }
+        end
+        else begin
+          while engine.refine_once partition do
+            incr iterations
+          done;
+          incr iterations;
+          record_stats ();
+          if outputs_proved options product partition then
+            Equivalent (mk_stats (Some partition))
+          else if options.use_retime && n < options.max_retime_rounds then begin
+            incr retime_rounds;
+            let added = Retime_aug.augment product in
+            if added > 0 then round (n + 1) else Unknown (mk_stats (Some partition))
+          end
+          else Unknown (mk_stats (Some partition))
+        end
+      with Budget _ -> Unknown (mk_stats (Some partition))
+    in
+    round 0
+
+let run ?options spec impl =
+  let verdict, _, _ = run_with_relation ?options spec impl in
+  verdict
+
+(* Register correspondence only ([5], [9]): the special case whose
+   generalization to all signals is the paper's contribution. *)
+let register_correspondence ?(options = default_options) spec impl =
+  run ~options:{ options with candidates = Registers_only } spec impl
+
+(* Human-readable dump of the multi-member classes of the final relation:
+   each entry tags the node with its side, id, kind and polarity. *)
+let pp_relation ppf (product, partition) =
+  let aig = product.Product.aig in
+  let describe id =
+    let side =
+      match (Product.node_is_spec product id, Product.node_is_impl product id) with
+      | true, true -> "shared"
+      | true, false -> "spec"
+      | false, true -> "impl"
+      | false, false -> if Product.node_is_helper product id then "retime" else "miter"
+    in
+    let kind =
+      match Aig.node aig id with
+      | Aig.Const -> "const"
+      | Aig.Pi i -> Printf.sprintf "pi%d" i
+      | Aig.Latch i -> Printf.sprintf "latch%d" i
+      | Aig.And _ -> Printf.sprintf "and%d" id
+    in
+    Printf.sprintf "%s%s:%s" (if Partition.polarity partition id then "~" else "") side kind
+  in
+  let classes = Partition.multi_member_classes partition in
+  Format.fprintf ppf "signal correspondence relation: %d classes (%d with partners)@."
+    (Partition.n_classes partition) (List.length classes);
+  List.iter
+    (fun cls ->
+      Format.fprintf ppf "  {%s}@."
+        (String.concat ", " (List.map describe (Partition.members partition cls))))
+    classes
+
+(* Portfolio mode: what a production deployment runs.  Strategies are
+   tried in increasing cost order until one returns a conclusive verdict;
+   every strategy is sound, so the first conclusive answer stands.  The
+   budget-limited BDD engine comes first (the paper), then the SAT engine,
+   then its k-inductive strengthenings. *)
+let portfolio ?(options = default_options) ?(max_unroll = 3) spec impl =
+  let strategies =
+    { options with engine = Bdd_engine }
+    :: List.concat_map
+         (fun k -> [ { options with engine = Sat_engine; sat_unroll = k } ])
+         (List.init max_unroll (fun i -> i + 1))
+  in
+  let rec try_all last = function
+    | [] -> (match last with Some v -> v | None -> assert false)
+    | opts :: rest -> (
+      match run ~options:opts spec impl with
+      | (Equivalent _ | Not_equivalent _) as verdict -> verdict
+      | Unknown _ as verdict -> try_all (Some verdict) rest)
+  in
+  try_all None strategies

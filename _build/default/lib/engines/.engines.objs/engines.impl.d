@@ -1,0 +1,1 @@
+lib/engines/engines.ml: Aig_bdd Cec

@@ -1,0 +1,1 @@
+lib/engines/engines.mli: Aig Bdd Sat

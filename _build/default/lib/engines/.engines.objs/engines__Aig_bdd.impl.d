@@ -1,0 +1,1 @@
+lib/engines/aig_bdd.ml: Aig Array Bdd

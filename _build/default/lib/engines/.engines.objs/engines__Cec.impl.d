@@ -1,0 +1,1 @@
+lib/engines/cec.ml: Aig Aig_bdd Array Bdd Int64 List Printf Random Sat

@@ -1,0 +1,32 @@
+(* Building BDDs for every node of an AIG.  The variable mapping for PIs
+   and latch outputs is supplied by the caller, so the same code serves
+   combinational equivalence (latches as free inputs), symbolic traversal
+   (latches as current-state variables) and the two-time-frame checks of
+   signal correspondence. *)
+
+(* Returns a function from AIG literal to BDD.  All node functions are
+   built eagerly in topological (id) order. *)
+let build m aig ~pi_var ~latch_var =
+  let n = Aig.num_nodes aig in
+  let funcs = Array.make n Bdd.zero in
+  let bdd_of_lit l =
+    let f = funcs.(Aig.node_of_lit l) in
+    if Aig.lit_is_compl l then Bdd.mk_not m f else f
+  in
+  for id = 0 to n - 1 do
+    funcs.(id) <-
+      (match Aig.node aig id with
+      | Aig.Const -> Bdd.zero
+      | Aig.Pi i -> pi_var i
+      | Aig.Latch i -> latch_var i
+      | Aig.And (a, b) -> Bdd.mk_and m (bdd_of_lit a) (bdd_of_lit b))
+  done;
+  bdd_of_lit
+
+(* Standard variable layout used by several clients: PIs first, then latch
+   outputs (optionally interleaved later by reordering). *)
+let build_default m aig =
+  let n_pis = Aig.num_pis aig in
+  build m aig
+    ~pi_var:(fun i -> Bdd.var m i)
+    ~latch_var:(fun i -> Bdd.var m (n_pis + i))

@@ -1,0 +1,4 @@
+(* Public API of the combinational-equivalence library; see engines.mli. *)
+
+module Aig_bdd = Aig_bdd
+module Cec = Cec

@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Bench Blif Circuit Sim Verilog

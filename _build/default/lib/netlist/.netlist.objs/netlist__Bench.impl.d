@@ -1,0 +1,1 @@
+lib/netlist/bench.ml: Array Buffer Circuit Filename Hashtbl List Printf String

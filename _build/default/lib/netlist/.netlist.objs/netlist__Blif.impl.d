@@ -1,0 +1,1 @@
+lib/netlist/blif.ml: Array Buffer Bytes Circuit Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/netlist/circuit.ml: Array Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/netlist/sim.ml: Array Circuit Hashtbl Int64 List Random

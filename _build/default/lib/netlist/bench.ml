@@ -1,0 +1,192 @@
+(* Reader/writer for the ISCAS'89 ".bench" netlist format — the format in
+   which the paper's benchmark circuits are traditionally distributed:
+
+     INPUT(G0)
+     OUTPUT(G17)
+     G10 = DFF(G14)
+     G11 = NOT(G0)
+     G17 = NAND(G10, G11)
+
+   DFF initial values are not representable in .bench; they are taken as 0
+   on input (the usual convention) and initial-1 latches are emitted
+   through an inverter pair with a warning comment on output. *)
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type raw_gate = { target : string; func : string; args : string list }
+
+let parse_raw text =
+  let inputs = ref [] and outputs = ref [] and gates = ref [] in
+  let handle line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    let line = String.trim line in
+    if line = "" then ()
+    else begin
+      let upper = String.uppercase_ascii line in
+      let bracketed prefix =
+        (* e.g. INPUT(G0) *)
+        let start = String.length prefix + 1 in
+        match String.index_opt line ')' with
+        | Some stop when stop > start -> Some (String.trim (String.sub line start (stop - start)))
+        | _ -> None
+      in
+      if String.length upper >= 6 && String.sub upper 0 6 = "INPUT(" then
+        match bracketed "INPUT" with
+        | Some name -> inputs := name :: !inputs
+        | None -> parse_error "malformed INPUT: %s" line
+      else if String.length upper >= 7 && String.sub upper 0 7 = "OUTPUT(" then
+        match bracketed "OUTPUT" with
+        | Some name -> outputs := name :: !outputs
+        | None -> parse_error "malformed OUTPUT: %s" line
+      else
+        match String.index_opt line '=' with
+        | None -> parse_error "expected assignment: %s" line
+        | Some eq ->
+          let target = String.trim (String.sub line 0 eq) in
+          let rhs = String.trim (String.sub line (eq + 1) (String.length line - eq - 1)) in
+          (match (String.index_opt rhs '(', String.rindex_opt rhs ')') with
+          | Some op, Some cp when cp > op ->
+            let func = String.uppercase_ascii (String.trim (String.sub rhs 0 op)) in
+            let args =
+              String.sub rhs (op + 1) (cp - op - 1)
+              |> String.split_on_char ','
+              |> List.map String.trim
+              |> List.filter (fun s -> s <> "")
+            in
+            gates := { target; func; args } :: !gates
+          | _ -> parse_error "malformed gate: %s" line)
+    end
+  in
+  List.iter handle (String.split_on_char '\n' text);
+  (List.rev !inputs, List.rev !outputs, List.rev !gates)
+
+let gate_fn_of_func line = function
+  | "AND" -> Circuit.And
+  | "OR" -> Circuit.Or
+  | "NAND" -> Circuit.Nand
+  | "NOR" -> Circuit.Nor
+  | "XOR" -> Circuit.Xor
+  | "XNOR" -> Circuit.Xnor
+  | "NOT" | "INV" -> Circuit.Not
+  | "BUF" | "BUFF" -> Circuit.Buf
+  | func -> parse_error "unsupported gate %s in: %s" func line
+
+let parse_string ?(model = "bench") text =
+  let inputs, outputs, gates = parse_raw text in
+  let c = Circuit.create model in
+  let env : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace env n (Circuit.add_input ~name:n c)) inputs;
+  let defs : (string, raw_gate) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun g -> Hashtbl.replace defs g.target g) gates;
+  (* DFF outputs are nets available from the start *)
+  List.iter
+    (fun g ->
+      if g.func = "DFF" then Hashtbl.replace env g.target (Circuit.add_latch ~name:g.target c ~init:false))
+    gates;
+  let building = Hashtbl.create 16 in
+  let rec net_of name =
+    match Hashtbl.find_opt env name with
+    | Some net -> net
+    | None -> (
+      if Hashtbl.mem building name then parse_error "combinational cycle at %s" name;
+      Hashtbl.replace building name ();
+      match Hashtbl.find_opt defs name with
+      | None -> parse_error "undefined signal %s" name
+      | Some g ->
+        let fanins = List.map net_of g.args in
+        let net =
+          Circuit.add_gate ~name c
+            (gate_fn_of_func (g.target ^ " = " ^ g.func) g.func)
+            fanins
+        in
+        Hashtbl.replace env name net;
+        Hashtbl.remove building name;
+        net)
+  in
+  List.iter
+    (fun g ->
+      if g.func = "DFF" then begin
+        match g.args with
+        | [ d ] -> Circuit.set_latch_data c (Hashtbl.find env g.target) ~data:(net_of d)
+        | _ -> parse_error "DFF takes one argument: %s" g.target
+      end
+      else ignore (net_of g.target))
+    gates;
+  List.iter (fun name -> Circuit.add_output c name (net_of name)) outputs;
+  c
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse_string ~model:(Filename.remove_extension (Filename.basename path)) text
+
+let net_label c net =
+  match Circuit.name_of c net with Some n -> n | None -> Printf.sprintf "n%d" net
+
+let to_string c =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "# %s\n" (Circuit.model c);
+  List.iter (fun net -> pr "INPUT(%s)\n" (net_label c net)) (Circuit.inputs c);
+  List.iter (fun (name, _) -> pr "OUTPUT(%s)\n" name) (Circuit.outputs c);
+  (* output aliases for named outputs that differ from their net's label *)
+  List.iter
+    (fun (name, net) ->
+      if name <> net_label c net then pr "%s = BUFF(%s)\n" name (net_label c net))
+    (Circuit.outputs c);
+  List.iter
+    (fun latch ->
+      if Circuit.latch_init c latch then
+        pr "# warning: latch %s has initial value 1, not representable in .bench\n"
+          (net_label c latch);
+      pr "%s = DFF(%s)\n" (net_label c latch) (net_label c (Circuit.latch_data c latch)))
+    (Circuit.latches c);
+  for net = 0 to Circuit.num_nets c - 1 do
+    match Circuit.node c net with
+    | Circuit.Gate (fn, fanins) ->
+      let ins = String.concat ", " (Array.to_list (Array.map (net_label c) fanins)) in
+      let func =
+        match fn with
+        | Circuit.And -> "AND"
+        | Circuit.Or -> "OR"
+        | Circuit.Nand -> "NAND"
+        | Circuit.Nor -> "NOR"
+        | Circuit.Xor -> "XOR"
+        | Circuit.Xnor -> "XNOR"
+        | Circuit.Not -> "NOT"
+        | Circuit.Buf -> "BUFF"
+        | Circuit.Const0 | Circuit.Const1 -> ""
+      in
+      (match fn with
+      | Circuit.Const0 ->
+        (* no constants in .bench: x & !x *)
+        let label = net_label c net in
+        (match Circuit.inputs c with
+        | first :: _ ->
+          pr "%s_not = NOT(%s)\n" label (net_label c first);
+          pr "%s = AND(%s, %s_not)\n" label (net_label c first) label
+        | [] -> parse_error "cannot emit constant without inputs")
+      | Circuit.Const1 ->
+        let label = net_label c net in
+        (match Circuit.inputs c with
+        | first :: _ ->
+          pr "%s_not = NOT(%s)\n" label (net_label c first);
+          pr "%s = OR(%s, %s_not)\n" label (net_label c first) label
+        | [] -> parse_error "cannot emit constant without inputs")
+      | _ -> pr "%s = %s(%s)\n" (net_label c net) func ins)
+    | Circuit.Input | Circuit.Latch _ -> ()
+  done;
+  Buffer.contents buf
+
+let to_file path c =
+  let oc = open_out path in
+  output_string oc (to_string c);
+  close_out oc

@@ -1,0 +1,178 @@
+(* Gate-level sequential circuits: the external representation in which
+   benchmarks are written and exchanged (BLIF).  Nets are dense integer
+   ids; each net is driven by exactly one node.  Latches are D flip-flops
+   with an explicit initial value, matching the paper's FSM model with a
+   specified initial state. *)
+
+type gate_fn =
+  | And
+  | Or
+  | Nand
+  | Nor
+  | Xor
+  | Xnor
+  | Not
+  | Buf
+  | Const0
+  | Const1
+
+type node =
+  | Input
+  | Gate of gate_fn * int array
+  | Latch of { mutable data : int; init : bool }
+
+type t = {
+  model : string;
+  mutable nodes : node array;
+  mutable n_nodes : int;
+  mutable rev_inputs : int list;
+  mutable rev_latches : int list;
+  mutable rev_outputs : (string * int) list;
+  net_name : (int, string) Hashtbl.t;
+  name_net : (string, int) Hashtbl.t;
+}
+
+let create model =
+  {
+    model;
+    nodes = Array.make 64 Input;
+    n_nodes = 0;
+    rev_inputs = [];
+    rev_latches = [];
+    rev_outputs = [];
+    net_name = Hashtbl.create 64;
+    name_net = Hashtbl.create 64;
+  }
+
+let model t = t.model
+let num_nets t = t.n_nodes
+let node t net = t.nodes.(net)
+
+let set_name t net name =
+  Hashtbl.replace t.net_name net name;
+  Hashtbl.replace t.name_net name net
+
+let name_of t net = Hashtbl.find_opt t.net_name net
+let net_of_name t name = Hashtbl.find_opt t.name_net name
+
+let fresh t node =
+  if t.n_nodes = Array.length t.nodes then begin
+    let bigger = Array.make (2 * t.n_nodes) Input in
+    Array.blit t.nodes 0 bigger 0 t.n_nodes;
+    t.nodes <- bigger
+  end;
+  t.nodes.(t.n_nodes) <- node;
+  t.n_nodes <- t.n_nodes + 1;
+  t.n_nodes - 1
+
+let add_input ?name t =
+  let net = fresh t Input in
+  (match name with Some n -> set_name t net n | None -> ());
+  t.rev_inputs <- net :: t.rev_inputs;
+  net
+
+let add_gate ?name t fn fanins =
+  (match fn with
+  | Not | Buf ->
+    if List.length fanins <> 1 then invalid_arg "Circuit.add_gate: unary gate arity"
+  | Const0 | Const1 ->
+    if fanins <> [] then invalid_arg "Circuit.add_gate: constant gate arity"
+  | And | Or | Nand | Nor | Xor | Xnor ->
+    if fanins = [] then invalid_arg "Circuit.add_gate: empty fanin");
+  List.iter
+    (fun f -> if f < 0 || f >= t.n_nodes then invalid_arg "Circuit.add_gate: bad fanin")
+    fanins;
+  let net = fresh t (Gate (fn, Array.of_list fanins)) in
+  (match name with Some n -> set_name t net n | None -> ());
+  net
+
+let add_latch ?name t ~init =
+  let net = fresh t (Latch { data = -1; init }) in
+  (match name with Some n -> set_name t net n | None -> ());
+  t.rev_latches <- net :: t.rev_latches;
+  net
+
+let set_latch_data t latch ~data =
+  if data < 0 || data >= t.n_nodes then invalid_arg "Circuit.set_latch_data: bad net";
+  match t.nodes.(latch) with
+  | Latch l -> l.data <- data
+  | Input | Gate _ -> invalid_arg "Circuit.set_latch_data: not a latch"
+
+let add_output t name net =
+  if net < 0 || net >= t.n_nodes then invalid_arg "Circuit.add_output: bad net";
+  t.rev_outputs <- (name, net) :: t.rev_outputs
+
+let inputs t = List.rev t.rev_inputs
+let latches t = List.rev t.rev_latches
+let outputs t = List.rev t.rev_outputs
+
+let latch_data t latch =
+  match t.nodes.(latch) with
+  | Latch l -> l.data
+  | Input | Gate _ -> invalid_arg "Circuit.latch_data: not a latch"
+
+let latch_init t latch =
+  match t.nodes.(latch) with
+  | Latch l -> l.init
+  | Input | Gate _ -> invalid_arg "Circuit.latch_init: not a latch"
+
+(* Convenience constructors *)
+let band t a b = add_gate t And [ a; b ]
+let bor t a b = add_gate t Or [ a; b ]
+let bxor t a b = add_gate t Xor [ a; b ]
+let bnot t a = add_gate t Not [ a ]
+let bmux t ~sel ~t1 ~t0 =
+  (* sel ? t1 : t0 *)
+  bor t (band t sel t1) (band t (bnot t sel) t0)
+
+let const0 t = add_gate t Const0 []
+let const1 t = add_gate t Const1 []
+
+(* Topological order of the combinational part: inputs, constants and latch
+   outputs are sources; gates appear after all their fanins.
+   @raise Failure on a combinational cycle. *)
+let topo_order t =
+  let state = Array.make t.n_nodes 0 in
+  (* 0 = unvisited, 1 = on stack, 2 = done *)
+  let order = ref [] in
+  let rec visit net =
+    match state.(net) with
+    | 2 -> ()
+    | 1 -> failwith "Circuit.topo_order: combinational cycle"
+    | _ ->
+      state.(net) <- 1;
+      (match t.nodes.(net) with
+      | Input | Latch _ -> ()
+      | Gate (_, fanins) -> Array.iter visit fanins);
+      state.(net) <- 2;
+      order := net :: !order
+  in
+  for net = 0 to t.n_nodes - 1 do
+    visit net
+  done;
+  List.rev !order
+
+let validate t =
+  try
+    List.iter
+      (fun latch ->
+        if latch_data t latch < 0 then
+          failwith (Printf.sprintf "latch %d has no data input" latch))
+      (latches t);
+    ignore (topo_order t);
+    Ok ()
+  with Failure msg -> Error msg
+
+let pp_stats ppf t =
+  let n_gates =
+    let count = ref 0 in
+    for net = 0 to t.n_nodes - 1 do
+      match t.nodes.(net) with Gate _ -> incr count | Input | Latch _ -> ()
+    done;
+    !count
+  in
+  Format.fprintf ppf "%s: %d inputs, %d outputs, %d latches, %d gates" t.model
+    (List.length (inputs t))
+    (List.length (outputs t))
+    (List.length (latches t))
+    n_gates

@@ -1,0 +1,7 @@
+(* Public API of the netlist library; see netlist.mli. *)
+
+include Circuit
+module Blif = Blif
+module Bench = Bench
+module Verilog = Verilog
+module Sim = Sim

@@ -1,0 +1,143 @@
+(** Gate-level sequential circuits.
+
+    The external circuit representation: multi-input gates over named nets,
+    D flip-flops with explicit initial values (the paper's Mealy FSM with a
+    specified initial state), BLIF I/O and 64-way bit-parallel simulation.
+
+    Circuits are built imperatively: allocate nets with [add_*], then close
+    latch feedback with {!set_latch_data}.  {!validate} checks that the
+    result is well-formed. *)
+
+type gate_fn =
+  | And
+  | Or
+  | Nand
+  | Nor
+  | Xor
+  | Xnor
+  | Not
+  | Buf
+  | Const0
+  | Const1
+
+type node = Input | Gate of gate_fn * int array | Latch of { mutable data : int; init : bool }
+
+type t
+(** A circuit under construction or completed; nets are dense ints. *)
+
+val create : string -> t
+(** [create model_name] is an empty circuit. *)
+
+val model : t -> string
+val num_nets : t -> int
+val node : t -> int -> node
+
+(** {1 Construction} *)
+
+val add_input : ?name:string -> t -> int
+val add_gate : ?name:string -> t -> gate_fn -> int list -> int
+
+val add_latch : ?name:string -> t -> init:bool -> int
+(** Allocate a latch output net; its data input is closed later with
+    {!set_latch_data}. *)
+
+val set_latch_data : t -> int -> data:int -> unit
+val add_output : t -> string -> int -> unit
+
+val band : t -> int -> int -> int
+val bor : t -> int -> int -> int
+val bxor : t -> int -> int -> int
+val bnot : t -> int -> int
+val bmux : t -> sel:int -> t1:int -> t0:int -> int
+val const0 : t -> int
+val const1 : t -> int
+
+(** {1 Naming} *)
+
+val set_name : t -> int -> string -> unit
+val name_of : t -> int -> string option
+val net_of_name : t -> string -> int option
+
+(** {1 Structure} *)
+
+val inputs : t -> int list
+(** Primary inputs in declaration order. *)
+
+val latches : t -> int list
+(** Latch output nets in declaration order. *)
+
+val outputs : t -> (string * int) list
+val latch_data : t -> int -> int
+val latch_init : t -> int -> bool
+
+val topo_order : t -> int list
+(** All nets, gates after their fanins.
+    @raise Failure on a combinational cycle. *)
+
+val validate : t -> (unit, string) result
+val pp_stats : Format.formatter -> t -> unit
+
+(** {1 BLIF I/O} *)
+
+module Blif : sig
+  exception Parse_error of string
+
+  val parse_string : string -> t
+  val parse_file : string -> t
+  val to_string : t -> string
+  val to_file : string -> t -> unit
+end
+
+(** {1 ISCAS'89 .bench I/O} *)
+
+module Bench : sig
+  exception Parse_error of string
+
+  val parse_string : ?model:string -> string -> t
+  (** DFF initial values are taken as 0 (the .bench convention). *)
+
+  val parse_file : string -> t
+  val to_string : t -> string
+  val to_file : string -> t -> unit
+end
+
+(** {1 Structural Verilog (write-only)} *)
+
+module Verilog : sig
+  val to_string : t -> string
+  (** One module with assigns for the gates and a clocked always-block
+      with reset-to-initial-value for the latches. *)
+
+  val to_file : string -> t -> unit
+end
+
+(** {1 Bit-parallel simulation} *)
+
+module Sim : sig
+  type circuit := t
+
+  type t
+  (** Simulator state: 64 parallel patterns per net. *)
+
+  val create : circuit -> t
+
+  val reset : t -> unit
+  (** Load every latch with its initial value (all 64 patterns alike). *)
+
+  val eval_comb : t -> int64 array -> unit
+  (** Evaluate combinational logic under the given input words (one word
+      per primary input, in declaration order). *)
+
+  val value : t -> int -> int64
+  (** Word of a net after {!eval_comb}. *)
+
+  val step : t -> unit
+  (** Clock edge: latches capture their data inputs. *)
+
+  val output_values : t -> (string * int64) list
+
+  val run : circuit -> int64 array list -> (string * int64) list list
+  (** Reset, then evaluate/step through the frames; outputs per frame. *)
+
+  val random_stimuli : seed:int -> n_inputs:int -> n_frames:int -> int64 array list
+end

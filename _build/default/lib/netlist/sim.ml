@@ -1,0 +1,108 @@
+(* Bit-parallel simulation of circuits: every net carries an [int64], i.e.
+   64 independent simulation patterns evaluated at once.  Used for random
+   simulation seeding (paper Section 4), for testing the synthesis
+   transformations, and as the reference semantics of a circuit. *)
+
+let gate_eval fn (values : int64 array) (fanins : int array) =
+  let open Int64 in
+  match fn with
+  | Circuit.And ->
+    Array.fold_left (fun acc f -> logand acc values.(f)) minus_one fanins
+  | Circuit.Or ->
+    Array.fold_left (fun acc f -> logor acc values.(f)) zero fanins
+  | Circuit.Nand ->
+    lognot (Array.fold_left (fun acc f -> logand acc values.(f)) minus_one fanins)
+  | Circuit.Nor ->
+    lognot (Array.fold_left (fun acc f -> logor acc values.(f)) zero fanins)
+  | Circuit.Xor ->
+    Array.fold_left (fun acc f -> logxor acc values.(f)) zero fanins
+  | Circuit.Xnor ->
+    lognot (Array.fold_left (fun acc f -> logxor acc values.(f)) zero fanins)
+  | Circuit.Not -> lognot values.(fanins.(0))
+  | Circuit.Buf -> values.(fanins.(0))
+  | Circuit.Const0 -> zero
+  | Circuit.Const1 -> minus_one
+
+type t = {
+  circuit : Circuit.t;
+  order : int list; (* topological order of gates *)
+  values : int64 array; (* one word per net *)
+  latch_state : (int, int64) Hashtbl.t;
+}
+
+let create circuit =
+  let order =
+    List.filter
+      (fun net ->
+        match Circuit.node circuit net with
+        | Circuit.Gate _ -> true
+        | Circuit.Input | Circuit.Latch _ -> false)
+      (Circuit.topo_order circuit)
+  in
+  {
+    circuit;
+    order;
+    values = Array.make (Circuit.num_nets circuit) 0L;
+    latch_state = Hashtbl.create 16;
+  }
+
+let reset sim =
+  List.iter
+    (fun latch ->
+      let init = Circuit.latch_init sim.circuit latch in
+      Hashtbl.replace sim.latch_state latch (if init then -1L else 0L))
+    (Circuit.latches sim.circuit)
+
+(* Evaluate the combinational logic for the given input words and the
+   current latch state; all net values become readable with [value]. *)
+let eval_comb sim input_words =
+  let inputs = Circuit.inputs sim.circuit in
+  if List.length inputs <> Array.length input_words then
+    invalid_arg "Sim.eval_comb: wrong number of input words";
+  List.iteri (fun i net -> sim.values.(net) <- input_words.(i)) inputs;
+  List.iter
+    (fun latch ->
+      sim.values.(latch) <-
+        (match Hashtbl.find_opt sim.latch_state latch with
+        | Some w -> w
+        | None -> 0L))
+    (Circuit.latches sim.circuit);
+  List.iter
+    (fun net ->
+      match Circuit.node sim.circuit net with
+      | Circuit.Gate (fn, fanins) -> sim.values.(net) <- gate_eval fn sim.values fanins
+      | Circuit.Input | Circuit.Latch _ -> ())
+    sim.order
+
+let value sim net = sim.values.(net)
+
+(* Advance the latches: each latch captures its data input. *)
+let step sim =
+  let next =
+    List.map
+      (fun latch -> (latch, sim.values.(Circuit.latch_data sim.circuit latch)))
+      (Circuit.latches sim.circuit)
+  in
+  List.iter (fun (latch, w) -> Hashtbl.replace sim.latch_state latch w) next
+
+let output_values sim =
+  List.map (fun (name, net) -> (name, sim.values.(net))) (Circuit.outputs sim.circuit)
+
+(* Run a full sequence: [stimuli] is a list of input-word frames; returns
+   the output frames in order. *)
+let run circuit stimuli =
+  let sim = create circuit in
+  reset sim;
+  List.map
+    (fun frame ->
+      eval_comb sim frame;
+      let outs = output_values sim in
+      step sim;
+      outs)
+    stimuli
+
+(* Deterministic pseudo-random stimuli for seeding and tests. *)
+let random_stimuli ~seed ~n_inputs ~n_frames =
+  let rng = Random.State.make [| seed |] in
+  List.init n_frames (fun _ ->
+      Array.init n_inputs (fun _ -> Random.State.int64 rng Int64.max_int))

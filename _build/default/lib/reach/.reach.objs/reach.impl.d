@@ -1,0 +1,1 @@
+lib/reach/reach.ml: Approx Bmc Fundep Induction Trans Traversal

@@ -1,0 +1,1 @@
+lib/reach/reach.mli: Aig Bdd

@@ -1,0 +1,1 @@
+lib/reach/approx.ml: Aig Array Bdd Hashtbl List Trans

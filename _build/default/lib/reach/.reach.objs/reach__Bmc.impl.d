@@ -1,0 +1,1 @@
+lib/reach/bmc.ml: Aig Array Int64 List Sat

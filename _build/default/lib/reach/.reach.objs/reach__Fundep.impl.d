@@ -1,0 +1,1 @@
+lib/reach/fundep.ml: Array Bdd List

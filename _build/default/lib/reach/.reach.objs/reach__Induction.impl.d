@@ -1,0 +1,1 @@
+lib/reach/induction.ml: Aig Array Bmc List Sat

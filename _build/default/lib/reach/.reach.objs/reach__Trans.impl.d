@@ -1,0 +1,1 @@
+lib/reach/trans.ml: Aig Array Bdd Engines Fun Hashtbl List

@@ -1,0 +1,1 @@
+lib/reach/traversal.ml: Array Bdd Fundep List Sys Trans

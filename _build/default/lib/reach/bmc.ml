@@ -1,0 +1,95 @@
+(* Bounded model checking by SAT unrolling: an exact complement to the
+   sound-but-incomplete fixed point.  The machine is unrolled frame by
+   frame from its initial state inside one incremental solver; at every
+   depth each PO is checked for a satisfying 0 (for product machines built
+   by {!Scorr.Product}, the "outputs_agree" PO is 0 exactly when some
+   output pair differs).  A hit yields a concrete input trace. *)
+
+type counterexample = {
+  depth : int; (* frame at which the property fails *)
+  inputs : bool array array; (* inputs.(t).(i): PI i at frame t, t <= depth *)
+  output : string; (* name of the failing PO *)
+}
+
+type result =
+  | No_counterexample of int (* clean up to this depth (inclusive) *)
+  | Counterexample of counterexample
+  | Budget of string
+
+(* Check that every PO of [aig] is 1 in all frames up to [max_depth].
+   POs listed in [ignore_outputs] are skipped. *)
+let check ?(max_depth = 20) ?(max_sat_calls = max_int) ?(ignore_outputs = []) aig =
+  let solver = Sat.create () in
+  let n_pis = Aig.num_pis aig in
+  let n_latches = Aig.num_latches aig in
+  let pos =
+    List.filter (fun (name, _) -> not (List.mem name ignore_outputs)) (Aig.pos aig)
+  in
+  let pi_frames = ref [] in
+  (* latch variables of the current frame; frame 0 is the initial state *)
+  let latch_vars =
+    ref
+      (Array.init n_latches (fun i ->
+           let v = Sat.new_var solver in
+           Sat.add_clause solver [ Sat.Lit.make v (Aig.latch_init aig i) ];
+           v))
+  in
+  let calls = ref 0 in
+  let exception Found of counterexample in
+  let exception Out_of_budget in
+  try
+    for depth = 0 to max_depth do
+      let x_vars = Array.init n_pis (fun _ -> Sat.new_var solver) in
+      pi_frames := x_vars :: !pi_frames;
+      let lit_of =
+        Aig.Cnf.encode solver aig
+          ~pi_var:(fun i -> x_vars.(i))
+          ~latch_var:(fun i -> !latch_vars.(i))
+      in
+      (* property checks at this depth *)
+      List.iter
+        (fun (name, l) ->
+          let po = lit_of l in
+          incr calls;
+          if !calls > max_sat_calls then raise Out_of_budget;
+          match Sat.solve ~assumptions:[ Sat.Lit.negate po ] solver with
+          | Sat.Unsat -> ()
+          | Sat.Sat ->
+            let frames = List.rev !pi_frames in
+            let inputs =
+              Array.of_list
+                (List.map (fun xs -> Array.map (fun v -> Sat.value solver v) xs) frames)
+            in
+            raise (Found { depth; inputs; output = name }))
+        pos;
+      (* advance the state *)
+      latch_vars :=
+        Array.init n_latches (fun i ->
+            let v = Sat.new_var solver in
+            let next = lit_of (Aig.latch_next aig i) in
+            Sat.add_clause solver [ Sat.Lit.neg v; next ];
+            Sat.add_clause solver [ Sat.Lit.pos v; Sat.Lit.negate next ];
+            v)
+    done;
+    No_counterexample max_depth
+  with
+  | Found cex -> Counterexample cex
+  | Out_of_budget -> Budget "sat calls"
+
+(* Replay a counterexample on the AIG: returns the failing PO's value at
+   the final frame (must be false for a genuine counterexample). *)
+let replay aig cex =
+  let to_words frame = Array.map (fun b -> if b then -1L else 0L) frame in
+  let state = ref (Aig.Sim.initial_latch_words aig) in
+  let final = ref true in
+  Array.iteri
+    (fun t frame ->
+      let values, next = Aig.Sim.step aig ~pi_words:(to_words frame) ~latch_words:!state in
+      state := next;
+      if t = cex.depth then begin
+        match List.assoc_opt cex.output (Aig.pos aig) with
+        | Some l -> final := Int64.logand 1L (Aig.Sim.lit_word values l) = 1L
+        | None -> ()
+      end)
+    cex.inputs;
+  not !final

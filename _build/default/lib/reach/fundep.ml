@@ -1,0 +1,55 @@
+(* Functional dependencies between state variables, after van Eijk & Jess
+   [6]: inside a state set R, variable v is functionally dependent on the
+   remaining variables iff R|v=0 /\ R|v=1 is empty; the dependency function
+   is g = R|v=1 (exact on the care set R).  Substituting v := g compresses
+   both the reached set and the next-state functions — this is what lets
+   plain symbolic traversal cope with product machines, where the
+   implementation's state is largely a function of the specification's. *)
+
+type dependency = { var : int; fn : Bdd.t }
+
+(* Detect variables of [candidates] functionally dependent in [r].
+   Dependencies are extracted greedily and applied immediately, so later
+   dependency functions never mention earlier dependent variables.
+   Returns the dependencies and the compressed set (dependent variables
+   quantified away). *)
+let detect m r ~candidates =
+  let deps = ref [] in
+  let r = ref r in
+  List.iter
+    (fun v ->
+      let r0 = Bdd.cofactor m !r v false in
+      let r1 = Bdd.cofactor m !r v true in
+      if Bdd.is_false (Bdd.mk_and m r0 r1) then begin
+        deps := { var = v; fn = r1 } :: !deps;
+        r := Bdd.mk_or m r0 r1
+      end)
+    candidates;
+  (* a function extracted early may still mention variables made dependent
+     later; back-substitute (last extracted first, whose function is
+     already clean) so every dependency function is free of every
+     dependent variable *)
+  let nvars = Bdd.nvars m in
+  let subst = Array.make nvars None in
+  let cleaned =
+    List.fold_left
+      (fun acc d ->
+        let fn = Bdd.vector_compose m d.fn subst in
+        subst.(d.var) <- Some fn;
+        { d with fn } :: acc)
+      [] !deps
+  in
+  (cleaned, !r)
+
+(* Substitution array for {!Bdd.vector_compose} from a dependency list. *)
+let substitution m ~nvars deps =
+  ignore m;
+  let subst = Array.make nvars None in
+  List.iter (fun { var; fn } -> subst.(var) <- Some fn) deps;
+  subst
+
+(* Reconstruct the full set from a compressed set and its dependencies. *)
+let reconstruct m compressed deps =
+  List.fold_left
+    (fun acc { var; fn } -> Bdd.mk_and m acc (Bdd.mk_iff m (Bdd.var m var) fn))
+    compressed deps

@@ -1,0 +1,8 @@
+(* Public API of the symbolic-traversal library; see reach.mli. *)
+
+module Trans = Trans
+module Traversal = Traversal
+module Fundep = Fundep
+module Approx = Approx
+module Bmc = Bmc
+module Induction = Induction

@@ -1,0 +1,1 @@
+lib/sat/sat.mli: Format

@@ -1,0 +1,1 @@
+lib/sat/dimacs.ml: Buffer List Lit Printf Solver String

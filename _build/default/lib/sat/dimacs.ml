@@ -1,0 +1,52 @@
+(* DIMACS CNF reading/writing, for interop and for test fixtures. *)
+
+type cnf = { nvars : int; clauses : int list list }
+(* clauses hold DIMACS integers (1-based, sign = polarity) *)
+
+let parse_string text =
+  let nvars = ref 0 in
+  let clauses = ref [] in
+  let current = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [ "p"; "cnf"; nv; _nc ] -> nvars := int_of_string nv
+        | _ -> failwith "Dimacs.parse: malformed problem line"
+      end
+      else
+        String.split_on_char ' ' line
+        |> List.filter (fun s -> s <> "")
+        |> List.iter (fun tok ->
+               let i = int_of_string tok in
+               if i = 0 then begin
+                 clauses := List.rev !current :: !clauses;
+                 current := []
+               end
+               else begin
+                 nvars := max !nvars (abs i);
+                 current := i :: !current
+               end))
+    lines;
+  if !current <> [] then clauses := List.rev !current :: !clauses;
+  { nvars = !nvars; clauses = List.rev !clauses }
+
+let to_string { nvars; clauses } =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" nvars (List.length clauses));
+  List.iter
+    (fun clause ->
+      List.iter (fun l -> Buffer.add_string buf (string_of_int l ^ " ")) clause;
+      Buffer.add_string buf "0\n")
+    clauses;
+  Buffer.contents buf
+
+let load_into solver { nvars; clauses } =
+  Solver.ensure_vars solver nvars;
+  List.iter
+    (fun clause -> Solver.add_clause solver (List.map Lit.of_int clause))
+    clauses

@@ -1,0 +1,22 @@
+(* Literals encoded as ints: variable [v] yields literals [2v] (positive)
+   and [2v+1] (negative), the usual MiniSat packing. *)
+
+type t = int
+
+let make v sign = if sign then 2 * v else (2 * v) + 1
+let pos v = 2 * v
+let neg v = (2 * v) + 1
+let var (l : t) = l lsr 1
+let negate (l : t) = l lxor 1
+let sign (l : t) = l land 1 = 0
+
+let to_int (l : t) =
+  let v = var l + 1 in
+  if sign l then v else -v
+
+let of_int i =
+  if i = 0 then invalid_arg "Lit.of_int: zero";
+  if i > 0 then pos (i - 1) else neg (-i - 1)
+
+let to_string l = string_of_int (to_int l)
+let pp ppf l = Format.pp_print_string ppf (to_string l)

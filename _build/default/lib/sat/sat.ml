@@ -1,0 +1,23 @@
+(* Public API of the SAT library; see sat.mli. *)
+
+module Lit = Lit
+
+type t = Solver.t
+type result = Solver.result = Sat | Unsat
+
+let create = Solver.create
+let new_var = Solver.new_var
+let ensure_vars = Solver.ensure_vars
+let add_clause = Solver.add_clause
+let solve = Solver.solve
+let value = Solver.model_value
+let model = Solver.model
+let is_consistent = Solver.is_consistent
+let num_vars = Solver.num_vars
+let num_clauses = Solver.num_clauses
+let num_learnts = Solver.num_learnts
+let num_conflicts = Solver.num_conflicts
+let num_decisions = Solver.num_decisions
+let num_propagations = Solver.num_propagations
+
+module Dimacs = Dimacs

@@ -1,0 +1,84 @@
+(** A CDCL SAT solver.
+
+    Two-watched-literal propagation, first-UIP clause learning, VSIDS
+    branching, phase saving, Luby restarts and learned-clause reduction —
+    the combinational engine "based on the introduction of extra variables
+    representing intermediate signals" that the paper lists as future work.
+
+    Typical use: create a solver, allocate variables, add clauses, then call
+    {!solve} (optionally under assumptions, which enables incremental
+    equivalence queries without copying the clause database). *)
+
+(** Literals packed as ints ([2v] positive, [2v+1] negative). *)
+module Lit : sig
+  type t = int
+
+  val make : int -> bool -> t
+  (** [make v sign]: positive literal of [v] when [sign]. *)
+
+  val pos : int -> t
+  val neg : int -> t
+
+  val var : t -> int
+  val negate : t -> t
+
+  val sign : t -> bool
+  (** [true] iff the literal is positive. *)
+
+  val to_int : t -> int
+  (** DIMACS integer (1-based, sign = polarity). *)
+
+  val of_int : int -> t
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+end
+
+type t
+(** A solver instance (mutable). *)
+
+type result = Sat | Unsat
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate and return a fresh variable index. *)
+
+val ensure_vars : t -> int -> unit
+(** Make sure variables [0 .. n-1] exist. *)
+
+val add_clause : t -> Lit.t list -> unit
+(** Add a clause (at decision level 0).  Tautologies are dropped; an empty
+    clause makes the instance permanently inconsistent. *)
+
+val solve : ?assumptions:Lit.t list -> t -> result
+(** Solve under optional assumptions.  Assumptions are temporary: they hold
+    for this call only.  After [Sat] the model is readable with {!value} /
+    {!model}. *)
+
+val value : t -> int -> bool
+(** Model value of a variable after a [Sat] answer (arbitrary but fixed for
+    unconstrained variables). *)
+
+val model : t -> bool array
+
+val is_consistent : t -> bool
+(** [false] once an empty clause has been derived at level 0. *)
+
+(** {1 Statistics} *)
+
+val num_vars : t -> int
+val num_clauses : t -> int
+val num_learnts : t -> int
+val num_conflicts : t -> int
+val num_decisions : t -> int
+val num_propagations : t -> int
+
+(** {1 DIMACS} *)
+
+module Dimacs : sig
+  type cnf = { nvars : int; clauses : int list list }
+
+  val parse_string : string -> cnf
+  val to_string : cnf -> string
+  val load_into : t -> cnf -> unit
+end

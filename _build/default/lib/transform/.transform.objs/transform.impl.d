@@ -1,0 +1,1 @@
+lib/transform/transform.ml: Fraig Mutate Opt Retime

@@ -1,0 +1,1 @@
+lib/transform/transform.mli: Aig Format

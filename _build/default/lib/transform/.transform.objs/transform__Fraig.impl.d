@@ -1,0 +1,1 @@
+lib/transform/fraig.ml: Aig Array Hashtbl Int64 List Random Sat

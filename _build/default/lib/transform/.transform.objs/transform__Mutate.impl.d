@@ -1,0 +1,1 @@
+lib/transform/mutate.ml: Aig Array Format List Random

@@ -1,0 +1,1 @@
+lib/transform/opt.ml: Aig Array Hashtbl Int Int64 List Random Set

@@ -1,0 +1,1 @@
+lib/transform/retime.ml: Aig Array List

@@ -1,0 +1,124 @@
+(* Fault injection: produce a structurally similar but (usually) not
+   equivalent variant of a circuit.  Used to test that the checkers reject
+   broken "optimizations" — the negative direction of verification. *)
+
+type fault =
+  | Flip_fanin_polarity of int (* and-node id *)
+  | And_to_or of int (* and-node id *)
+  | Flip_latch_init of int (* latch index *)
+  | Swap_latch_nexts of int * int
+  | Stuck_output of string (* output forced to constant *)
+
+let pp_fault ppf = function
+  | Flip_fanin_polarity id -> Format.fprintf ppf "flip fanin polarity of and-%d" id
+  | And_to_or id -> Format.fprintf ppf "replace and-%d by or" id
+  | Flip_latch_init i -> Format.fprintf ppf "flip init of latch %d" i
+  | Swap_latch_nexts (i, j) -> Format.fprintf ppf "swap next-states of latches %d/%d" i j
+  | Stuck_output name -> Format.fprintf ppf "stick output %s at 0" name
+
+let and_ids aig =
+  let acc = ref [] in
+  for id = Aig.num_nodes aig - 1 downto 0 do
+    match Aig.node aig id with
+    | Aig.And _ -> acc := id :: !acc
+    | Aig.Const | Aig.Pi _ | Aig.Latch _ -> ()
+  done;
+  !acc
+
+let pick_fault ~seed aig =
+  let rng = Random.State.make [| seed; 0xbad |] in
+  let ands = and_ids aig in
+  let n_latches = Aig.num_latches aig in
+  let candidates =
+    List.concat
+      [ (match ands with
+        | [] -> []
+        | _ ->
+          let pick () = List.nth ands (Random.State.int rng (List.length ands)) in
+          [ Flip_fanin_polarity (pick ()); And_to_or (pick ()) ]);
+        (if n_latches > 0 then [ Flip_latch_init (Random.State.int rng n_latches) ] else []);
+        (if n_latches > 1 then
+           let i = Random.State.int rng n_latches in
+           let j = (i + 1 + Random.State.int rng (n_latches - 1)) mod n_latches in
+           [ Swap_latch_nexts (i, j) ]
+         else []);
+        (match Aig.pos aig with
+        | [] -> []
+        | pos -> [ Stuck_output (fst (List.nth pos (Random.State.int rng (List.length pos)))) ]);
+      ]
+  in
+  match candidates with
+  | [] -> None
+  | _ -> Some (List.nth candidates (Random.State.int rng (List.length candidates)))
+
+(* Apply a fault by rebuilding the AIG. *)
+let apply aig fault =
+  let dst = Aig.create () in
+  let n = Aig.num_nodes aig in
+  let map = Array.make n (-1) in
+  map.(0) <- 0;
+  let n_latches = Aig.num_latches aig in
+  let pi_lits = Array.of_list (List.map (fun _ -> Aig.add_pi dst) (Aig.pis aig)) in
+  let latch_lits =
+    Array.init n_latches (fun i ->
+        let init =
+          match fault with
+          | Flip_latch_init j when j = i -> not (Aig.latch_init aig i)
+          | _ -> Aig.latch_init aig i
+        in
+        Aig.add_latch dst ~init)
+  in
+  let tr_lit l = map.(Aig.node_of_lit l) lxor (l land 1) in
+  for id = 0 to n - 1 do
+    map.(id) <-
+      (match Aig.node aig id with
+      | Aig.Const -> 0
+      | Aig.Pi i -> pi_lits.(i)
+      | Aig.Latch i -> latch_lits.(i)
+      | Aig.And (a, b) -> (
+        match fault with
+        | Flip_fanin_polarity fid when fid = id ->
+          Aig.mk_and dst (Aig.lit_not (tr_lit a)) (tr_lit b)
+        | And_to_or fid when fid = id -> Aig.mk_or dst (tr_lit a) (tr_lit b)
+        | _ -> Aig.mk_and dst (tr_lit a) (tr_lit b)))
+  done;
+  for i = 0 to n_latches - 1 do
+    let src_idx =
+      match fault with
+      | Swap_latch_nexts (a, b) when i = a -> b
+      | Swap_latch_nexts (a, b) when i = b -> a
+      | _ -> i
+    in
+    Aig.set_latch_next dst latch_lits.(i) ~next:(tr_lit (Aig.latch_next aig src_idx))
+  done;
+  List.iter
+    (fun (name, l) ->
+      let l' =
+        match fault with
+        | Stuck_output n when n = name -> Aig.lit_false
+        | _ -> tr_lit l
+      in
+      Aig.add_po dst name l')
+    (Aig.pos aig);
+  dst
+
+(* Inject a random fault; retries a few seeds until the mutant differs from
+   the original on bounded random simulation (so tests get observable
+   faults), returning [None] if none of the attempts is observable. *)
+let observable_mutant ?(attempts = 10) ~seed aig =
+  let differs mutant =
+    let n_pis = Aig.num_pis aig in
+    let frames = Aig.Sim.random_frames ~seed:(seed + 900) ~n_pis ~n_frames:48 in
+    let o1, _ = Aig.Sim.run aig frames and o2, _ = Aig.Sim.run mutant frames in
+    o1 <> o2
+  in
+  let rec go k =
+    if k = 0 then None
+    else
+      match pick_fault ~seed:(seed + k) aig with
+      | None -> None
+      | Some fault ->
+        let mutant = apply aig fault in
+        if differs mutant then Some (mutant, fault) else go (k - 1)
+  in
+  go attempts

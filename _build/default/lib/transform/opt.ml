@@ -1,0 +1,282 @@
+(* Combinational restructuring of AIGs, standing in for the kerneling +
+   script.rugged optimizations applied to the paper's benchmark
+   implementations.  All passes preserve the sequential behaviour; they
+   only perturb (and usually shrink) the combinational structure:
+
+   - [rewrite]: cut-based resynthesis — compute the truth table of a
+     4-input cut and rebuild the cone by Shannon expansion in a (seeded)
+     permuted variable order;
+   - [latch_sweep]: constant propagation through latches (stuck-at
+     registers are replaced by constants);
+   - [dedup_latches]: merge latches with identical next-state function and
+     initial value. *)
+
+(* --- cut-based rewriting -------------------------------------------------- *)
+
+(* A small structural cut: expand the deepest leaf until the leaf set would
+   exceed [k]; returns leaves (node ids) of the cone of [id]. *)
+let structural_cut aig ~k id =
+  let module IS = Set.Make (Int) in
+  let expandable n =
+    match Aig.node aig n with Aig.And _ -> true | Aig.Const | Aig.Pi _ | Aig.Latch _ -> false
+  in
+  let rec grow leaves =
+    (* expand the largest expandable leaf (deepest by id) *)
+    match IS.max_elt_opt (IS.filter expandable leaves) with
+    | None -> leaves
+    | Some n -> (
+      match Aig.node aig n with
+      | Aig.And (a, b) ->
+        let next =
+          IS.add (Aig.node_of_lit a) (IS.add (Aig.node_of_lit b) (IS.remove n leaves))
+        in
+        if IS.cardinal next > k then leaves else grow next
+      | Aig.Const | Aig.Pi _ | Aig.Latch _ -> assert false)
+  in
+  IS.elements (grow (IS.singleton id))
+
+(* Truth table of node [id] over the cut [leaves] (up to 6 leaves, packed
+   into an int64: bit p = value under assignment p). *)
+let cone_truth_table aig ~leaves id =
+  let n = List.length leaves in
+  assert (n <= 6);
+  let words = Hashtbl.create 32 in
+  List.iteri
+    (fun i leaf ->
+      (* the i-th leaf's column pattern over 2^n assignments *)
+      let w = ref 0L in
+      for p = 0 to (1 lsl n) - 1 do
+        if p land (1 lsl i) <> 0 then w := Int64.logor !w (Int64.shift_left 1L p)
+      done;
+      Hashtbl.replace words leaf !w)
+    leaves;
+  let rec eval_node nid =
+    match Hashtbl.find_opt words nid with
+    | Some w -> w
+    | None ->
+      let w =
+        match Aig.node aig nid with
+        | Aig.Const -> 0L
+        | Aig.Pi _ | Aig.Latch _ ->
+          (* a non-leaf terminal can only appear if it IS a leaf *)
+          assert false
+        | Aig.And (a, b) -> Int64.logand (eval_lit a) (eval_lit b)
+      in
+      Hashtbl.replace words nid w;
+      w
+  and eval_lit l =
+    let w = eval_node (Aig.node_of_lit l) in
+    if Aig.lit_is_compl l then Int64.lognot w else w
+  in
+  eval_node id
+
+(* Rebuild a function given by truth table [tt] over [vars] (destination
+   literals) by Shannon expansion following [order] (a permutation of
+   variable positions). *)
+let rec shannon dst ~tt ~nvars ~vars ~order ~mask =
+  if Int64.logand tt mask = 0L then Aig.lit_false
+  else if Int64.logand (Int64.lognot tt) mask = 0L then Aig.lit_true
+  else
+    match order with
+    | [] -> assert false
+    | v :: order_rest ->
+      let col =
+        (* pattern of variable v over 2^nvars assignments *)
+        let w = ref 0L in
+        for p = 0 to (1 lsl nvars) - 1 do
+          if p land (1 lsl v) <> 0 then w := Int64.logor !w (Int64.shift_left 1L p)
+        done;
+        !w
+      in
+      let hi = shannon dst ~tt ~nvars ~vars ~order:order_rest ~mask:(Int64.logand mask col) in
+      let lo =
+        shannon dst ~tt ~nvars ~vars ~order:order_rest
+          ~mask:(Int64.logand mask (Int64.lognot col))
+      in
+      if hi = lo then hi else Aig.mk_mux dst ~sel:vars.(v) ~t1:hi ~t0:lo
+
+let permute rng xs =
+  let arr = Array.of_list xs in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+(* Full rewriting pass: each AND node is, with probability [p], replaced by
+   a Shannon resynthesis of a 4-cut in a random variable order.  The result
+   is built in a fresh AIG (so structural hashing re-shares logic). *)
+let rewrite ?(seed = 0) ?(p = 0.5) ?(k = 4) src =
+  let rng = Random.State.make [| seed; 0x0b7 |] in
+  let dst = Aig.create () in
+  let n = Aig.num_nodes src in
+  let map = Array.make n (-1) in
+  map.(0) <- 0;
+  let pi_lits = Array.of_list (List.map (fun _ -> Aig.add_pi dst) (Aig.pis src)) in
+  let latch_lits =
+    Array.init (Aig.num_latches src) (fun i ->
+        Aig.add_latch dst ~init:(Aig.latch_init src i))
+  in
+  let tr_lit l = map.(Aig.node_of_lit l) lxor (l land 1) in
+  for id = 0 to n - 1 do
+    map.(id) <-
+      (match Aig.node src id with
+      | Aig.Const -> 0
+      | Aig.Pi i -> pi_lits.(i)
+      | Aig.Latch i -> latch_lits.(i)
+      | Aig.And (a, b) ->
+        if Random.State.float rng 1.0 < p then begin
+          let leaves = structural_cut src ~k id in
+          let nvars = List.length leaves in
+          let tt = cone_truth_table src ~leaves id in
+          let vars = Array.of_list (List.map (fun leaf -> map.(leaf)) leaves) in
+          let order = permute rng (List.init nvars (fun i -> i)) in
+          let mask =
+            if nvars = 6 then -1L else Int64.sub (Int64.shift_left 1L (1 lsl nvars)) 1L
+          in
+          shannon dst ~tt ~nvars ~vars ~order ~mask
+        end
+        else Aig.mk_and dst (tr_lit a) (tr_lit b))
+  done;
+  List.iteri
+    (fun i _ ->
+      Aig.set_latch_next dst latch_lits.(i) ~next:(tr_lit (Aig.latch_next src i)))
+    (Aig.latch_ids src);
+  List.iter (fun (name, l) -> Aig.add_po dst name (tr_lit l)) (Aig.pos src);
+  let cleaned, _ = Aig.cleanup dst in
+  cleaned
+
+(* --- latch sweeping -------------------------------------------------------- *)
+
+(* Constant propagation through registers: assume every latch is stuck at
+   its initial value, evaluate all next-states under that assumption, and
+   demote any latch whose next-state can differ; iterate to a (greatest)
+   fixed point.  Surviving latches are genuinely stuck and are replaced by
+   constants.  PIs are unknowns, handled by evaluating under both of two
+   complementary input words and requiring agreement. *)
+let latch_sweep src =
+  let n_latches = Aig.num_latches src in
+  let n_pis = Aig.num_pis src in
+  let stuck = Array.make n_latches true in
+  let changed = ref true in
+  (* two adversarial PI vectors: all-zero and all-one patterns are not
+     enough in theory, so use several random words; the check is
+     conservative (may miss stuck latches, never wrongly claims one)
+     because a latch is kept stuck only if its next equals its init on all
+     tested patterns AND the next-state cone contains no PI or non-stuck
+     latch. *)
+  let support_clean = Array.make n_latches false in
+  let supp_memo = Hashtbl.create 256 in
+  let rec support_ok id =
+    match Hashtbl.find_opt supp_memo id with
+    | Some b -> b
+    | None ->
+      let b =
+        match Aig.node src id with
+        | Aig.Const -> true
+        | Aig.Pi _ -> false
+        | Aig.Latch i -> stuck.(i)
+        | Aig.And (a, b) -> support_ok (Aig.node_of_lit a) && support_ok (Aig.node_of_lit b)
+      in
+      Hashtbl.replace supp_memo id b;
+      b
+  in
+  while !changed do
+    changed := false;
+    Hashtbl.reset supp_memo;
+    for i = 0 to n_latches - 1 do
+      support_clean.(i) <- stuck.(i) && support_ok (Aig.node_of_lit (Aig.latch_next src i))
+    done;
+    (* evaluate next states with stuck latches at init, others unknown:
+       simulate with the unknowns taking a random word *)
+    let pi_words = Array.init n_pis (fun i -> Int64.of_int ((i * 0x9e3779b9) lxor 0x5555)) in
+    let latch_words =
+      Array.init n_latches (fun i ->
+          if stuck.(i) then (if Aig.latch_init src i then -1L else 0L)
+          else Int64.of_int ((i * 0x61c88647) lxor 0x0f0f))
+    in
+    let values = Aig.Sim.eval_comb src ~pi_words ~latch_words in
+    for i = 0 to n_latches - 1 do
+      if stuck.(i) then begin
+        let next_w = Aig.Sim.lit_word values (Aig.latch_next src i) in
+        let want = if Aig.latch_init src i then -1L else 0L in
+        if not (support_clean.(i) && next_w = want) then begin
+          stuck.(i) <- false;
+          changed := true
+        end
+      end
+    done
+  done;
+  (* rebuild, replacing stuck latches with their constants *)
+  let dst = Aig.create () in
+  let n = Aig.num_nodes src in
+  let map = Array.make n (-1) in
+  map.(0) <- 0;
+  let pi_lits = Array.of_list (List.map (fun _ -> Aig.add_pi dst) (Aig.pis src)) in
+  let latch_lits = Array.make n_latches (-1) in
+  for i = 0 to n_latches - 1 do
+    if not stuck.(i) then latch_lits.(i) <- Aig.add_latch dst ~init:(Aig.latch_init src i)
+  done;
+  let tr_lit l = map.(Aig.node_of_lit l) lxor (l land 1) in
+  for id = 0 to n - 1 do
+    map.(id) <-
+      (match Aig.node src id with
+      | Aig.Const -> 0
+      | Aig.Pi i -> pi_lits.(i)
+      | Aig.Latch i ->
+        if stuck.(i) then (if Aig.latch_init src i then Aig.lit_true else Aig.lit_false)
+        else latch_lits.(i)
+      | Aig.And (a, b) -> Aig.mk_and dst (tr_lit a) (tr_lit b))
+  done;
+  for i = 0 to n_latches - 1 do
+    if not stuck.(i) then
+      Aig.set_latch_next dst latch_lits.(i) ~next:(tr_lit (Aig.latch_next src i))
+  done;
+  List.iter (fun (name, l) -> Aig.add_po dst name (tr_lit l)) (Aig.pos src);
+  let cleaned, _ = Aig.cleanup dst in
+  cleaned
+
+(* --- latch deduplication ---------------------------------------------------- *)
+
+(* Merge latches with the same (next-state literal, initial value): the
+   trivial register correspondence exploited by [5] and [9]. *)
+let dedup_latches src =
+  let n_latches = Aig.num_latches src in
+  let rep = Array.init n_latches (fun i -> i) in
+  let table = Hashtbl.create 16 in
+  for i = 0 to n_latches - 1 do
+    let key = (Aig.latch_next src i, Aig.latch_init src i) in
+    match Hashtbl.find_opt table key with
+    | Some j -> rep.(i) <- j
+    | None -> Hashtbl.add table key i
+  done;
+  if Array.for_all (fun i -> rep.(i) = i) (Array.init n_latches (fun i -> i)) then src
+  else begin
+    let dst = Aig.create () in
+    let n = Aig.num_nodes src in
+    let map = Array.make n (-1) in
+    map.(0) <- 0;
+    let pi_lits = Array.of_list (List.map (fun _ -> Aig.add_pi dst) (Aig.pis src)) in
+    let latch_lits = Array.make n_latches (-1) in
+    for i = 0 to n_latches - 1 do
+      if rep.(i) = i then latch_lits.(i) <- Aig.add_latch dst ~init:(Aig.latch_init src i)
+    done;
+    let tr_lit l = map.(Aig.node_of_lit l) lxor (l land 1) in
+    for id = 0 to n - 1 do
+      map.(id) <-
+        (match Aig.node src id with
+        | Aig.Const -> 0
+        | Aig.Pi i -> pi_lits.(i)
+        | Aig.Latch i -> latch_lits.(rep.(i))
+        | Aig.And (a, b) -> Aig.mk_and dst (tr_lit a) (tr_lit b))
+    done;
+    for i = 0 to n_latches - 1 do
+      if rep.(i) = i then
+        Aig.set_latch_next dst latch_lits.(i) ~next:(tr_lit (Aig.latch_next src i))
+    done;
+    List.iter (fun (name, l) -> Aig.add_po dst name (tr_lit l)) (Aig.pos src);
+    let cleaned, _ = Aig.cleanup dst in
+    cleaned
+  end

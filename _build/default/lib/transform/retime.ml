@@ -1,0 +1,185 @@
+(* Retiming of AIGs.
+
+   Forward retiming moves registers from the fanins of an AND node to its
+   output (paper Fig. 3).  The move is exactly behaviour-preserving: the
+   new register's initial value is the gate function of the old initial
+   values, so no initialization problem arises (Stok et al. [13] is only
+   needed for backward moves, which we justify explicitly).
+
+   Backward retiming splits a register whose next-state is an AND back
+   into registers on the fanins; the initial values are justified by
+   choosing any preimage of the old initial value under the gate. *)
+
+(* One forward pass: every AND whose two fanins are latch outputs becomes
+   a latch over the AND of the data inputs.  [max_moves] bounds the number
+   of rewritten nodes (for partial retimings).  Returns [None] when no move
+   applies. *)
+let forward_step ?(max_moves = max_int) src =
+  let dst = Aig.create () in
+  let n = Aig.num_nodes src in
+  let map = Array.make n (-1) in
+  map.(0) <- 0;
+  let moves = ref 0 in
+  (* pre-create PIs and original latches so indices line up *)
+  let pi_lits = Array.of_list (List.map (fun _ -> Aig.add_pi dst) (Aig.pis src)) in
+  let latch_lits =
+    Array.init (Aig.num_latches src) (fun i ->
+        Aig.add_latch dst ~init:(Aig.latch_init src i))
+  in
+  let eligible id =
+    match Aig.node src id with
+    | Aig.And (a, b) -> (
+      match (Aig.node src (Aig.node_of_lit a), Aig.node src (Aig.node_of_lit b)) with
+      | Aig.Latch _, Aig.Latch _ -> true
+      | _ -> false)
+    | Aig.Const | Aig.Pi _ | Aig.Latch _ -> false
+  in
+  let rec tr_lit l = map_node (Aig.node_of_lit l) lxor (l land 1)
+  and map_node id =
+    if map.(id) >= 0 then map.(id)
+    else begin
+      let lit =
+        match Aig.node src id with
+        | Aig.Const -> 0
+        | Aig.Pi i -> pi_lits.(i)
+        | Aig.Latch i -> latch_lits.(i)
+        | Aig.And (a, b) ->
+          if eligible id && !moves < max_moves then begin
+            incr moves;
+            let li = Aig.latch_index src (Aig.node_of_lit a) in
+            let lj = Aig.latch_index src (Aig.node_of_lit b) in
+            let ca = Aig.lit_is_compl a and cb = Aig.lit_is_compl b in
+            let init =
+              (if ca then not (Aig.latch_init src li) else Aig.latch_init src li)
+              && if cb then not (Aig.latch_init src lj) else Aig.latch_init src lj
+            in
+            let fresh = Aig.add_latch dst ~init in
+            (* break feedback cycles: record the mapping before recursing *)
+            map.(id) <- fresh;
+            let da =
+              let l = tr_lit (Aig.latch_next src li) in
+              if ca then Aig.lit_not l else l
+            in
+            let db =
+              let l = tr_lit (Aig.latch_next src lj) in
+              if cb then Aig.lit_not l else l
+            in
+            Aig.set_latch_next dst fresh ~next:(Aig.mk_and dst da db);
+            fresh
+          end
+          else Aig.mk_and dst (tr_lit a) (tr_lit b)
+      in
+      if map.(id) < 0 then map.(id) <- lit;
+      map.(id)
+    end
+  in
+  for id = 0 to n - 1 do
+    ignore (map_node id)
+  done;
+  List.iteri
+    (fun i _ ->
+      Aig.set_latch_next dst latch_lits.(i) ~next:(tr_lit (Aig.latch_next src i)))
+    (Aig.latch_ids src);
+  List.iter (fun (name, l) -> Aig.add_po dst name (tr_lit l)) (Aig.pos src);
+  if !moves = 0 then None
+  else begin
+    let cleaned, _ = Aig.cleanup dst in
+    Some cleaned
+  end
+
+let forward ?(max_steps = 4) src =
+  let rec go k t = if k = 0 then t else match forward_step t with None -> t | Some t' -> go (k - 1) t' in
+  go max_steps src
+
+(* One backward pass: a latch whose next-state is an AND literal is split
+   into latches on the AND's fanins.  Initial values are justified by a
+   preimage: for output 1 both inputs start at 1, for output 0 both start
+   at 0 (a valid preimage for AND up to complement bookkeeping). *)
+let backward_step ?(max_moves = max_int) src =
+  let dst = Aig.create () in
+  let n = Aig.num_nodes src in
+  let map = Array.make n (-1) in
+  map.(0) <- 0;
+  let moves = ref 0 in
+  let pi_lits = Array.of_list (List.map (fun _ -> Aig.add_pi dst) (Aig.pis src)) in
+  (* decide which latches to split *)
+  let split = Array.make (Aig.num_latches src) None in
+  List.iteri
+    (fun i _ ->
+      let next = Aig.latch_next src i in
+      if !moves < max_moves then begin
+        match Aig.node src (Aig.node_of_lit next) with
+        | Aig.And (a, b) ->
+          incr moves;
+          split.(i) <- Some (Aig.lit_is_compl next, a, b)
+        | Aig.Const | Aig.Pi _ | Aig.Latch _ -> ()
+      end)
+    (Aig.latch_ids src);
+  (* create replacement latches; the fanin latches capture a and b *)
+  let repl = Array.make (Aig.num_latches src) (-1) in
+  let kept = Array.make (Aig.num_latches src) (-1) in
+  List.iteri
+    (fun i _ ->
+      match split.(i) with
+      | None -> kept.(i) <- Aig.add_latch dst ~init:(Aig.latch_init src i)
+      | Some (compl, _, _) ->
+        (* old latch holds v, with v = (a & b) ^ compl at capture time.
+           old init: choose inits for the two new latches whose AND
+           reproduces it *)
+        let v0 = Aig.latch_init src i in
+        let and0 = if compl then not v0 else v0 in
+        let ia, ib = if and0 then (true, true) else (false, false) in
+        let la = Aig.add_latch dst ~init:ia in
+        let lb = Aig.add_latch dst ~init:ib in
+        let out = Aig.mk_and dst la lb in
+        repl.(i) <- (2 * i);
+        (* placeholder, real value below *)
+        kept.(i) <- -1;
+        (* store the pair encoded: we keep them via closure below *)
+        split.(i) <- Some (compl, la, lb);
+        repl.(i) <- if compl then Aig.lit_not out else out)
+    (Aig.latch_ids src);
+  let rec tr_lit l = map_node (Aig.node_of_lit l) lxor (l land 1)
+  and map_node id =
+    if map.(id) >= 0 then map.(id)
+    else begin
+      let lit =
+        match Aig.node src id with
+        | Aig.Const -> 0
+        | Aig.Pi i -> pi_lits.(i)
+        | Aig.Latch i -> if kept.(i) >= 0 then kept.(i) else repl.(i)
+        | Aig.And (a, b) -> Aig.mk_and dst (tr_lit a) (tr_lit b)
+      in
+      map.(id) <- lit;
+      map.(id)
+    end
+  in
+  for id = 0 to n - 1 do
+    ignore (map_node id)
+  done;
+  List.iteri
+    (fun i _ ->
+      match split.(i) with
+      | None -> Aig.set_latch_next dst kept.(i) ~next:(tr_lit (Aig.latch_next src i))
+      | Some (_, la, lb) ->
+        (* the split latches capture the AND's fanins; note the fanins are
+           literals of the ORIGINAL graph feeding the original AND *)
+        let next = Aig.latch_next src i in
+        (match Aig.node src (Aig.node_of_lit next) with
+        | Aig.And (a, b) ->
+          Aig.set_latch_next dst la ~next:(tr_lit a);
+          Aig.set_latch_next dst lb ~next:(tr_lit b)
+        | Aig.Const | Aig.Pi _ | Aig.Latch _ -> assert false))
+    (Aig.latch_ids src);
+  List.iter (fun (name, l) -> Aig.add_po dst name (tr_lit l)) (Aig.pos src);
+  if !moves = 0 then None
+  else begin
+    let cleaned, _ = Aig.cleanup dst in
+    Some cleaned
+  end
+
+let backward ?(max_steps = 2) src =
+  let rec go k t =
+    if k = 0 then t else match backward_step t with None -> t | Some t' -> go (k - 1) t'
+  in
+  go max_steps src

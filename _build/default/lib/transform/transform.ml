@@ -1,0 +1,6 @@
+(* Public API of the synthesis-transformation library; see transform.mli. *)
+
+module Retime = Retime
+module Opt = Opt
+module Fraig = Fraig
+module Mutate = Mutate

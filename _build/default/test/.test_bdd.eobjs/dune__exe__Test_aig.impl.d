@@ -1,0 +1,1 @@
+test/test_aig.ml: Aig Alcotest Array Hashtbl Int64 List Netlist QCheck QCheck_alcotest Sat String Test_util

@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Bdd Format List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Circuits Int64 List Netlist Printf Test_util

@@ -1,0 +1,1 @@
+test/test_engines.ml: Aig Alcotest Array Engines Fun List QCheck QCheck_alcotest Test_util Transform

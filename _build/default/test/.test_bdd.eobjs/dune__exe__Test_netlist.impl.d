@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Hashtbl Int64 List Netlist Printf QCheck QCheck_alcotest String Test_util

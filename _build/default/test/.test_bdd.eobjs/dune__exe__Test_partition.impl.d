@@ -1,0 +1,1 @@
+test/test_partition.ml: Aig Alcotest Array List QCheck QCheck_alcotest Random Scorr

@@ -1,0 +1,1 @@
+test/test_reach.ml: Aig Alcotest Array Bdd Circuits List Printf QCheck QCheck_alcotest Reach Scorr Test_util Transform

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest List Printf QCheck QCheck_alcotest Random Sat String

@@ -1,0 +1,1 @@
+test/test_scorr.ml: Aig Alcotest Bdd Circuits List Option QCheck QCheck_alcotest Scorr Test_util Transform

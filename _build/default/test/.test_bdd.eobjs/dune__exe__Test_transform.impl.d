@@ -1,0 +1,1 @@
+test/test_transform.ml: Aig Alcotest List QCheck QCheck_alcotest Test_util Transform

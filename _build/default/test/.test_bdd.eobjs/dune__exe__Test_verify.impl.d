@@ -1,0 +1,1 @@
+test/test_verify.ml: Aig Alcotest Array Circuits Format Fun List Printf QCheck QCheck_alcotest Scorr String Test_util Transform

@@ -1,0 +1,17 @@
+  $ seqver gen --list | head -4
+  $ seqver gen ctr8 -o spec.blif
+  $ seqver stats spec.blif
+  $ seqver opt spec.blif impl.aag --recipe retime+opt --seed 3 > /dev/null
+  $ seqver verify spec.blif impl.aag -q
+  $ seqver verify spec.blif impl.aag -e sat -q
+  $ seqver verify spec.blif impl.aag -m traversal -q
+  $ seqver verify spec.blif impl.aag -m regcorr --no-retime -q
+  $ seqver gen mod10 -o good.blif
+  $ seqver opt good.blif bad.aag --recipe retime --seed 5 > /dev/null
+  $ seqver verify good.blif bad.aag -q
+  $ seqver sim good.blif --frames 2 --seed 1 | head -1
+  $ seqver gen mod10 --format bench -o mod10.bench
+  $ seqver stats mod10.bench
+  $ seqver verify mod10.bench good.blif -m auto -q
+  $ seqver gen ctr8 -o c8.blif
+  $ seqver bmc c8.blif c8.blif --depth 5

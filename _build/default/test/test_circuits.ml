@@ -1,0 +1,253 @@
+(* Benchmark-circuit tests: every generator produces a well-formed netlist
+   with the intended behaviour. *)
+
+let bit frame name = Int64.logand 1L (List.assoc name frame)
+
+let test_all_valid () =
+  List.iter
+    (fun e ->
+      let c = e.Circuits.Suite.build () in
+      match Netlist.validate c with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail (e.Circuits.Suite.name ^ ": " ^ msg))
+    Circuits.Suite.suite
+
+let test_counter_counts () =
+  let c = Circuits.Counter.binary 4 in
+  (* enable always on, no reset: after k steps the count is k *)
+  let frames = List.init 10 (fun _ -> [| -1L; 0L |]) in
+  let outs = Netlist.Sim.run c frames in
+  List.iteri
+    (fun k frame ->
+      let value =
+        List.fold_left
+          (fun acc i ->
+            acc lor (Int64.to_int (bit frame (Printf.sprintf "count%d" i)) lsl i))
+          0 [ 0; 1; 2; 3 ]
+      in
+      Alcotest.(check int) (Printf.sprintf "count at t=%d" k) (k mod 16) value)
+    outs
+
+let test_counter_reset () =
+  let c = Circuits.Counter.binary 4 in
+  (* count up 3, then reset *)
+  let frames = [ [| -1L; 0L |]; [| -1L; 0L |]; [| -1L; 0L |]; [| -1L; -1L |]; [| 0L; 0L |] ] in
+  let outs = Netlist.Sim.run c frames in
+  let last = List.nth outs 4 in
+  List.iter
+    (fun i ->
+      Alcotest.(check int64) (Printf.sprintf "bit %d clear" i) 0L
+        (bit last (Printf.sprintf "count%d" i)))
+    [ 0; 1; 2; 3 ]
+
+let test_modulo_wraps () =
+  let c = Circuits.Counter.modulo 5 in
+  let frames = List.init 12 (fun _ -> [| -1L |]) in
+  let outs = Netlist.Sim.run c frames in
+  List.iteri
+    (fun k frame ->
+      let expect = k mod 5 in
+      List.iter
+        (fun v ->
+          Alcotest.(check int64)
+            (Printf.sprintf "phase%d at t=%d" v k)
+            (if v = expect then 1L else 0L)
+            (bit frame (Printf.sprintf "phase%d" v)))
+        [ 0; 1; 2; 3; 4 ])
+    outs
+
+let test_ring_matches_modulo () =
+  let a = Circuits.Counter.modulo 7 and b = Circuits.Counter.ring 7 in
+  Alcotest.(check (option int)) "same phase behaviour" None (Test_util.seq_differ a b)
+
+let test_detector_encodings_agree () =
+  let pattern = [ true; false; true; true ] in
+  let a = Circuits.Fsm.detector ~onehot:false pattern in
+  let b = Circuits.Fsm.detector ~onehot:true pattern in
+  Alcotest.(check (option int)) "same detector behaviour" None
+    (Test_util.seq_differ ~n_frames:128 a b)
+
+let test_detector_finds_pattern () =
+  let c = Circuits.Fsm.detector ~onehot:true [ true; true; false ] in
+  (* feed 1 1 0: found must rise exactly after the third symbol *)
+  let w b = if b then [| 1L |] else [| 0L |] in
+  let outs = Netlist.Sim.run c [ w true; w true; w false; w false ] in
+  let founds = List.map (fun f -> bit f "found") outs in
+  Alcotest.(check (list int64)) "found trace" [ 0L; 0L; 0L; 1L ] founds
+
+let test_traffic_cycle () =
+  let c = Circuits.Fsm.traffic () in
+  (* car arrives, then timer pulses: lights must cycle NS -> EW -> NS *)
+  let frames =
+    [ [| 1L; 0L |]; (* car_ew: go yellow *) [| 0L; 1L |]; (* timer: green EW *)
+      [| 0L; 1L |]; (* timer: yellow EW *) [| 0L; 1L |] (* timer: green NS *) ]
+  in
+  let outs = Netlist.Sim.run c frames in
+  let state frame =
+    List.find_map
+      (fun name -> if bit frame name = 1L then Some name else None)
+      [ "light_ns_green"; "light_ns_yellow"; "light_ew_green"; "light_ew_yellow" ]
+  in
+  Alcotest.(check (list (option string)))
+    "light sequence"
+    [ Some "light_ns_green"; Some "light_ns_yellow"; Some "light_ew_green";
+      Some "light_ew_yellow" ]
+    (List.map state outs)
+
+let test_alu_ops () =
+  let c = Circuits.Pipeline.alu 4 in
+  let frame a b op =
+    [| Int64.of_int (a land 1); Int64.of_int ((a lsr 1) land 1);
+       Int64.of_int ((a lsr 2) land 1); Int64.of_int ((a lsr 3) land 1);
+       Int64.of_int (b land 1); Int64.of_int ((b lsr 1) land 1);
+       Int64.of_int ((b lsr 2) land 1); Int64.of_int ((b lsr 3) land 1);
+       Int64.of_int (op land 1); Int64.of_int ((op lsr 1) land 1) |]
+  in
+  let result outs t =
+    let f = List.nth outs t in
+    List.fold_left
+      (fun acc i -> acc lor (Int64.to_int (bit f (Printf.sprintf "res%d" i)) lsl i))
+      0 [ 0; 1; 2; 3 ]
+  in
+  (* two-stage pipeline: the result of the frame-0 operands appears at t=2 *)
+  let check_op op expect =
+    let outs = Netlist.Sim.run c [ frame 12 10 op; frame 0 0 0; frame 0 0 0 ] in
+    Alcotest.(check int) (Printf.sprintf "op %d" op) expect (result outs 2)
+  in
+  check_op 0 (12 land 10);
+  check_op 1 (12 lor 10);
+  check_op 2 (12 lxor 10);
+  check_op 3 ((12 + 10) land 15)
+
+let test_arbiter_grants () =
+  let c = Circuits.Arbiter.round_robin 4 in
+  (* only requester 2 asks: it gets the grant *)
+  let outs = Netlist.Sim.run c [ [| 0L; 0L; 1L; 0L |] ] in
+  let f = List.nth outs 0 in
+  Alcotest.(check int64) "gnt2" 1L (bit f "gnt2");
+  Alcotest.(check int64) "gnt0" 0L (bit f "gnt0");
+  (* everyone asks: exactly one grant per cycle, rotating *)
+  let frames = List.init 6 (fun _ -> [| -1L; -1L; -1L; -1L |]) in
+  let outs = Netlist.Sim.run c frames in
+  List.iter
+    (fun f ->
+      let grants =
+        List.length (List.filter (fun i -> bit f (Printf.sprintf "gnt%d" i) = 1L) [ 0; 1; 2; 3 ])
+      in
+      Alcotest.(check int) "one grant" 1 grants)
+    outs
+
+let test_lfsr_period () =
+  (* a maximal 4-bit LFSR (taps 3,2) visits 15 states before repeating *)
+  let c = Circuits.Lfsr.fibonacci ~taps:[ 3; 2 ] 4 in
+  let frames = List.init 16 (fun _ -> [| 1L |]) in
+  let sim = Netlist.Sim.create c in
+  Netlist.Sim.reset sim;
+  let states = ref [] in
+  List.iter
+    (fun f ->
+      Netlist.Sim.eval_comb sim f;
+      let state =
+        List.fold_left
+          (fun acc i ->
+            match Netlist.net_of_name c (Printf.sprintf "s%d" i) with
+            | Some net -> acc lor (Int64.to_int (Int64.logand 1L (Netlist.Sim.value sim net)) lsl i)
+            | None -> acc)
+          0 [ 0; 1; 2; 3 ]
+      in
+      states := state :: !states;
+      Netlist.Sim.step sim)
+    frames;
+  let distinct = List.sort_uniq compare !states in
+  Alcotest.(check int) "period 15" 15 (List.length distinct)
+
+let test_crc_known_value () =
+  (* CRC register after feeding a known bit string must match a software
+     computation of the same shift/xor recurrence *)
+  let poly = 0x8005 and n = 16 in
+  let c = Circuits.Lfsr.crc ~poly n in
+  let bits = [ true; false; true; true; false; false; true; true; true; false ] in
+  let frames = List.map (fun b -> [| (if b then 1L else 0L) |]) bits in
+  let sim = Netlist.Sim.create c in
+  Netlist.Sim.reset sim;
+  List.iter
+    (fun f ->
+      Netlist.Sim.eval_comb sim f;
+      Netlist.Sim.step sim)
+    frames;
+  (* software model *)
+  let reg = ref 0 in
+  List.iter
+    (fun b ->
+      let fb = ((!reg lsr (n - 1)) land 1) lxor (if b then 1 else 0) in
+      reg := ((!reg lsl 1) land ((1 lsl n) - 1)) lor fb;
+      if fb = 1 then reg := !reg lxor (poly land ((1 lsl n) - 1) land lnot 1))
+    bits;
+  (* read hardware register *)
+  let hw = ref 0 in
+  Netlist.Sim.eval_comb sim [| 0L |];
+  for i = 0 to n - 1 do
+    match Netlist.net_of_name c (Printf.sprintf "c%d" i) with
+    | Some net -> hw := !hw lor (Int64.to_int (Int64.logand 1L (Netlist.Sim.value sim net)) lsl i)
+    | None -> ()
+  done;
+  Alcotest.(check int) "crc register" !reg !hw
+
+let test_bus_controller_behaviour () =
+  let c = Circuits.Composite.bus_controller ~timer_bits:2 ~channels:2 ~history:2 () in
+  Alcotest.(check bool) "valid" true (Netlist.validate c = Ok ());
+  (* run always on, both requests: tick rises every 4 cycles, grants follow
+     the token which starts at channel 0 *)
+  let frames = List.init 9 (fun _ -> [| -1L; -1L; -1L |]) in
+  let outs = Netlist.Sim.run c frames in
+  let tick_at t = bit (List.nth outs t) "tick" in
+  Alcotest.(check int64) "tick at t=3" 1L (tick_at 3);
+  Alcotest.(check int64) "no tick at t=2" 0L (tick_at 2);
+  Alcotest.(check int64) "tick at t=7" 1L (tick_at 7);
+  (* exactly one grant per cycle when both request *)
+  List.iter
+    (fun f ->
+      let g0 = bit f "gnt0" and g1 = bit f "gnt1" in
+      Alcotest.(check int64) "one grant" 1L (Int64.add g0 g1))
+    outs;
+  (* token moves after the first tick: grant switches from 0 to 1 *)
+  Alcotest.(check int64) "gnt0 first" 1L (bit (List.nth outs 0) "gnt0");
+  Alcotest.(check int64) "gnt1 after tick" 1L (bit (List.nth outs 4) "gnt1")
+
+let test_transmitter_behaviour () =
+  let c = Circuits.Composite.transmitter ~payload_bits:4 ~crc_bits:4 ~poly:0x3 () in
+  Alcotest.(check bool) "valid" true (Netlist.validate c = Ok ());
+  (* start a transmission; busy must rise next cycle and the payload must
+     emerge on dout after payload_bits cycles of shifting *)
+  let mk din start = [| din; start |] in
+  let frames =
+    [ mk 0L 1L; mk 1L 0L; mk 1L 0L; mk 0L 0L; mk 1L 0L; mk 0L 0L; mk 0L 0L; mk 0L 0L ]
+  in
+  let outs = Netlist.Sim.run c frames in
+  Alcotest.(check int64) "idle at t=0" 0L (bit (List.nth outs 0) "busy");
+  Alcotest.(check int64) "busy at t=1" 1L (bit (List.nth outs 1) "busy")
+
+let test_fig2_equivalent_by_simulation () =
+  let spec, impl = Circuits.Fig2.pair () in
+  Alcotest.(check (option int)) "fig2 behaviour" None (Test_util.aig_seq_differ spec impl);
+  Alcotest.(check bool) "fig2 exact" true (Test_util.bounded_seq_equiv spec impl)
+
+let suite =
+  [ Alcotest.test_case "all suite entries valid" `Quick test_all_valid;
+    Alcotest.test_case "counter counts" `Quick test_counter_counts;
+    Alcotest.test_case "counter reset" `Quick test_counter_reset;
+    Alcotest.test_case "modulo wraps" `Quick test_modulo_wraps;
+    Alcotest.test_case "ring matches modulo" `Quick test_ring_matches_modulo;
+    Alcotest.test_case "detector encodings agree" `Quick test_detector_encodings_agree;
+    Alcotest.test_case "detector finds pattern" `Quick test_detector_finds_pattern;
+    Alcotest.test_case "traffic cycle" `Quick test_traffic_cycle;
+    Alcotest.test_case "alu ops" `Quick test_alu_ops;
+    Alcotest.test_case "arbiter grants" `Quick test_arbiter_grants;
+    Alcotest.test_case "lfsr period" `Quick test_lfsr_period;
+    Alcotest.test_case "crc known value" `Quick test_crc_known_value;
+    Alcotest.test_case "bus controller" `Quick test_bus_controller_behaviour;
+    Alcotest.test_case "transmitter" `Quick test_transmitter_behaviour;
+    Alcotest.test_case "fig2 behaviour" `Quick test_fig2_equivalent_by_simulation;
+  ]
+
+let () = Alcotest.run "circuits" [ ("circuits", suite) ]

@@ -1,0 +1,229 @@
+(* Netlist tests: construction, simulation semantics, BLIF roundtrips. *)
+
+(* a small init-0 counter, built locally so this suite stays independent
+   of the circuits library *)
+let circuits_stub_counter () =
+  let c = Netlist.create "ctr4" in
+  let en = Netlist.add_input ~name:"en" c in
+  let bits = List.init 4 (fun i -> Netlist.add_latch ~name:(Printf.sprintf "q%d" i) c ~init:false) in
+  let carry = ref en in
+  List.iteri
+    (fun i q ->
+      let d = Netlist.bxor c q !carry in
+      Netlist.set_latch_data c q ~data:d;
+      Netlist.add_output c (Printf.sprintf "count%d" i) q;
+      carry := Netlist.band c q !carry)
+    bits;
+  c
+
+let mk_half_adder () =
+  let c = Netlist.create "ha" in
+  let a = Netlist.add_input ~name:"a" c in
+  let b = Netlist.add_input ~name:"b" c in
+  let sum = Netlist.add_gate ~name:"sum" c Netlist.Xor [ a; b ] in
+  let carry = Netlist.add_gate ~name:"carry" c Netlist.And [ a; b ] in
+  Netlist.add_output c "sum" sum;
+  Netlist.add_output c "carry" carry;
+  c
+
+let test_half_adder_sim () =
+  let c = mk_half_adder () in
+  Alcotest.(check bool) "valid" true (Netlist.validate c = Ok ());
+  let outs = Netlist.Sim.run c [ [| 0b0011L; 0b0101L |] ] in
+  match outs with
+  | [ frame ] ->
+    Alcotest.(check int64) "sum" 0b0110L (List.assoc "sum" frame);
+    Alcotest.(check int64) "carry" 0b0001L (List.assoc "carry" frame)
+  | _ -> Alcotest.fail "one frame expected"
+
+let mk_toggle () =
+  (* q' = q xor en; out = q *)
+  let c = Netlist.create "toggle" in
+  let en = Netlist.add_input ~name:"en" c in
+  let q = Netlist.add_latch ~name:"q" c ~init:false in
+  let d = Netlist.bxor c q en in
+  Netlist.set_latch_data c q ~data:d;
+  Netlist.add_output c "out" q;
+  c
+
+let test_toggle_sequence () =
+  let c = mk_toggle () in
+  (* bit 0 of each word is one pattern; enable: 1,1,0,1 *)
+  let frames = [ [| 1L |]; [| 1L |]; [| 0L |]; [| 1L |] ] in
+  let outs = Netlist.Sim.run c frames in
+  let bit frame = Int64.logand 1L (List.assoc "out" frame) in
+  Alcotest.(check (list int64)) "toggle trace" [ 0L; 1L; 0L; 0L ] (List.map bit outs)
+
+let test_gate_semantics () =
+  let eval fn ins =
+    let c = Netlist.create "g" in
+    let nets = List.map (fun _ -> Netlist.add_input c) ins in
+    let g = Netlist.add_gate c fn nets in
+    Netlist.add_output c "o" g;
+    let words = Array.of_list (List.map (fun b -> if b then 1L else 0L) ins) in
+    match Netlist.Sim.run c [ words ] with
+    | [ [ (_, w) ] ] -> Int64.logand w 1L = 1L
+    | _ -> assert false
+  in
+  Alcotest.(check bool) "and" true (eval Netlist.And [ true; true; true ]);
+  Alcotest.(check bool) "and f" false (eval Netlist.And [ true; false; true ]);
+  Alcotest.(check bool) "nand" true (eval Netlist.Nand [ true; false ]);
+  Alcotest.(check bool) "or" true (eval Netlist.Or [ false; true ]);
+  Alcotest.(check bool) "nor" true (eval Netlist.Nor [ false; false ]);
+  Alcotest.(check bool) "xor odd" true (eval Netlist.Xor [ true; true; true ]);
+  Alcotest.(check bool) "xor even" false (eval Netlist.Xor [ true; true ]);
+  Alcotest.(check bool) "xnor" true (eval Netlist.Xnor [ true; true ]);
+  Alcotest.(check bool) "not" true (eval Netlist.Not [ false ]);
+  Alcotest.(check bool) "buf" true (eval Netlist.Buf [ true ])
+
+let test_validate_catches_open_latch () =
+  let c = Netlist.create "bad" in
+  let _ = Netlist.add_latch c ~init:false in
+  match Netlist.validate c with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected validation error"
+
+let test_blif_roundtrip_simple () =
+  let c = mk_toggle () in
+  let text = Netlist.Blif.to_string c in
+  let c2 = Netlist.Blif.parse_string text in
+  Alcotest.(check bool) "valid" true (Netlist.validate c2 = Ok ());
+  Alcotest.(check (option int)) "no behavioural difference" None
+    (Test_util.seq_differ c c2)
+
+let test_blif_parse_cover () =
+  let text =
+    ".model cover\n.inputs a b c\n.outputs f g h\n# f = a'b + c\n.names a b c f\n01- 1\n--1 1\n.names a b g\n11 0\n.names h\n1\n.end\n"
+  in
+  let c = Netlist.Blif.parse_string text in
+  let run ins =
+    match Netlist.Sim.run c [ ins ] with
+    | [ frame ] -> frame
+    | _ -> assert false
+  in
+  let b2w b = if b then 1L else 0L in
+  List.iter
+    (fun (a, b, cc) ->
+      let frame = run [| b2w a; b2w b; b2w cc |] in
+      let get name = Int64.logand 1L (List.assoc name frame) = 1L in
+      let expect_f = ((not a) && b) || cc in
+      let expect_g = not (a && b) in
+      Alcotest.(check bool) "f" expect_f (get "f");
+      Alcotest.(check bool) "g" expect_g (get "g");
+      Alcotest.(check bool) "h const" true (get "h"))
+    [ (false, false, false); (false, true, false); (true, true, false);
+      (false, false, true); (true, true, true) ]
+
+let test_blif_latch_init () =
+  let text = ".model l\n.inputs x\n.outputs o\n.latch x q 1\n.names q o\n1 1\n.end\n" in
+  let c = Netlist.Blif.parse_string text in
+  match Netlist.Sim.run c [ [| 0L |]; [| 0L |] ] with
+  | [ f1; f2 ] ->
+    Alcotest.(check int64) "init 1" 1L (Int64.logand 1L (List.assoc "o" f1));
+    Alcotest.(check int64) "captured 0" 0L (Int64.logand 1L (List.assoc "o" f2))
+  | _ -> Alcotest.fail "two frames"
+
+let test_bench_parse () =
+  let text =
+    "# s27-style example\nINPUT(G0)\nINPUT(G1)\nOUTPUT(G17)\nG10 = DFF(G14)\nG11 = NOT(G0)\nG14 = NAND(G10, G11)\nG17 = AND(G14, G1)\n"
+  in
+  let c = Netlist.Bench.parse_string text in
+  Alcotest.(check bool) "valid" true (Netlist.validate c = Ok ());
+  Alcotest.(check int) "inputs" 2 (List.length (Netlist.inputs c));
+  Alcotest.(check int) "latches" 1 (List.length (Netlist.latches c));
+  (* frame 0: G10=0 -> G14 = NAND(0, !G0) = 1; G17 = G14 & G1 *)
+  match Netlist.Sim.run c [ [| 0b01L; 0b10L |] ] with
+  | [ frame ] ->
+    Alcotest.(check int64) "G17" 0b10L (Int64.logand 0b11L (List.assoc "G17" frame))
+  | _ -> Alcotest.fail "one frame"
+
+let all_inits_false c = List.for_all (fun l -> not (Netlist.latch_init c l)) (Netlist.latches c)
+
+let prop_bench_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"bench roundtrip preserves behaviour (init-0 circuits)"
+       ~count:60
+       QCheck.(int_range 0 10_000)
+       (fun seed ->
+         let c = Test_util.random_circuit seed in
+         QCheck.assume (all_inits_false c);
+         let c2 = Netlist.Bench.parse_string (Netlist.Bench.to_string c) in
+         Netlist.validate c2 = Ok () && Test_util.seq_differ c c2 = None))
+
+let test_bench_blif_cross () =
+  (* counter emitted as .bench, reparsed, and compared against the BLIF
+     round trip of the same circuit *)
+  let c = circuits_stub_counter () in
+  let via_bench = Netlist.Bench.parse_string (Netlist.Bench.to_string c) in
+  let via_blif = Netlist.Blif.parse_string (Netlist.Blif.to_string c) in
+  Alcotest.(check (option int)) "bench = blif behaviour" None
+    (Test_util.seq_differ via_bench via_blif)
+
+let test_verilog_writer () =
+  let c = circuits_stub_counter () in
+  let v = Netlist.Verilog.to_string c in
+  let contains needle =
+    let n = String.length needle and h = String.length v in
+    let rec go i = i + n <= h && (String.sub v i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) ("contains " ^ fragment) true (contains fragment))
+    [ "module ctr4("; "input clock, reset;"; "input en;"; "output count0;";
+      "reg q0;"; "always @(posedge clock)"; "q0 <= 1'b0;"; "endmodule" ];
+  (* every latch gets both a reset and an update assignment *)
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "q%d updated" i)
+        true
+        (contains (Printf.sprintf "q%d <= " i)))
+    [ 0; 1; 2; 3 ]
+
+let prop_random_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"blif roundtrip preserves behaviour" ~count:60
+       QCheck.(int_range 0 10_000)
+       (fun seed ->
+         let c = Test_util.random_circuit seed in
+         QCheck.assume (Netlist.validate c = Ok ());
+         let c2 = Netlist.Blif.parse_string (Netlist.Blif.to_string c) in
+         Test_util.seq_differ c c2 = None))
+
+let prop_topo_sound =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"topo order places fanins first" ~count:60
+       QCheck.(int_range 0 10_000)
+       (fun seed ->
+         let c = Test_util.random_circuit seed in
+         let order = Netlist.topo_order c in
+         let pos = Hashtbl.create 64 in
+         List.iteri (fun i net -> Hashtbl.replace pos net i) order;
+         List.for_all
+           (fun net ->
+             match Netlist.node c net with
+             | Netlist.Gate (_, fanins) ->
+               Array.for_all
+                 (fun f -> Hashtbl.find pos f < Hashtbl.find pos net)
+                 fanins
+             | Netlist.Input | Netlist.Latch _ -> true)
+           order))
+
+let suite =
+  [ Alcotest.test_case "half adder" `Quick test_half_adder_sim;
+    Alcotest.test_case "toggle sequence" `Quick test_toggle_sequence;
+    Alcotest.test_case "gate semantics" `Quick test_gate_semantics;
+    Alcotest.test_case "validate open latch" `Quick test_validate_catches_open_latch;
+    Alcotest.test_case "blif roundtrip toggle" `Quick test_blif_roundtrip_simple;
+    Alcotest.test_case "blif covers" `Quick test_blif_parse_cover;
+    Alcotest.test_case "blif latch init" `Quick test_blif_latch_init;
+    Alcotest.test_case "bench parse" `Quick test_bench_parse;
+    Alcotest.test_case "verilog writer" `Quick test_verilog_writer;
+    Alcotest.test_case "bench/blif cross check" `Quick test_bench_blif_cross;
+    prop_random_roundtrip;
+    prop_bench_roundtrip;
+    prop_topo_sound;
+  ]
+
+let () = Alcotest.run "netlist" [ ("netlist", suite) ]

@@ -1,0 +1,134 @@
+(* Tests of the verification driver itself: the state-variable ordering
+   heuristic, counterexample traces, and the relation certificate. *)
+
+let aig_pair seed =
+  let c = Test_util.random_circuit seed in
+  let spec, _ = Aig.of_netlist c in
+  let impl = Transform.Opt.rewrite ~seed spec in
+  (spec, impl)
+
+(* --- latch ordering ------------------------------------------------------ *)
+
+let prop_order_is_permutation =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"latch order is a permutation" ~count:60
+       QCheck.(int_range 0 100_000)
+       (fun seed ->
+         let spec, impl = aig_pair seed in
+         let product = Scorr.Product.make spec impl in
+         let order = Scorr.Verify.latch_order_from_outputs product in
+         let n = Aig.num_latches product.Scorr.Product.aig in
+         Array.length order = n
+         && List.sort compare (Array.to_list order) = List.init n Fun.id))
+
+let test_order_interleaves_counter () =
+  (* the self-product of a counter must interleave spec and impl bits *)
+  let a, _ = Aig.of_netlist (Circuits.Counter.binary 8) in
+  let product = Scorr.Product.make a a in
+  let order = Scorr.Verify.latch_order_from_outputs product in
+  (* positions of spec latch i and impl latch i must be adjacent-ish: the
+     maximum distance between partners stays far below one full side *)
+  let pos = Array.make 16 0 in
+  Array.iteri (fun p i -> pos.(i) <- p) order;
+  for i = 0 to 7 do
+    let d = abs (pos.(i) - pos.(i + 8)) in
+    Alcotest.(check bool) (Printf.sprintf "bit %d partners close (%d)" i d) true (d <= 2)
+  done
+
+(* --- counterexample traces ------------------------------------------------- *)
+
+let replay_outputs_differ spec impl trace =
+  (* feed the trace to both circuits; the outputs must differ at the last
+     frame *)
+  let to_words frame = Array.map (fun b -> if b then -1L else 0L) frame in
+  let frames = Array.to_list (Array.map to_words trace) in
+  let o1, _ = Aig.Sim.run spec frames and o2, _ = Aig.Sim.run impl frames in
+  match (List.rev o1, List.rev o2) with
+  | last1 :: _, last2 :: _ -> List.sort compare last1 <> List.sort compare last2
+  | _ -> false
+
+let prop_traces_replay =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"refutation traces replay to a real difference" ~count:40
+       QCheck.(int_range 0 100_000)
+       (fun seed ->
+         let c = Test_util.random_circuit ~n_inputs:3 ~n_latches:4 ~n_gates:18 seed in
+         let spec, _ = Aig.of_netlist c in
+         match Transform.Mutate.observable_mutant ~seed spec with
+         | None -> QCheck.assume_fail ()
+         | Some (mutant, _) -> (
+           match Scorr.check spec mutant with
+           | Scorr.Not_equivalent { frame; trace = Some trace; _ } ->
+             Array.length trace = frame + 1 && replay_outputs_differ spec mutant trace
+           | Scorr.Not_equivalent { trace = None; _ } -> true (* frame-0 class split *)
+           | Scorr.Equivalent _ -> false
+           | Scorr.Unknown _ -> true)))
+
+let test_bmc_catches_post_sim_difference () =
+  (* a fault beyond the default 64 presim frames but within bmc_depth:
+     a latch-init flip on a latch that only matters at a specific count.
+     Craft directly: out = (count == 3) on a 2-bit counter with no enable;
+     mutant flips bit-1 init so outputs first differ at frame 2. *)
+  let mk init1 =
+    let a = Aig.create () in
+    let q0 = Aig.add_latch a ~init:false in
+    let q1 = Aig.add_latch a ~init:init1 in
+    Aig.set_latch_next a q0 ~next:(Aig.lit_not q0);
+    Aig.set_latch_next a q1 ~next:(Aig.mk_xor a q1 q0);
+    Aig.add_po a "eq3" (Aig.mk_and a q0 q1);
+    a
+  in
+  let spec = mk false and impl = mk true in
+  (* no PIs: random simulation has no levers but still detects it by
+     running frames; disable presim to force the BMC path *)
+  let options = { Scorr.default_options with Scorr.Verify.presim_frames = 0; bmc_depth = 6 } in
+  match Scorr.check ~options spec impl with
+  | Scorr.Not_equivalent { frame; trace = Some _; _ } ->
+    Alcotest.(check int) "first difference at frame 1" 1 frame
+  | _ -> Alcotest.fail "expected a BMC refutation with a trace"
+
+(* --- relation certificate ----------------------------------------------------- *)
+
+let test_certificate_covers_outputs () =
+  let spec, impl = Circuits.Fig2.pair () in
+  match Scorr.Verify.run_with_relation spec impl with
+  | Scorr.Equivalent _, product, Some partition ->
+    (* each output pair must be provably equal under the relation *)
+    List.iter
+      (fun (name, ls, li) ->
+        Alcotest.(check bool) (name ^ " pair in relation") true
+          (Scorr.Partition.lits_equal partition ls li))
+      product.Scorr.Product.outputs;
+    (* and printing must not raise *)
+    let text = Format.asprintf "%a" Scorr.Verify.pp_relation (product, partition) in
+    Alcotest.(check bool) "non-empty dump" true (String.length text > 0)
+  | _ -> Alcotest.fail "expected Equivalent with a relation"
+
+let prop_certificate_relation_is_inductive =
+  (* re-checking the returned relation with a fresh engine must not split
+     any class: it is a genuine fixed point *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"returned relation is a fixed point" ~count:15
+       QCheck.(int_range 0 100_000)
+       (fun seed ->
+         let spec, impl = aig_pair seed in
+         match Scorr.Verify.run_with_relation spec impl with
+         | Scorr.Equivalent _, product, Some partition ->
+           let ctx =
+             Scorr.Engine_bdd.make
+               ~latch_order:(Scorr.Verify.latch_order_from_outputs product)
+               product
+           in
+           not (Scorr.Engine_bdd.refine_once ctx partition)
+         | _ -> true))
+
+let suite =
+  [ Alcotest.test_case "order interleaves counter" `Quick test_order_interleaves_counter;
+    Alcotest.test_case "bmc catches post-sim fault" `Quick test_bmc_catches_post_sim_difference;
+    Alcotest.test_case "certificate covers outputs" `Quick test_certificate_covers_outputs;
+    prop_order_is_permutation;
+    prop_traces_replay;
+    prop_certificate_relation_is_inductive;
+  ]
+
+let () = Alcotest.run "verify" [ ("verify", suite) ]
