@@ -1,21 +1,40 @@
 (* seqver — command-line driver for the sequential equivalence checker.
 
    Subcommands: verify (the paper's method, the register-correspondence
-   special case, or the traversal baseline), gen (emit suite circuits),
-   opt (apply the synthesis pipeline), sim (random simulation), stats. *)
+   special case, or the traversal baseline), lint (static analysis), gen
+   (emit suite circuits), opt (apply the synthesis pipeline), sim (random
+   simulation), stats. *)
 
+(* Every input path is preflight-linted — including .aag files, which used
+   to bypass validation entirely; a rejection prints the full
+   multi-diagnostic report and exits 2.  Netlists are parsed leniently so
+   that the lint pass sees every defect at once instead of the parser
+   bailing on the first one; the preflight's error-level rules cover all
+   lenient recoveries, so nothing defective reaches the prover. *)
 let read_circuit path =
-  if Filename.check_suffix path ".aag" then Aig.Aiger.parse_file path
-  else begin
-    let netlist =
-      if Filename.check_suffix path ".bench" then Netlist.Bench.parse_file path
-      else Netlist.Blif.parse_file path
-    in
-    (match Netlist.validate netlist with
-    | Ok () -> ()
-    | Error msg -> failwith (Printf.sprintf "%s: %s" path msg));
-    fst (Aig.of_netlist netlist)
-  end
+  try
+    if Filename.check_suffix path ".aag" then begin
+      let aig = Aig.Aiger.parse_file path in
+      Lint.preflight_aig ~subject:path aig;
+      aig
+    end
+    else begin
+      let netlist =
+        if Filename.check_suffix path ".bench" then
+          Netlist.Bench.parse_file ~lenient:true path
+        else Netlist.Blif.parse_file ~lenient:true path
+      in
+      Lint.preflight_netlist ~subject:path netlist;
+      fst (Aig.of_netlist netlist)
+    end
+  with
+  | Lint.Rejected report ->
+      prerr_string report;
+      exit 2
+  | Netlist.Blif.Parse_error msg | Netlist.Bench.Parse_error msg
+  | Aig.Aiger.Parse_error msg ->
+      Printf.eprintf "%s: parse error: %s\n" path msg;
+      exit 2
 
 let write_circuit path aig =
   if Filename.check_suffix path ".aag" then Aig.Aiger.to_file path aig
@@ -203,6 +222,60 @@ let run_bmc spec_path impl_path depth =
     Printf.printf "budget exceeded: %s\n" what;
     2
 
+(* --- lint ----------------------------------------------------------------------- *)
+
+(* Files are parsed leniently so that every structural defect is
+   materialized and reported in one run instead of aborting at the first
+   parse error; only files too malformed to tokenize are rejected
+   outright (exit 2). *)
+let lint_subjects files suite =
+  let of_file path =
+    if Filename.check_suffix path ".aag" then (path, `Aig (Aig.Aiger.parse_file path))
+    else if Filename.check_suffix path ".bench" then
+      (path, `Netlist (Netlist.Bench.parse_file ~lenient:true path))
+    else (path, `Netlist (Netlist.Blif.parse_file ~lenient:true path))
+  in
+  let from_suite =
+    if not suite then []
+    else
+      List.map
+        (fun e -> ("suite:" ^ e.Circuits.Suite.name, `Netlist (e.Circuits.Suite.build ())))
+        Circuits.Suite.suite
+  in
+  List.map of_file files @ from_suite
+
+let run_lint files suite json strict =
+  let subjects =
+    try lint_subjects files suite with
+    | Netlist.Blif.Parse_error msg | Netlist.Bench.Parse_error msg ->
+      Printf.eprintf "seqver lint: parse error: %s\n" msg;
+      exit 2
+    | Aig.Aiger.Parse_error msg ->
+      Printf.eprintf "seqver lint: aiger parse error: %s\n" msg;
+      exit 2
+    | Sys_error msg ->
+      Printf.eprintf "seqver lint: %s\n" msg;
+      exit 2
+  in
+  let results =
+    List.map
+      (fun (subject, c) ->
+        let diags =
+          match c with
+          | `Netlist n -> Lint.check_netlist n
+          | `Aig a -> Lint.check_aig a
+        in
+        (subject, diags))
+      subjects
+  in
+  if json then
+    Printf.printf "[%s]\n"
+      (String.concat ","
+         (List.map (fun (subject, diags) -> Lint.to_json ~subject diags) results))
+  else
+    List.iter (fun (subject, diags) -> print_string (Lint.render ~subject diags)) results;
+  List.fold_left (fun code (_, diags) -> max code (Lint.exit_code ~strict diags)) 0 results
+
 (* --- stats ---------------------------------------------------------------------- *)
 
 let run_stats path =
@@ -307,7 +380,24 @@ let stats_cmd =
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT") in
   Cmd.v (Cmd.info "stats" ~doc:"Print circuit statistics") Term.(const run_stats $ input)
 
+let lint_cmd =
+  let files = Arg.(value & pos_all file [] & info [] ~docv:"FILE") in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Exit 2 when any error-level finding fired, 1 on warnings, 0 otherwise.")
+  in
+  let suite =
+    Arg.(value & flag & info [ "suite" ] ~doc:"Also lint every built-in suite circuit.")
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc:"Run the static-analysis rules over circuits")
+    Term.(const run_lint $ files $ suite $ json $ strict)
+
 let () =
   let doc = "sequential equivalence checking without state space traversal" in
   let info = Cmd.info "seqver" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ verify_cmd; bmc_cmd; gen_cmd; opt_cmd; sim_cmd; stats_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ verify_cmd; bmc_cmd; lint_cmd; gen_cmd; opt_cmd; sim_cmd; stats_cmd ]))

@@ -33,11 +33,12 @@ let gray ?(name = "gray") n =
   let nrst = Netlist.bnot c rst in
   let carry = ref en in
   List.iteri
-    (fun _ q ->
+    (fun i q ->
       let sum = Netlist.bxor c q !carry in
       let d = Netlist.band c nrst sum in
       Netlist.set_latch_data c q ~data:d;
-      carry := Netlist.band c q !carry)
+      (* the carry out of the last bit feeds nothing: don't build it *)
+      if i < n - 1 then carry := Netlist.band c q !carry)
     bits;
   let arr = Array.of_list bits in
   for i = 0 to n - 1 do
@@ -70,11 +71,12 @@ let modulo ?(name = "mod") k =
   let nwrap = Netlist.bnot c wrap in
   let carry = ref en in
   List.iteri
-    (fun _ q ->
+    (fun i q ->
       let sum = Netlist.bxor c q !carry in
       let d = Netlist.band c nwrap sum in
       Netlist.set_latch_data c q ~data:d;
-      carry := Netlist.band c q !carry)
+      (* the carry out of the last bit feeds nothing: don't build it *)
+      if i < n - 1 then carry := Netlist.band c q !carry)
     bits_l;
   for v = 0 to k - 1 do
     Netlist.add_output c (Printf.sprintf "phase%d" v) (eq_const v)

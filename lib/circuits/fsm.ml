@@ -105,9 +105,7 @@ let detector ?(name = "detect") ~onehot pattern =
       Netlist.add_gate c Netlist.And lits
     in
     let head_match = if List.nth pattern 0 then din else ndin in
-    (* next-state value for each current state *)
-    let next_of = Array.make n_states (Netlist.const0 c, Netlist.const0 c) in
-    (* (go target encoded via muxes) build per-bit sum-of-products *)
+    (* per-bit sum-of-products over the one-hot transition structure *)
     let bit_terms = Array.make nbits [] in
     let add_transition ~from ~target ~cond =
       for b = 0 to nbits - 1 do
@@ -115,14 +113,14 @@ let detector ?(name = "detect") ~onehot pattern =
           bit_terms.(b) <- Netlist.band c (in_state from) cond :: bit_terms.(b)
       done
     in
-    ignore next_of;
     for i = 0 to k - 1 do
       let want = List.nth pattern i in
       let bit = if want then din else ndin in
       add_transition ~from:i ~target:(i + 1) ~cond:bit;
-      let miss = Netlist.bnot c bit in
-      if i <> 0 then
+      if i <> 0 then begin
+        let miss = Netlist.bnot c bit in
         add_transition ~from:i ~target:1 ~cond:(Netlist.band c miss head_match)
+      end
     done;
     add_transition ~from:k ~target:1 ~cond:head_match;
     for b = 0 to nbits - 1 do

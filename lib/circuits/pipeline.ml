@@ -25,16 +25,23 @@ let alu ?(name = "alu") width =
   let or_r = List.map2 (fun x y -> Netlist.bor c x y) ra rb in
   let xor_r = List.map2 (fun x y -> Netlist.bxor c x y) ra rb in
   let add_r =
-    let carry = ref (Netlist.const0 c) in
-    List.map2
-      (fun x y ->
-        let s = Netlist.bxor c (Netlist.bxor c x y) !carry in
-        let cout =
-          Netlist.bor c (Netlist.band c x y) (Netlist.band c !carry (Netlist.bxor c x y))
-        in
-        carry := cout;
+    (* ripple carry with carry-in 0: bit 0 has no carry term, and the
+       carry out of the last bit feeds nothing, so neither is built *)
+    let carry = ref None in
+    List.mapi
+      (fun i (x, y) ->
+        let xy = Netlist.bxor c x y in
+        let s = match !carry with None -> xy | Some cin -> Netlist.bxor c xy cin in
+        if i < width - 1 then begin
+          let cout =
+            match !carry with
+            | None -> Netlist.band c x y
+            | Some cin -> Netlist.bor c (Netlist.band c x y) (Netlist.band c cin xy)
+          in
+          carry := Some cout
+        end;
         s)
-      ra rb
+      (List.combine ra rb)
   in
   let result =
     List.map2

@@ -3,6 +3,7 @@
 module Product = Product
 module Partition = Partition
 module Simseed = Simseed
+module Ternseed = Ternseed
 module Engine_bdd = Engine_bdd
 module Engine_sat = Engine_sat
 module Retime_aug = Retime_aug

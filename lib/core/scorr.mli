@@ -85,6 +85,18 @@ module Simseed : sig
   val refine : ?seed:int -> ?n_frames:int -> Product.t -> Partition.t -> int
 end
 
+(** Ternary (X-valued) simulation seeding: exact partition splits by the
+    input-independent part of the state sequence from the initial state. *)
+module Ternseed : sig
+  val refine : ?max_steps:int -> Product.t -> Partition.t -> int
+  (** Split classes whose members have definitely-unequal ternary
+      signatures; returns the number of classes split.  Sound and exact:
+      split signals differ at a fixed frame of every run. *)
+
+  val stuck_constants : ?max_steps:int -> Product.t -> (int * bool) list
+  (** Product-machine latches (by index) provably stuck at a constant. *)
+end
+
 (** BDD refinement engine (the paper's own implementation style). *)
 module Engine_bdd : sig
   exception Budget_exceeded of string
@@ -173,8 +185,13 @@ module Verify : sig
   type options = {
     engine : engine_kind;
     candidates : candidate_set;
+    preflight : bool;
+        (** Lint the circuits first; raise [Lint.Rejected] with a full
+            report when either has error-level defects.  Default true. *)
     use_sim_seed : bool;
     sim_frames : int;
+    use_ternary_seed : bool;
+        (** Seed the partition with {!Ternseed.refine}.  Default true. *)
     use_fundep : bool;
     use_retime : bool;
     max_retime_rounds : int;

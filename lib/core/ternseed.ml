@@ -1,0 +1,42 @@
+(* Ternary-simulation seeding of the signal-correspondence partition.
+
+   X-valued simulation of the product machine from its defined initial
+   state (all inputs X) yields, per node, a signature of definite values
+   over the first frames of the walk — packed as (mask, value) int pairs
+   by [Lint.Aig_ternary.signatures].  Two signals whose signatures are
+   definitely unequal on some frame take different values at that frame of
+   EVERY real run, so they cannot be sequentially equivalent: splitting
+   them apart is exact, costs no BDD or SAT effort, and the greatest fixed
+   point then needs fewer refinement iterations.  This complements the
+   random-simulation seeding of Section 4: ternary simulation follows the
+   unique input-independent part of the state sequence (reset sequences,
+   stuck and self-feeding registers), which random patterns only sample.
+
+   Soundness placement: the driver applies this only after the conclusive
+   initial-state output check, so an (impossible) over-split could only
+   degrade Equivalent to Unknown, never manufacture a wrong verdict. *)
+
+let refine ?max_steps product partition =
+  let aig = product.Product.aig in
+  let sigs = Lint.Aig_ternary.signatures ?max_steps aig in
+  let norm id =
+    let mask, value = sigs.(id) in
+    (* complementing a ternary value flips the defined bits only *)
+    if Partition.polarity partition id then (mask, value lxor mask) else (mask, value)
+  in
+  let compatible a b =
+    let ma, va = norm a in
+    let mb, vb = norm b in
+    ma land mb land (va lxor vb) = 0
+  in
+  let split = ref 0 in
+  List.iter
+    (fun cls -> if Partition.refine_class partition cls ~equal:compatible then incr split)
+    (Partition.multi_member_classes partition);
+  !split
+
+(* Latches of the product machine provably stuck at a constant on every
+   reachable state (by latch index): the facts behind the [stuck-latch]
+   lint diagnostic, exposed here for instrumentation. *)
+let stuck_constants ?max_steps product =
+  Lint.Aig_ternary.stuck_latches ?max_steps product.Product.aig

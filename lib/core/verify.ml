@@ -21,8 +21,10 @@ type candidate_set = All_signals | Registers_only
 type options = {
   engine : engine_kind;
   candidates : candidate_set;
+  preflight : bool; (* lint-reject broken circuits before verifying *)
   use_sim_seed : bool;
   sim_frames : int;
+  use_ternary_seed : bool; (* split the partition by ternary signatures *)
   use_fundep : bool;
   use_retime : bool;
   max_retime_rounds : int;
@@ -40,8 +42,10 @@ let default_options =
   {
     engine = Bdd_engine;
     candidates = All_signals;
+    preflight = true;
     use_sim_seed = true;
     sim_frames = 16;
+    use_ternary_seed = true;
     use_fundep = true;
     use_retime = true;
     max_retime_rounds = 4;
@@ -393,6 +397,13 @@ let outputs_proved (options : options) product partition =
    the product machine and the final correspondence relation — the
    checker's certificate ("show your work"). *)
 let run_with_relation ?(options = default_options) spec impl =
+  (* preflight: refuse to spend BDD/SAT effort on structurally broken
+     circuits — every error-level lint finding is reported at once
+     (raises [Lint.Rejected] with the rendered report) *)
+  if options.preflight then begin
+    Lint.preflight_aig ~subject:"specification" spec;
+    Lint.preflight_aig ~subject:"implementation" impl
+  end;
   let start = Sys.time () in
   let product = Product.make spec impl in
   let iterations = ref 0 in
@@ -474,6 +485,12 @@ let run_with_relation ?(options = default_options) spec impl =
           Not_equivalent { frame = 0; trace = None; stats = mk_stats (Some partition) }
         end
         else begin
+          (* ternary-simulation seeding: exact splits by X-valued
+             signatures from the initial state; placed after the
+             conclusive check above so it can only sharpen the fixed
+             point, never distort the initial-frame refutation *)
+          if options.use_ternary_seed then
+            ignore (Ternseed.refine product partition);
           while engine.refine_once partition do
             incr iterations
           done;

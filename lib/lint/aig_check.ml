@@ -1,0 +1,166 @@
+(* Static-analysis rules over AIGs: the AIG half of the lint subsystem
+   (the netlist half is [Netlist.Check]).  Same reporting contract: every
+   rule reports ALL its findings.
+
+   Rule catalog (id, severity):
+     unclosed-latch    Error    latch whose next-state was never set
+     dangling-literal  Error    literal referencing a node outside the graph
+     and-order         Error    AND node referencing a later node (not topo)
+     dead-node         Info     AND node outside every output's cone
+     const-output      Info     output tied to constant true/false
+     stuck-latch       Info     latch provably constant (ternary simulation)
+
+   Diagnostics carry node ids in the [nets] field (AIG nodes are unnamed;
+   the labels render as [nNN]). *)
+
+module Diag = Netlist.Diag
+
+let node_ref id = (id, None)
+
+(* --- unclosed-latch ------------------------------------------------------- *)
+
+let unclosed_latches aig acc =
+  let acc = ref acc in
+  for i = 0 to Aig.num_latches aig - 1 do
+    if Aig.latch_next aig i < 0 then
+      acc :=
+        Diag.makef
+          ~nets:[ node_ref (Aig.latch_node aig i) ]
+          "unclosed-latch" Diag.Error
+          "latch %d (node n%d) has no next-state function" i (Aig.latch_node aig i)
+        :: !acc
+  done;
+  !acc
+
+(* --- dangling-literal ----------------------------------------------------- *)
+
+let in_range aig l = l >= 0 && Aig.node_of_lit l < Aig.num_nodes aig
+
+let dangling aig acc =
+  let acc = ref acc in
+  let flag id what l =
+    acc :=
+      Diag.makef ~nets:[ node_ref id ] "dangling-literal" Diag.Error
+        "%s references literal %d outside the graph (%d nodes)" what l (Aig.num_nodes aig)
+      :: !acc
+  in
+  for id = 1 to Aig.num_nodes aig - 1 do
+    match Aig.node aig id with
+    | Aig.And (a, b) ->
+      if not (in_range aig a) then flag id (Printf.sprintf "and node n%d" id) a;
+      if not (in_range aig b) then flag id (Printf.sprintf "and node n%d" id) b
+    | Aig.Const | Aig.Pi _ | Aig.Latch _ -> ()
+  done;
+  for i = 0 to Aig.num_latches aig - 1 do
+    let next = Aig.latch_next aig i in
+    if next >= 0 && not (in_range aig next) then
+      flag (Aig.latch_node aig i) (Printf.sprintf "latch %d" i) next
+  done;
+  List.iter
+    (fun (name, l) ->
+      if not (in_range aig l) then flag 0 (Printf.sprintf "output '%s'" name) l)
+    (Aig.pos aig);
+  !acc
+
+(* --- and-order ------------------------------------------------------------ *)
+
+let and_order aig acc =
+  let acc = ref acc in
+  for id = 1 to Aig.num_nodes aig - 1 do
+    match Aig.node aig id with
+    | Aig.And (a, b) ->
+      let bad l = in_range aig l && Aig.node_of_lit l >= id in
+      if bad a || bad b then
+        acc :=
+          Diag.makef ~nets:[ node_ref id ] "and-order" Diag.Error
+            "and node n%d references a later node (ids are not a topological order)" id
+        :: !acc
+    | Aig.Const | Aig.Pi _ | Aig.Latch _ -> ()
+  done;
+  !acc
+
+(* --- dead-node ------------------------------------------------------------ *)
+
+(* Reachability from the POs where a reached latch pulls in its next-state
+   cone — the same notion [Aig.cleanup] garbage-collects.  Only AND nodes
+   are reported: PIs are interface, latches without fanout are reported by
+   cleanup statistics, and dead ANDs are what strashing normally prevents. *)
+let dead_nodes aig acc =
+  let n = Aig.num_nodes aig in
+  let reachable = Array.make n false in
+  reachable.(0) <- true;
+  let rec mark id =
+    if id >= 0 && id < n && not reachable.(id) then begin
+      reachable.(id) <- true;
+      match Aig.node aig id with
+      | Aig.And (a, b) ->
+        mark (Aig.node_of_lit a);
+        mark (Aig.node_of_lit b)
+      | Aig.Latch i ->
+        let next = Aig.latch_next aig i in
+        if next >= 0 then mark (Aig.node_of_lit next)
+      | Aig.Const | Aig.Pi _ -> ()
+    end
+  in
+  List.iter (fun (_, l) -> mark (Aig.node_of_lit l)) (Aig.pos aig);
+  let acc = ref acc in
+  for id = 1 to n - 1 do
+    match Aig.node aig id with
+    | Aig.And _ when not reachable.(id) ->
+      acc :=
+        Diag.makef ~nets:[ node_ref id ] "dead-node" Diag.Info
+          "and node n%d feeds no output (dead logic)" id
+        :: !acc
+    | _ -> ()
+  done;
+  !acc
+
+(* --- const-output --------------------------------------------------------- *)
+
+let const_outputs aig acc =
+  List.fold_left
+    (fun acc (name, l) ->
+      if l = Aig.lit_false || l = Aig.lit_true then
+        Diag.makef "const-output" Diag.Info "output '%s' is constant %s" name
+          (if l = Aig.lit_true then "true" else "false")
+        :: acc
+      else acc)
+    acc (Aig.pos aig)
+
+(* --- stuck-latch (ternary simulation) ------------------------------------- *)
+
+let stuck_latches ?max_steps aig acc =
+  List.fold_left
+    (fun acc (i, value) ->
+      Diag.makef
+        ~nets:[ node_ref (Aig.latch_node aig i) ]
+        "stuck-latch" Diag.Info
+        "latch %d is stuck at %d (ternary simulation from the initial state)" i
+        (if value then 1 else 0)
+      :: acc)
+    acc
+    (Aig_ternary.stuck_latches ?max_steps aig)
+
+(* --- driver --------------------------------------------------------------- *)
+
+let errors aig =
+  [] |> unclosed_latches aig |> dangling aig |> and_order aig |> Diag.errors
+
+let run ?(ternary_steps = 64) aig =
+  let diags =
+    [] |> unclosed_latches aig |> dangling aig |> and_order aig |> dead_nodes aig
+    |> const_outputs aig
+  in
+  let diags =
+    if ternary_steps > 0 && Diag.errors diags = [] then
+      stuck_latches ~max_steps:ternary_steps aig diags
+    else diags
+  in
+  List.sort
+    (fun a b ->
+      match
+        compare (Diag.severity_rank b.Diag.severity) (Diag.severity_rank a.Diag.severity)
+      with
+      | 0 -> compare (a.Diag.rule, a.Diag.nets) (b.Diag.rule, b.Diag.nets)
+      | n -> n)
+    diags

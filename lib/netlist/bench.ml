@@ -77,56 +77,130 @@ let gate_fn_of_func line = function
   | "BUF" | "BUFF" -> Circuit.Buf
   | func -> parse_error "unsupported gate %s in: %s" func line
 
-let parse_string ?(model = "bench") text =
+let parse_string ?(model = "bench") ?(lenient = false) text =
   let inputs, outputs, gates = parse_raw text in
   let c = Circuit.create model in
   let env : (string, int) Hashtbl.t = Hashtbl.create 64 in
   List.iter (fun n -> Hashtbl.replace env n (Circuit.add_input ~name:n c)) inputs;
   let defs : (string, raw_gate) Hashtbl.t = Hashtbl.create 64 in
   List.iter (fun g -> Hashtbl.replace defs g.target g) gates;
-  (* DFF outputs are nets available from the start *)
-  List.iter
-    (fun g ->
-      if g.func = "DFF" then Hashtbl.replace env g.target (Circuit.add_latch ~name:g.target c ~init:false))
-    gates;
+  (* duplicate definitions: strict mode rejects them, lenient mode
+     materializes every driver so the multiply-driven lint rule can
+     report them *)
+  let definition_count = Hashtbl.create 64 in
+  let count name =
+    Hashtbl.replace definition_count name
+      (1 + Option.value ~default:0 (Hashtbl.find_opt definition_count name))
+  in
+  List.iter count inputs;
+  List.iter (fun g -> count g.target) gates;
+  let duplicates =
+    List.sort compare
+      (Hashtbl.fold
+         (fun name n acc -> if n > 1 then name :: acc else acc)
+         definition_count [])
+  in
+  if duplicates <> [] && not lenient then
+    parse_error "multiple drivers for signal(s): %s" (String.concat ", " duplicates);
+  (* DFF outputs are nets available from the start; each duplicate DFF
+     definition allocates its own latch *)
+  let dffs =
+    List.filter_map
+      (fun g ->
+        if g.func = "DFF" then begin
+          let net = Circuit.add_latch ~name:g.target c ~init:false in
+          Hashtbl.replace env g.target net;
+          Some (g, net)
+        end
+        else None)
+      gates
+  in
   let building = Hashtbl.create 16 in
+  let cycle_patches = ref [] in
+  let built : (string, unit) Hashtbl.t = Hashtbl.create 16 in
   let rec net_of name =
     match Hashtbl.find_opt env name with
     | Some net -> net
-    | None -> (
-      if Hashtbl.mem building name then parse_error "combinational cycle at %s" name;
-      Hashtbl.replace building name ();
-      match Hashtbl.find_opt defs name with
-      | None -> parse_error "undefined signal %s" name
-      | Some g ->
-        let fanins = List.map net_of g.args in
-        let net =
-          Circuit.add_gate ~name c
-            (gate_fn_of_func (g.target ^ " = " ^ g.func) g.func)
-            fanins
-        in
-        Hashtbl.replace env name net;
-        Hashtbl.remove building name;
-        net)
-  in
-  List.iter
-    (fun g ->
-      if g.func = "DFF" then begin
-        match g.args with
-        | [ d ] -> Circuit.set_latch_data c (Hashtbl.find env g.target) ~data:(net_of d)
-        | _ -> parse_error "DFF takes one argument: %s" g.target
+    | None ->
+      if Hashtbl.mem building name then begin
+        if not lenient then parse_error "combinational cycle at %s" name;
+        (* break the cycle with a placeholder, patched to a buffer of the
+           real net afterwards so the cycle survives for the lint rules *)
+        let placeholder = Circuit.add_undriven c in
+        cycle_patches := (placeholder, name) :: !cycle_patches;
+        placeholder
       end
-      else ignore (net_of g.target))
-    gates;
+      else begin
+        Hashtbl.replace building name ();
+        match Hashtbl.find_opt defs name with
+        | None ->
+          if not lenient then parse_error "undefined signal %s" name;
+          let net = Circuit.add_undriven ~name c in
+          Hashtbl.replace env name net;
+          net
+        | Some g ->
+          let net = build_gate g in
+          Hashtbl.replace env name net;
+          Hashtbl.replace built name ();
+          Hashtbl.remove building name;
+          net
+      end
+  and build_gate g =
+    let fn = gate_fn_of_func (g.target ^ " = " ^ g.func) g.func in
+    let fanins = List.map net_of g.args in
+    match Circuit.add_gate ~name:g.target c fn fanins with
+    | net -> net
+    | exception Invalid_argument _ when lenient ->
+      (* impossible fanin count (e.g. NOT with two arguments): materialize
+         it anyway for the bad-arity lint rule *)
+      let net = Circuit.add_undriven ~name:g.target c in
+      Circuit.unsafe_set_node c net (Circuit.Gate (fn, Array.of_list fanins));
+      net
+  in
+  List.iter (fun g -> if g.func <> "DFF" then ignore (net_of g.target)) gates;
+  (* lenient: materialize the shadowed drivers of duplicated names too;
+     [net_of] built at most one gate per name — the one [defs] retained,
+     and only when the name was not already an input or DFF *)
+  if lenient then
+    List.iter
+      (fun g ->
+        if g.func <> "DFF" then begin
+          let is_the_built_one =
+            Hashtbl.mem built g.target
+            && (match Hashtbl.find_opt defs g.target with
+               | Some kept -> kept == g
+               | None -> false)
+          in
+          if not is_the_built_one then ignore (build_gate g)
+        end)
+      gates;
+  List.iter
+    (fun (g, lnet) ->
+      match g.args with
+      | [ d ] ->
+        (* lenient: a DFF whose data signal has no definition stays
+           unclosed; the unclosed-latch rule reports it *)
+        if (not lenient) || Hashtbl.mem env d || Hashtbl.mem defs d then
+          Circuit.set_latch_data c lnet ~data:(net_of d)
+      | _ -> if not lenient then parse_error "DFF takes one argument: %s" g.target)
+    dffs;
   List.iter (fun name -> Circuit.add_output c name (net_of name)) outputs;
+  (* close the cycles broken during elaboration through a buffer *)
+  List.iter
+    (fun (placeholder, name) ->
+      match Hashtbl.find_opt env name with
+      | Some net ->
+        Circuit.unsafe_set_node c placeholder (Circuit.Gate (Circuit.Buf, [| net |]))
+      | None -> ())
+    !cycle_patches;
   c
 
-let parse_file path =
+let parse_file ?lenient path =
   let ic = open_in path in
   let n = in_channel_length ic in
   let text = really_input_string ic n in
   close_in ic;
-  parse_string ~model:(Filename.remove_extension (Filename.basename path)) text
+  parse_string ~model:(Filename.remove_extension (Filename.basename path)) ?lenient text
 
 let net_label c net =
   match Circuit.name_of c net with Some n -> n | None -> Printf.sprintf "n%d" net

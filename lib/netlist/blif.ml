@@ -117,32 +117,72 @@ let parse_raw text =
 
 (* --- elaboration to Circuit.t ------------------------------------------- *)
 
-let elaborate raw =
+let elaborate ?(lenient = false) raw =
   let c = Circuit.create raw.raw_model in
   let env : (string, int) Hashtbl.t = Hashtbl.create 64 in
   List.iter (fun n -> Hashtbl.replace env n (Circuit.add_input ~name:n c)) raw.raw_inputs;
-  List.iter
-    (fun (_, out, init) -> Hashtbl.replace env out (Circuit.add_latch ~name:out c ~init))
-    raw.raw_latches;
+  let latch_nets =
+    List.map
+      (fun (_, out, init) ->
+        let net = Circuit.add_latch ~name:out c ~init in
+        Hashtbl.replace env out net;
+        net)
+      raw.raw_latches
+  in
   let defs : (string, cover) Hashtbl.t = Hashtbl.create 64 in
   List.iter (fun (target, cover) -> Hashtbl.replace defs target cover) raw.raw_names;
+  (* duplicate definitions: strict mode rejects them (they used to be
+     dropped silently); lenient mode materializes every driver below so
+     the multiply-driven lint rule can report them *)
+  let definition_count = Hashtbl.create 64 in
+  let count name =
+    Hashtbl.replace definition_count name
+      (1 + Option.value ~default:0 (Hashtbl.find_opt definition_count name))
+  in
+  List.iter count raw.raw_inputs;
+  List.iter (fun (_, out, _) -> count out) raw.raw_latches;
+  List.iter (fun (target, _) -> count target) raw.raw_names;
+  let duplicates =
+    List.sort compare
+      (Hashtbl.fold
+         (fun name n acc -> if n > 1 then name :: acc else acc)
+         definition_count [])
+  in
+  if duplicates <> [] && not lenient then
+    parse_error "multiple drivers for signal(s): %s" (String.concat ", " duplicates);
   (* build gates on demand, in dependency order *)
   let building : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let cycle_patches = ref [] in
+  let built : (string, unit) Hashtbl.t = Hashtbl.create 16 in
   let rec net_of name =
     match Hashtbl.find_opt env name with
     | Some net -> net
     | None -> (
-      if Hashtbl.mem building name then parse_error "combinational cycle at %s" name;
+      if Hashtbl.mem building name then begin
+        if not lenient then parse_error "combinational cycle at %s" name;
+        (* break the cycle with a placeholder, patched to a buffer of the
+           real net afterwards so the cycle survives for the lint rules *)
+        let placeholder = Circuit.add_undriven c in
+        cycle_patches := (placeholder, name) :: !cycle_patches;
+        placeholder
+      end
+      else begin
       Hashtbl.replace building name ();
       match Hashtbl.find_opt defs name with
-      | None -> parse_error "undefined signal: %s" name
+      | None ->
+        if not lenient then parse_error "undefined signal: %s" name;
+        let net = Circuit.add_undriven ~name c in
+        Hashtbl.replace env name net;
+        net
       | Some cover ->
         let fanins = List.map net_of cover.row_inputs in
         let net = build_cover c fanins cover in
         Circuit.set_name c net name;
         Hashtbl.replace env name net;
+        Hashtbl.replace built name ();
         Hashtbl.remove building name;
-        net)
+        net
+      end)
   and build_cover c fanins cover =
     match cover.rows with
     | [] -> Circuit.const0 c
@@ -180,21 +220,52 @@ let elaborate raw =
       if out_polarity = '1' then sum else Circuit.bnot c sum
   in
   List.iter (fun (name, _) -> ignore (net_of name)) raw.raw_names;
-  List.iter
-    (fun (data, out, _) ->
-      Circuit.set_latch_data c (Hashtbl.find env out) ~data:(net_of data))
-    raw.raw_latches;
+  (* lenient: materialize the shadowed drivers of duplicated names too, so
+     every driver exists as a net sharing the name (what the
+     multiply-driven lint rule reports).  [net_of] built at most one cover
+     per name — the one [defs] retained, and only when the name was not
+     already an input or latch. *)
+  if lenient then
+    List.iter
+      (fun (target, cover) ->
+        let is_the_built_one =
+          Hashtbl.mem built target
+          && (match Hashtbl.find_opt defs target with
+             | Some kept -> kept == cover
+             | None -> false)
+        in
+        if not is_the_built_one then begin
+          let fanins = List.map net_of cover.row_inputs in
+          let net = build_cover c fanins cover in
+          Circuit.set_name c net target
+        end)
+      raw.raw_names;
+  List.iter2
+    (fun (data, _, _) lnet ->
+      (* lenient: a latch whose data signal has no definition stays
+         unclosed; the unclosed-latch rule reports it *)
+      if (not lenient) || Hashtbl.mem env data || Hashtbl.mem defs data then
+        Circuit.set_latch_data c lnet ~data:(net_of data))
+    raw.raw_latches latch_nets;
   List.iter (fun name -> Circuit.add_output c name (net_of name)) raw.raw_outputs;
+  (* close the cycles broken during elaboration through a buffer *)
+  List.iter
+    (fun (placeholder, name) ->
+      match Hashtbl.find_opt env name with
+      | Some net ->
+        Circuit.unsafe_set_node c placeholder (Circuit.Gate (Circuit.Buf, [| net |]))
+      | None -> ())
+    !cycle_patches;
   c
 
-let parse_string text = elaborate (parse_raw text)
+let parse_string ?lenient text = elaborate ?lenient (parse_raw text)
 
-let parse_file path =
+let parse_file ?lenient path =
   let ic = open_in path in
   let n = in_channel_length ic in
   let text = really_input_string ic n in
   close_in ic;
-  parse_string text
+  parse_string ?lenient text
 
 (* --- printing ------------------------------------------------------------ *)
 

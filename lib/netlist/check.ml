@@ -1,0 +1,307 @@
+(* Static-analysis rules over gate-level circuits: the netlist half of the
+   lint subsystem (the AIG half lives in the lint library).  Every rule
+   reports ALL its findings, so a single run diagnoses every defect of a
+   malformed circuit instead of aborting at the first.
+
+   Rule catalog (id, severity):
+     multiply-driven   Error    one name driven by several distinct nets
+     undriven-net      Error    net referenced but never driven
+     unclosed-latch    Error    latch whose data input was never set
+     bad-arity         Error    gate with an impossible fanin count
+     comb-cycle        Error    combinational cycle, with a witness path
+     output-collision  Error    one output name bound to different nets
+                       Warning  the same output listed twice
+     dead-net          Warning  logic outside every output's cone of influence
+     unused-input      Info     primary input feeding no output
+     const-gate        Info     gate that always evaluates to a constant
+     stuck-latch       Info     latch provably constant (ternary simulation) *)
+
+let named c net = (net, Circuit.name_of c net)
+let label c net = Diag.net_label (named c net)
+
+(* --- multiply-driven ------------------------------------------------------ *)
+
+(* Each net has exactly one driver by construction, so a multiply-driven
+   signal of the source file manifests as one NAME naming several nets
+   (the lenient parser modes materialize every driver). *)
+let multiply_driven c acc =
+  let by_name = Hashtbl.create 64 in
+  List.iter
+    (fun (net, name) ->
+      Hashtbl.replace by_name name (net :: (Option.value ~default:[] (Hashtbl.find_opt by_name name))))
+    (Circuit.names c);
+  Hashtbl.fold
+    (fun name nets acc ->
+      match nets with
+      | [] | [ _ ] -> acc
+      | nets ->
+        let nets = List.sort compare nets in
+        Diag.makef
+          ~nets:(List.map (named c) nets)
+          "multiply-driven" Diag.Error "signal '%s' is driven by %d distinct nets (%s)"
+          name (List.length nets)
+          (String.concat ", " (List.map (Printf.sprintf "n%d") nets))
+        :: acc)
+    by_name acc
+
+(* --- undriven-net --------------------------------------------------------- *)
+
+let undriven c acc =
+  let is_input = Array.make (Circuit.num_nets c) false in
+  List.iter (fun net -> is_input.(net) <- true) (Circuit.inputs c);
+  let acc = ref acc in
+  for net = 0 to Circuit.num_nets c - 1 do
+    match Circuit.node c net with
+    | Circuit.Input when not is_input.(net) ->
+      acc :=
+        Diag.makef ~nets:[ named c net ] "undriven-net" Diag.Error
+          "net %s is referenced but has no driver" (label c net)
+        :: !acc
+    | _ -> ()
+  done;
+  !acc
+
+(* --- unclosed-latch ------------------------------------------------------- *)
+
+let unclosed_latches c acc =
+  List.fold_left
+    (fun acc l ->
+      if Circuit.latch_data c l < 0 then
+        Diag.makef ~nets:[ named c l ] "unclosed-latch" Diag.Error
+          "latch %s has no data input (set_latch_data was never called)" (label c l)
+        :: acc
+      else acc)
+    acc (Circuit.latches c)
+
+(* --- bad-arity ------------------------------------------------------------ *)
+
+let bad_arity c acc =
+  let acc = ref acc in
+  let flag net fn n expected =
+    let fn_name =
+      match fn with
+      | Circuit.And -> "and" | Circuit.Or -> "or" | Circuit.Nand -> "nand"
+      | Circuit.Nor -> "nor" | Circuit.Xor -> "xor" | Circuit.Xnor -> "xnor"
+      | Circuit.Not -> "not" | Circuit.Buf -> "buf"
+      | Circuit.Const0 -> "const0" | Circuit.Const1 -> "const1"
+    in
+    acc :=
+      Diag.makef ~nets:[ named c net ] "bad-arity" Diag.Error
+        "%s gate %s has %d fanins (expected %s)" fn_name (label c net) n expected
+      :: !acc
+  in
+  for net = 0 to Circuit.num_nets c - 1 do
+    match Circuit.node c net with
+    | Circuit.Gate (((Circuit.Not | Circuit.Buf) as fn), fanins) ->
+      if Array.length fanins <> 1 then flag net fn (Array.length fanins) "1"
+    | Circuit.Gate (((Circuit.Const0 | Circuit.Const1) as fn), fanins) ->
+      if Array.length fanins <> 0 then flag net fn (Array.length fanins) "0"
+    | Circuit.Gate (fn, [||]) -> flag net fn 0 ">= 1"
+    | Circuit.Gate _ | Circuit.Input | Circuit.Latch _ -> ()
+  done;
+  !acc
+
+(* --- comb-cycle ----------------------------------------------------------- *)
+
+(* Depth-first search over the combinational edges; a back edge closes a
+   cycle, and the DFS path gives an explicit witness.  Every distinct back
+   edge is reported (completed nodes are never re-entered, so the same
+   cycle is not reported twice). *)
+let comb_cycles c acc =
+  let n = Circuit.num_nets c in
+  let state = Array.make n 0 in
+  (* 0 = unvisited, 1 = on stack, 2 = done *)
+  let acc = ref acc in
+  let rec visit path net =
+    match state.(net) with
+    | 2 -> ()
+    | 1 ->
+      (* [net] is on the current path: the cycle is the path segment from
+         its previous occurrence back to here *)
+      let rec upto = function
+        | [] -> []
+        | x :: rest -> if x = net then [ x ] else x :: upto rest
+      in
+      let cycle = net :: List.rev (upto path) in
+      acc :=
+        Diag.makef
+          ~nets:(List.map (named c) (List.tl cycle))
+          "comb-cycle" Diag.Error "combinational cycle: %s"
+          (String.concat " -> " (List.map (label c) cycle))
+        :: !acc
+    | _ ->
+      state.(net) <- 1;
+      (match Circuit.node c net with
+      | Circuit.Gate (_, fanins) -> Array.iter (visit (net :: path)) fanins
+      | Circuit.Input | Circuit.Latch _ -> ());
+      state.(net) <- 2
+  in
+  for net = 0 to n - 1 do
+    visit [] net
+  done;
+  !acc
+
+(* --- output-collision ----------------------------------------------------- *)
+
+let output_collisions c acc =
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun (name, net) ->
+      Hashtbl.replace by_name name
+        (net :: Option.value ~default:[] (Hashtbl.find_opt by_name name)))
+    (Circuit.outputs c);
+  Hashtbl.fold
+    (fun name nets acc ->
+      match List.sort_uniq compare nets with
+      | [] -> acc
+      | [ net ] ->
+        if List.length nets > 1 then
+          Diag.makef ~nets:[ named c net ] "output-collision" Diag.Warning
+            "output '%s' is listed %d times" name (List.length nets)
+          :: acc
+        else acc
+      | distinct ->
+        Diag.makef
+          ~nets:(List.map (named c) distinct)
+          "output-collision" Diag.Error "output '%s' is bound to %d different nets" name
+          (List.length distinct)
+        :: acc)
+    by_name acc
+
+(* --- dead-net / unused-input ---------------------------------------------- *)
+
+(* Cone of influence: everything transitively feeding an output, where a
+   live latch also pulls in its data cone.  Gates and latches outside it
+   are dead logic; inputs outside it are merely unused (the interface may
+   be fixed externally, hence only Info). *)
+let coi c =
+  let live = Array.make (Circuit.num_nets c) false in
+  let rec mark net =
+    if not live.(net) then begin
+      live.(net) <- true;
+      match Circuit.node c net with
+      | Circuit.Gate (_, fanins) -> Array.iter mark fanins
+      | Circuit.Latch _ ->
+        let d = Circuit.latch_data c net in
+        if d >= 0 then mark d
+      | Circuit.Input -> ()
+    end
+  in
+  List.iter (fun (_, net) -> mark net) (Circuit.outputs c);
+  live
+
+let dead_nets c acc =
+  let live = coi c in
+  let acc = ref acc in
+  for net = 0 to Circuit.num_nets c - 1 do
+    if not live.(net) then
+      match Circuit.node c net with
+      | Circuit.Gate _ ->
+        acc :=
+          Diag.makef ~nets:[ named c net ] "dead-net" Diag.Warning
+            "gate %s feeds no output (dead logic)" (label c net)
+          :: !acc
+      | Circuit.Latch _ ->
+        acc :=
+          Diag.makef ~nets:[ named c net ] "dead-net" Diag.Warning
+            "latch %s feeds no output (dead state)" (label c net)
+          :: !acc
+      | Circuit.Input -> ()
+  done;
+  List.fold_left
+    (fun acc net ->
+      if live.(net) then acc
+      else
+        Diag.makef ~nets:[ named c net ] "unused-input" Diag.Info
+          "input %s feeds no output" (label c net)
+        :: acc)
+    !acc (Circuit.inputs c)
+
+(* --- const-gate ----------------------------------------------------------- *)
+
+let const_gates c acc =
+  let is_const0 net =
+    match Circuit.node c net with Circuit.Gate (Circuit.Const0, _) -> true | _ -> false
+  in
+  let is_const1 net =
+    match Circuit.node c net with Circuit.Gate (Circuit.Const1, _) -> true | _ -> false
+  in
+  let is_const net = is_const0 net || is_const1 net in
+  let acc = ref acc in
+  for net = 0 to Circuit.num_nets c - 1 do
+    match Circuit.node c net with
+    | Circuit.Gate ((Circuit.Const0 | Circuit.Const1), _) | Circuit.Input | Circuit.Latch _ ->
+      ()
+    | Circuit.Gate (fn, fanins) ->
+      let foldable =
+        (Array.length fanins > 0 && Array.for_all is_const fanins)
+        || (match fn with
+           | Circuit.And | Circuit.Nand -> Array.exists is_const0 fanins
+           | Circuit.Or | Circuit.Nor -> Array.exists is_const1 fanins
+           | _ -> false)
+      in
+      if foldable then
+        acc :=
+          Diag.makef ~nets:[ named c net ] "const-gate" Diag.Info
+            "gate %s always evaluates to a constant (foldable)" (label c net)
+          :: !acc
+  done;
+  !acc
+
+(* --- stuck-latch (ternary simulation) ------------------------------------- *)
+
+let stuck_latches ?max_steps c acc =
+  List.fold_left
+    (fun acc (l, value) ->
+      Diag.makef ~nets:[ named c l ] "stuck-latch" Diag.Info
+        "latch %s is stuck at %d (ternary simulation from the initial state)"
+        (label c l) (if value then 1 else 0)
+      :: acc)
+    acc
+    (Ternary.stuck_latches ?max_steps c)
+
+(* --- driver --------------------------------------------------------------- *)
+
+(* Structural (error-level) rules only: the basis of [Netlist.validate]. *)
+let errors c =
+  []
+  |> multiply_driven c
+  |> undriven c
+  |> unclosed_latches c
+  |> bad_arity c
+  |> comb_cycles c
+  |> output_collisions c
+  |> Diag.errors
+
+(* The full catalog.  The ternary rule needs a well-formed circuit, so it
+   only runs when no error-level diagnostic fired; [ternary_steps = 0]
+   disables it. *)
+let run ?(ternary_steps = 64) c =
+  let diags =
+    []
+    |> multiply_driven c
+    |> undriven c
+    |> unclosed_latches c
+    |> bad_arity c
+    |> comb_cycles c
+    |> output_collisions c
+    |> dead_nets c
+    |> const_gates c
+  in
+  let diags =
+    if ternary_steps > 0 && Diag.errors diags = [] then
+      stuck_latches ~max_steps:ternary_steps c diags
+    else diags
+  in
+  (* stable report order: severity first, then rule id, then nets *)
+  List.sort
+    (fun a b ->
+      match compare (Diag.severity_rank b.Diag.severity) (Diag.severity_rank a.Diag.severity) with
+      | 0 -> compare (a.Diag.rule, a.Diag.nets) (b.Diag.rule, b.Diag.nets)
+      | n -> n)
+    diags
+
+let validate c =
+  match errors c with
+  | [] -> Ok ()
+  | errs -> Error (String.concat "; " (List.map Diag.to_string errs))

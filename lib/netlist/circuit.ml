@@ -55,6 +55,9 @@ let set_name t net name =
 let name_of t net = Hashtbl.find_opt t.net_name net
 let net_of_name t name = Hashtbl.find_opt t.name_net name
 
+let names t =
+  List.sort compare (Hashtbl.fold (fun net name acc -> (net, name) :: acc) t.net_name [])
+
 let fresh t node =
   if t.n_nodes = Array.length t.nodes then begin
     let bigger = Array.make (2 * t.n_nodes) Input in
@@ -70,6 +73,24 @@ let add_input ?name t =
   (match name with Some n -> set_name t net n | None -> ());
   t.rev_inputs <- net :: t.rev_inputs;
   net
+
+(* A net that is referenced but has no driver: the node looks like an
+   input but is deliberately NOT registered as a primary input, which is
+   exactly what the undriven-net lint rule detects.  Used by the lenient
+   parser modes to keep elaborating malformed files so that the checker
+   can report every defect at once. *)
+let add_undriven ?name t =
+  let net = fresh t Input in
+  (match name with Some n -> set_name t net n | None -> ());
+  net
+
+(* Replace the driver of a net in place, bypassing the construction-time
+   arity and range checks.  For parser recovery and for seeding defective
+   circuits in lint tests; the result may be ill-formed (that is the
+   point) and must be re-checked before simulation or conversion. *)
+let unsafe_set_node t net node =
+  if net < 0 || net >= t.n_nodes then invalid_arg "Circuit.unsafe_set_node: bad net";
+  t.nodes.(net) <- node
 
 let add_gate ?name t fn fanins =
   (match fn with
@@ -151,17 +172,6 @@ let topo_order t =
     visit net
   done;
   List.rev !order
-
-let validate t =
-  try
-    List.iter
-      (fun latch ->
-        if latch_data t latch < 0 then
-          failwith (Printf.sprintf "latch %d has no data input" latch))
-      (latches t);
-    ignore (topo_order t);
-    Ok ()
-  with Failure msg -> Error msg
 
 let pp_stats ppf t =
   let n_gates =

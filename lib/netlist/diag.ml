@@ -1,0 +1,47 @@
+(* Diagnostics data model shared by the circuit lint rules (netlist- and
+   AIG-level): a rule identifier, a severity, a human message and the
+   affected nets.  The renderers (human report, JSON) live in the lint
+   library; this module only defines the data and its one-line printer so
+   [Netlist.validate] can be built on top without a dependency cycle. *)
+
+type severity = Error | Warning | Info
+
+let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "info"
+let severity_rank = function Error -> 2 | Warning -> 1 | Info -> 0
+
+type t = {
+  rule : string; (* stable identifier, e.g. "multiply-driven" *)
+  severity : severity;
+  message : string;
+  nets : (int * string option) list; (* affected nets with their names *)
+}
+
+let make ?(nets = []) rule severity message = { rule; severity; message; nets }
+
+let makef ?nets rule severity fmt =
+  Printf.ksprintf (fun message -> make ?nets rule severity message) fmt
+
+(* "q3" for a named net, "n17" for an anonymous one. *)
+let net_label (net, name) =
+  match name with Some n -> n | None -> Printf.sprintf "n%d" net
+
+let pp ppf d =
+  Format.fprintf ppf "%s[%s]: %s" (severity_name d.severity) d.rule d.message;
+  match d.nets with
+  | [] -> ()
+  | nets ->
+    Format.fprintf ppf " [%s]" (String.concat " " (List.map net_label nets))
+
+let to_string d = Format.asprintf "%a" pp d
+
+(* The highest severity present, or [None] for a clean report. *)
+let worst diags =
+  List.fold_left
+    (fun acc d ->
+      match acc with
+      | Some s when severity_rank s >= severity_rank d.severity -> acc
+      | _ -> Some d.severity)
+    None diags
+
+let count severity diags = List.length (List.filter (fun d -> d.severity = severity) diags)
+let errors diags = List.filter (fun d -> d.severity = Error) diags

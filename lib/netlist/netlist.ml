@@ -1,7 +1,14 @@
 (* Public API of the netlist library; see netlist.mli. *)
 
 include Circuit
+module Diag = Diag
+module Check = Check
+module Ternary = Ternary
 module Blif = Blif
 module Bench = Bench
 module Verilog = Verilog
 module Sim = Sim
+
+(* Well-formedness, reimplemented on top of the lint rules: every
+   error-level diagnostic is reported, not just the first. *)
+let validate = Check.validate

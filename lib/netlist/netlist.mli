@@ -41,6 +41,18 @@ val add_latch : ?name:string -> t -> init:bool -> int
 (** Allocate a latch output net; its data input is closed later with
     {!set_latch_data}. *)
 
+val add_undriven : ?name:string -> t -> int
+(** A net that is referenced but has no driver — not a primary input.
+    Used by the lenient parser modes to keep elaborating malformed files;
+    the [undriven-net] lint rule reports such nets. *)
+
+val unsafe_set_node : t -> int -> node -> unit
+(** Replace the driver of a net in place, bypassing the construction-time
+    arity and range checks.  For parser recovery and for seeding defective
+    circuits in lint tests; the result may be ill-formed and must be
+    re-checked ({!validate}, {!Check.run}) before simulation or
+    conversion. *)
+
 val set_latch_data : t -> int -> data:int -> unit
 val add_output : t -> string -> int -> unit
 
@@ -57,6 +69,11 @@ val const1 : t -> int
 val set_name : t -> int -> string -> unit
 val name_of : t -> int -> string option
 val net_of_name : t -> string -> int option
+
+val names : t -> (int * string) list
+(** All (net, name) bindings, sorted by net.  Several nets may share one
+    name (a multiply-driven signal of the source file); the name table
+    lookup {!net_of_name} then answers the most recent binding. *)
 
 (** {1 Structure} *)
 
@@ -75,15 +92,77 @@ val topo_order : t -> int list
     @raise Failure on a combinational cycle. *)
 
 val validate : t -> (unit, string) result
+(** Well-formedness, built on the lint rules ({!Check.errors}): [Error]
+    carries {e every} error-level diagnostic, not just the first. *)
+
 val pp_stats : Format.formatter -> t -> unit
+
+(** {1 Diagnostics} *)
+
+(** The diagnostics data model shared by the netlist- and AIG-level lint
+    rules (renderers live in the [lint] library). *)
+module Diag : sig
+  type severity = Error | Warning | Info
+
+  type t = {
+    rule : string;  (** stable identifier, e.g. ["multiply-driven"] *)
+    severity : severity;
+    message : string;
+    nets : (int * string option) list;  (** affected nets with names *)
+  }
+
+  val make : ?nets:(int * string option) list -> string -> severity -> string -> t
+  val makef :
+    ?nets:(int * string option) list ->
+    string -> severity -> ('a, unit, string, t) format4 -> 'a
+
+  val severity_name : severity -> string
+  val severity_rank : severity -> int
+  val net_label : int * string option -> string
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+  val worst : t list -> severity option
+  val count : severity -> t list -> int
+  val errors : t list -> t list
+end
+
+(** Netlist-level static analysis: the rule catalog is documented in the
+    README ([seqver lint]) and in [check.ml]. *)
+module Check : sig
+  val run : ?ternary_steps:int -> t -> Diag.t list
+  (** All diagnostics of all rules, sorted by severity then rule id.  The
+      ternary stuck-latch rule only runs on circuits without error-level
+      defects; [ternary_steps = 0] disables it. *)
+
+  val errors : t -> Diag.t list
+  (** Only the structural error-level rules (the basis of {!validate}). *)
+end
+
+(** X-valued simulation from the initial state (all inputs X). *)
+module Ternary : sig
+  type v = F | T | X
+
+  val stuck_latches : ?max_steps:int -> t -> (int * bool) list
+  (** Latches provably stuck at a constant on every reachable state: the
+      facts hold initially and are closed under one ternary step (sound
+      invariants).  Requires a well-formed circuit. *)
+end
 
 (** {1 BLIF I/O} *)
 
 module Blif : sig
   exception Parse_error of string
 
-  val parse_string : string -> t
-  val parse_file : string -> t
+  val parse_string : ?lenient:bool -> string -> t
+  (** With [~lenient:true] (default false), structurally malformed input
+      is materialized instead of rejected so the lint rules can report
+      every defect: undefined signals become undriven nets, a latch whose
+      data signal is undefined stays unclosed, duplicate definitions all
+      build (one name, several nets) and combinational cycles are closed
+      through a buffer.  Strict mode additionally rejects duplicate
+      definitions, which were previously dropped silently. *)
+
+  val parse_file : ?lenient:bool -> string -> t
   val to_string : t -> string
   val to_file : string -> t -> unit
 end
@@ -93,10 +172,12 @@ end
 module Bench : sig
   exception Parse_error of string
 
-  val parse_string : ?model:string -> string -> t
-  (** DFF initial values are taken as 0 (the .bench convention). *)
+  val parse_string : ?model:string -> ?lenient:bool -> string -> t
+  (** DFF initial values are taken as 0 (the .bench convention).
+      [~lenient] recovers from undefined signals, duplicate definitions
+      and combinational cycles exactly like {!Blif.parse_string}. *)
 
-  val parse_file : string -> t
+  val parse_file : ?lenient:bool -> string -> t
   val to_string : t -> string
   val to_file : string -> t -> unit
 end

@@ -1,0 +1,100 @@
+(* X-valued (ternary) simulation of circuits, started from the defined
+   initial state with every primary input held at X.  A latch whose value
+   stays a definite constant over the reachable ternary states is stuck at
+   that constant on every real run: the facts are sound invariants usable
+   both as lint diagnostics and as seed information for the signal
+   correspondence fixed point (ABC's `scorr -c` ternary init, and the
+   structural reduction spirit of FRAIG-BMC). *)
+
+type v = F | T | X
+
+let v_not = function F -> T | T -> F | X -> X
+let v_and a b = match (a, b) with F, _ | _, F -> F | T, T -> T | _ -> X
+let v_or a b = match (a, b) with T, _ | _, T -> T | F, F -> F | _ -> X
+let v_xor a b = match (a, b) with X, _ | _, X -> X | _ -> if a = b then F else T
+let of_bool b = if b then T else F
+let to_string = function F -> "0" | T -> "1" | X -> "x"
+
+let gate_eval fn (values : v array) (fanins : int array) =
+  let fold f init = Array.fold_left (fun acc i -> f acc values.(i)) init fanins in
+  match fn with
+  | Circuit.And -> fold v_and T
+  | Circuit.Or -> fold v_or F
+  | Circuit.Nand -> v_not (fold v_and T)
+  | Circuit.Nor -> v_not (fold v_or F)
+  | Circuit.Xor -> fold v_xor F
+  | Circuit.Xnor -> v_not (fold v_xor F)
+  | Circuit.Not -> v_not values.(fanins.(0))
+  | Circuit.Buf -> values.(fanins.(0))
+  | Circuit.Const0 -> F
+  | Circuit.Const1 -> T
+
+(* Evaluate the combinational logic under all-X inputs and the given latch
+   valuation; returns one value per net.  Requires a well-formed circuit
+   (acyclic, latches closed): run the structural checks first. *)
+let eval_comb c ~latch =
+  let values = Array.make (Circuit.num_nets c) X in
+  List.iter (fun l -> values.(l) <- latch l) (Circuit.latches c);
+  List.iter
+    (fun net ->
+      match Circuit.node c net with
+      | Circuit.Gate (fn, fanins) -> values.(net) <- gate_eval fn values fanins
+      | Circuit.Input | Circuit.Latch _ -> ())
+    (Circuit.topo_order c);
+  values
+
+(* Latches provably stuck at a constant.  Two phases:
+   1. walk the ternary state sequence from the initial state (all inputs
+      X) for at most [max_steps] steps, taking the meet over every visited
+      state: a latch definite and unchanging across the walk is a
+      candidate fact;
+   2. prune the candidates to an inductively closed subset: from the state
+      "facts at their constants, everything else X", one ternary step must
+      reproduce every fact.  Pruning repeats until stable.
+   Phase 2 makes the result sound even when the walk is cut off before the
+   state sequence revisits a state: the surviving facts hold initially
+   (phase 1) and are preserved by every transition (phase 2). *)
+let stuck_latches ?(max_steps = 64) c =
+  let latches = Circuit.latches c in
+  if latches = [] then []
+  else begin
+    let step lookup =
+      let values = eval_comb c ~latch:lookup in
+      List.map (fun l -> (l, values.(Circuit.latch_data c l))) latches
+    in
+    let step_assoc state = step (fun l -> List.assoc l state) in
+    let init = List.map (fun l -> (l, of_bool (Circuit.latch_init c l))) latches in
+    let key state = String.concat "" (List.map (fun (_, v) -> to_string v) state) in
+    let seen = Hashtbl.create 64 in
+    let meet = ref init in
+    let state = ref init in
+    (try
+       for _ = 1 to max_steps do
+         let k = key !state in
+         if Hashtbl.mem seen k then raise Exit;
+         Hashtbl.add seen k ();
+         state := step_assoc !state;
+         meet :=
+           List.map2
+             (fun (l, m) (_, v) -> (l, if m = v then m else X))
+             !meet !state
+       done
+     with Exit -> ());
+    let rec prune facts =
+      let next =
+        step (fun l ->
+            match List.assoc_opt l facts with Some b -> of_bool b | None -> X)
+      in
+      (* a latch's fact survives only if one step from the facts alone
+         reproduces it; non-fact latches were already X in the source
+         state, so [next] is exactly the inductive-step valuation *)
+      let kept =
+        List.filter (fun (l, b) -> List.assoc l next = of_bool b) facts
+      in
+      if List.length kept = List.length facts then facts else prune kept
+    in
+    prune
+      (List.filter_map
+         (fun (l, v) -> match v with F -> Some (l, false) | T -> Some (l, true) | X -> None)
+         !meet)
+  end

@@ -35,7 +35,7 @@ The .bench format and the portfolio method:
 
   $ seqver gen mod10 --format bench -o mod10.bench
   $ seqver stats mod10.bench
-  aig: 1 pis, 10 pos, 4 latches, 38 ands
+  aig: 1 pis, 10 pos, 4 latches, 37 ands
   $ seqver verify mod10.bench good.blif -m auto -q
 
 Bounded model checking gives concrete traces:

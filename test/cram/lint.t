@@ -1,0 +1,74 @@
+The lint subcommand runs the static-analysis rules over a circuit and
+reports every diagnostic in one pass.  A file with a multiply-driven
+signal AND a latch whose data input is never defined shows both errors
+together, plus the downstream dead-logic warnings:
+
+  $ cat > bad.blif <<'EOF'
+  > .model bad
+  > .inputs a b
+  > .outputs f
+  > .latch nowhere q 0
+  > .names a b f
+  > 11 1
+  > .names a f
+  > 0 1
+  > .end
+  > EOF
+
+  $ seqver lint bad.blif
+  bad.blif: 2 error(s), 2 warning(s), 1 info
+    error[multiply-driven]: signal 'f' is driven by 2 distinct nets (n3, n4) [f f]
+    error[unclosed-latch]: latch q has no data input (set_latch_data was never called) [q]
+    warning[dead-net]: latch q feeds no output (dead state) [q]
+    warning[dead-net]: gate f feeds no output (dead logic) [f]
+    info[unused-input]: input b feeds no output [b]
+
+Without --strict the exit code is 0 (report-only); with --strict the
+worst severity drives the exit code: errors exit 2, warnings exit 1,
+info-level findings still exit 0.
+
+  $ seqver lint --strict bad.blif
+  bad.blif: 2 error(s), 2 warning(s), 1 info
+    error[multiply-driven]: signal 'f' is driven by 2 distinct nets (n3, n4) [f f]
+    error[unclosed-latch]: latch q has no data input (set_latch_data was never called) [q]
+    warning[dead-net]: latch q feeds no output (dead state) [q]
+    warning[dead-net]: gate f feeds no output (dead logic) [f]
+    info[unused-input]: input b feeds no output [b]
+  [2]
+
+  $ cat > warn.blif <<'EOF'
+  > .model warn
+  > .inputs a b
+  > .outputs f
+  > .names a f
+  > 1 1
+  > .names a b g
+  > 11 1
+  > .end
+  > EOF
+
+  $ seqver lint --strict warn.blif
+  warn.blif: 0 error(s), 1 warning(s), 1 info
+    warning[dead-net]: gate g feeds no output (dead logic) [g]
+    info[unused-input]: input b feeds no output [b]
+  [1]
+
+--json emits one object per subject with the machine-readable schema:
+
+  $ seqver lint --json bad.blif
+  [{"subject":"bad.blif","diagnostics":[{"rule":"multiply-driven","severity":"error","message":"signal 'f' is driven by 2 distinct nets (n3, n4)","nets":[{"net":3,"name":"f"},{"net":4,"name":"f"}]},{"rule":"unclosed-latch","severity":"error","message":"latch q has no data input (set_latch_data was never called)","nets":[{"net":2,"name":"q"}]},{"rule":"dead-net","severity":"warning","message":"latch q feeds no output (dead state)","nets":[{"net":2,"name":"q"}]},{"rule":"dead-net","severity":"warning","message":"gate f feeds no output (dead logic)","nets":[{"net":4,"name":"f"}]},{"rule":"unused-input","severity":"info","message":"input b feeds no output","nets":[{"net":1,"name":"b"}]}]}]
+
+A clean circuit reports no findings and exits 0 even under --strict:
+
+  $ seqver gen ctr8 -o ctr8.blif
+  $ seqver lint --strict ctr8.blif
+  ctr8.blif: clean
+
+Error-level findings also make `seqver verify` refuse the input during
+preflight (exit 2), so defective circuits never reach the prover:
+
+  $ seqver verify bad.blif ctr8.blif -q
+  bad.blif: 2 error(s), 0 warning(s), 0 info
+    error[unclosed-latch]: latch q has no data input (set_latch_data was never called) [q]
+    error[multiply-driven]: signal 'f' is driven by 2 distinct nets (n3, n4) [f f]
+  [2]

@@ -1,0 +1,377 @@
+(* Lint tests: every rule with a seeded-defect (positive) and a clean
+   (negative) case, the lenient parser recovery paths, the ternary
+   stuck-latch facts, the renderers/exit codes and the preflight gating
+   of the verification pipeline. *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let rules diags = List.sort_uniq compare (List.map (fun d -> d.Netlist.Diag.rule) diags)
+let has_rule rule diags = List.exists (fun d -> d.Netlist.Diag.rule = rule) diags
+
+let net_names diags rule =
+  List.concat_map
+    (fun d ->
+      if d.Netlist.Diag.rule = rule then
+        List.filter_map (fun (_, name) -> name) d.Netlist.Diag.nets
+      else [])
+    diags
+
+(* a clean reference circuit: 4-bit counter *)
+let clean_counter () = Circuits.Suite.(match find "ctr8" with Some e -> e.build () | None -> assert false)
+
+let check_clean name c =
+  let diags = Netlist.Check.run c in
+  Alcotest.(check (list string)) (name ^ " clean") [] (rules diags)
+
+(* --- netlist rules: positive + negative ----------------------------------- *)
+
+let test_multiply_driven () =
+  let c =
+    Netlist.Blif.parse_string ~lenient:true
+      ".model m\n.inputs a b\n.outputs f\n.names a f\n1 1\n.names b f\n1 1\n.end\n"
+  in
+  let diags = Netlist.Check.run c in
+  Alcotest.(check bool) "fires" true (has_rule "multiply-driven" diags);
+  Alcotest.(check (list string)) "names f" [ "f"; "f" ] (net_names diags "multiply-driven");
+  (* strict mode rejects the same text *)
+  (match
+     Netlist.Blif.parse_string
+       ".model m\n.inputs a b\n.outputs f\n.names a f\n1 1\n.names b f\n1 1\n.end\n"
+   with
+  | exception Netlist.Blif.Parse_error msg ->
+    Alcotest.(check bool) "strict names signal" true
+      (String.length msg > 0
+      && contains msg "multiple drivers" && contains msg "f")
+  | _ -> Alcotest.fail "strict parse should reject duplicate drivers");
+  check_clean "counter" (clean_counter ())
+
+and test_undriven () =
+  let c =
+    Netlist.Blif.parse_string ~lenient:true
+      ".model m\n.inputs a\n.outputs f\n.names a ghost f\n11 1\n.end\n"
+  in
+  let diags = Netlist.Check.run c in
+  Alcotest.(check bool) "fires" true (has_rule "undriven-net" diags);
+  Alcotest.(check (list string)) "names ghost" [ "ghost" ] (net_names diags "undriven-net");
+  check_clean "counter" (clean_counter ())
+
+and test_unclosed_latch () =
+  let c = Netlist.create "m" in
+  let q = Netlist.add_latch ~name:"q" c ~init:false in
+  Netlist.add_output c "o" q;
+  let diags = Netlist.Check.run c in
+  Alcotest.(check bool) "fires" true (has_rule "unclosed-latch" diags);
+  Alcotest.(check (list string)) "names q" [ "q" ] (net_names diags "unclosed-latch");
+  (* the same defect through the lenient BLIF path (undefined data) *)
+  let c2 =
+    Netlist.Blif.parse_string ~lenient:true
+      ".model m\n.inputs a\n.outputs q\n.latch nowhere q 0\n.end\n"
+  in
+  Alcotest.(check bool) "blif fires" true
+    (has_rule "unclosed-latch" (Netlist.Check.run c2));
+  check_clean "counter" (clean_counter ())
+
+and test_bad_arity () =
+  let c = Netlist.create "m" in
+  let a = Netlist.add_input ~name:"a" c in
+  let b = Netlist.add_input ~name:"b" c in
+  let g = Netlist.add_gate ~name:"g" c Netlist.Buf [ a ] in
+  Netlist.unsafe_set_node c g (Netlist.Gate (Netlist.Not, [| a; b |]));
+  Netlist.add_output c "o" g;
+  let diags = Netlist.Check.run c in
+  Alcotest.(check bool) "fires" true (has_rule "bad-arity" diags);
+  Alcotest.(check (list string)) "names g" [ "g" ] (net_names diags "bad-arity");
+  check_clean "counter" (clean_counter ())
+
+and test_comb_cycle () =
+  let c =
+    Netlist.Blif.parse_string ~lenient:true
+      ".model m\n.inputs a\n.outputs x\n.names y a x\n11 1\n.names x a y\n11 1\n.end\n"
+  in
+  let diags = Netlist.Check.run c in
+  Alcotest.(check bool) "fires" true (has_rule "comb-cycle" diags);
+  let witness =
+    List.find (fun d -> d.Netlist.Diag.rule = "comb-cycle") diags
+  in
+  (* the message carries an explicit cycle path "... -> ..." *)
+  Alcotest.(check bool) "witness path" true (contains witness.Netlist.Diag.message " -> ");
+  (match Netlist.Blif.parse_string ".model m\n.inputs a\n.outputs x\n.names y a x\n11 1\n.names x a y\n11 1\n.end\n" with
+  | exception Netlist.Blif.Parse_error _ -> ()
+  | _ -> Alcotest.fail "strict parse should reject the cycle");
+  check_clean "counter" (clean_counter ())
+
+and test_output_collision () =
+  let c = Netlist.create "m" in
+  let a = Netlist.add_input ~name:"a" c in
+  let b = Netlist.add_input ~name:"b" c in
+  Netlist.add_output c "o" a;
+  Netlist.add_output c "o" b;
+  let diags = Netlist.Check.run c in
+  Alcotest.(check bool) "error on distinct nets" true
+    (List.exists
+       (fun d -> d.Netlist.Diag.rule = "output-collision" && d.Netlist.Diag.severity = Netlist.Diag.Error)
+       diags);
+  let c2 = Netlist.create "m" in
+  let a2 = Netlist.add_input ~name:"a" c2 in
+  Netlist.add_output c2 "o" a2;
+  Netlist.add_output c2 "o" a2;
+  let diags2 = Netlist.Check.run c2 in
+  Alcotest.(check bool) "warning on repeated listing" true
+    (List.exists
+       (fun d -> d.Netlist.Diag.rule = "output-collision" && d.Netlist.Diag.severity = Netlist.Diag.Warning)
+       diags2);
+  check_clean "counter" (clean_counter ())
+
+and test_dead_and_unused () =
+  let c = Netlist.create "m" in
+  let a = Netlist.add_input ~name:"a" c in
+  let b = Netlist.add_input ~name:"b" c in
+  let live = Netlist.add_gate ~name:"live" c Netlist.Buf [ a ] in
+  let _dead = Netlist.add_gate ~name:"dead" c Netlist.And [ a; b ] in
+  Netlist.add_output c "o" live;
+  let diags = Netlist.Check.run c in
+  Alcotest.(check (list string)) "dead gate" [ "dead" ] (net_names diags "dead-net");
+  Alcotest.(check (list string)) "unused input" [ "b" ] (net_names diags "unused-input");
+  check_clean "counter" (clean_counter ())
+
+and test_const_gate () =
+  let c = Netlist.create "m" in
+  let a = Netlist.add_input ~name:"a" c in
+  let zero = Netlist.const0 c in
+  let g = Netlist.add_gate ~name:"g" c Netlist.And [ a; zero ] in
+  Netlist.add_output c "o" g;
+  let diags = Netlist.Check.run c in
+  Alcotest.(check (list string)) "foldable" [ "g" ] (net_names diags "const-gate");
+  check_clean "counter" (clean_counter ())
+
+and test_stuck_latch_rule () =
+  (* q holds its own value from init 0: stuck at 0.  t toggles. *)
+  let c = Netlist.create "m" in
+  let q = Netlist.add_latch ~name:"q" c ~init:false in
+  Netlist.set_latch_data c q ~data:q;
+  let t = Netlist.add_latch ~name:"t" c ~init:false in
+  Netlist.set_latch_data c t ~data:(Netlist.bnot c t);
+  Netlist.add_output c "o" (Netlist.bxor c q t);
+  let diags = Netlist.Check.run c in
+  Alcotest.(check (list string)) "stuck q only" [ "q" ] (net_names diags "stuck-latch")
+
+(* --- ternary simulation ----------------------------------------------------- *)
+
+let test_ternary_facts () =
+  let c = Netlist.create "m" in
+  let en = Netlist.add_input ~name:"en" c in
+  (* r: reset-style register fed by (en and r): stays 0 from init 0 *)
+  let r = Netlist.add_latch ~name:"r" c ~init:false in
+  Netlist.set_latch_data c r ~data:(Netlist.band c en r);
+  (* f: free register fed by the input: X after one frame *)
+  let f = Netlist.add_latch ~name:"f" c ~init:true in
+  Netlist.set_latch_data c f ~data:en;
+  Netlist.add_output c "o" (Netlist.bxor c r f);
+  let facts = Netlist.Ternary.stuck_latches c in
+  Alcotest.(check (list (pair int bool))) "r stuck at 0" [ (r, false) ] facts;
+  (* inductive pruning: a pair of registers swapping 0/1 values is NOT
+     stuck even though each is definite on every visited frame *)
+  let c2 = Netlist.create "m2" in
+  let x = Netlist.add_latch ~name:"x" c2 ~init:false in
+  let y = Netlist.add_latch ~name:"y" c2 ~init:true in
+  Netlist.set_latch_data c2 x ~data:y;
+  Netlist.set_latch_data c2 y ~data:x;
+  Netlist.add_output c2 "o" (Netlist.bxor c2 x y);
+  Alcotest.(check (list (pair int bool))) "swap not stuck" [] (Netlist.Ternary.stuck_latches c2)
+
+let test_aig_ternary_signatures () =
+  let aig = Aig.create () in
+  let pi = Aig.add_pi aig in
+  let stuck = Aig.add_latch aig ~init:false in
+  Aig.set_latch_next aig stuck ~next:stuck;
+  let toggle = Aig.add_latch aig ~init:false in
+  Aig.set_latch_next aig toggle ~next:(Aig.lit_not toggle);
+  let free = Aig.add_latch aig ~init:false in
+  Aig.set_latch_next aig free ~next:pi;
+  Aig.add_po aig "o" stuck;
+  let sigs = Lint.Aig_ternary.signatures ~max_steps:8 aig in
+  let sig_of lit = sigs.(Aig.node_of_lit lit) in
+  (* the stuck latch is definite 0 on both visited frames (0 and 0 -> the
+     walk stops when the all-same state repeats) *)
+  let m_stuck, v_stuck = sig_of stuck in
+  Alcotest.(check bool) "stuck definite" true (m_stuck land 1 = 1);
+  Alcotest.(check int) "stuck value 0" 0 (v_stuck land m_stuck);
+  (* the toggling latch alternates 0,1,... *)
+  let m_tog, v_tog = sig_of toggle in
+  Alcotest.(check bool) "toggle frame0+1 definite" true (m_tog land 3 = 3);
+  Alcotest.(check int) "toggle values 0,1" 2 (v_tog land 3);
+  (* the input-fed latch is definite only on the initial frame *)
+  let m_free, _ = sig_of free in
+  Alcotest.(check int) "free mask init only" 1 m_free;
+  (* stuck-latch facts agree *)
+  Alcotest.(check (list (pair int bool))) "facts" [ (0, false) ]
+    (Lint.Aig_ternary.stuck_latches aig)
+
+(* --- AIG rules --------------------------------------------------------------- *)
+
+let test_aig_rules () =
+  (* unclosed latch *)
+  let a1 = Aig.create () in
+  let l = Aig.add_latch a1 ~init:false in
+  Aig.add_po a1 "o" l;
+  Alcotest.(check bool) "unclosed fires" true (has_rule "unclosed-latch" (Lint.check_aig a1));
+  (* dangling literal through an out-of-range next-state *)
+  let a2 = Aig.create () in
+  let l2 = Aig.add_latch a2 ~init:false in
+  Aig.set_latch_next a2 l2 ~next:9999;
+  Aig.add_po a2 "o" l2;
+  Alcotest.(check bool) "dangling fires" true (has_rule "dangling-literal" (Lint.check_aig a2));
+  (* constant output and a dead AND node *)
+  let a3 = Aig.create () in
+  let pi = Aig.add_pi a3 in
+  let pi2 = Aig.add_pi a3 in
+  let _dead = Aig.mk_and a3 pi pi2 in
+  Aig.add_po a3 "o" Aig.lit_true;
+  let diags = Lint.check_aig a3 in
+  Alcotest.(check bool) "const-output fires" true (has_rule "const-output" diags);
+  Alcotest.(check bool) "dead-node fires" true (has_rule "dead-node" diags);
+  (* stuck latch *)
+  let a4 = Aig.create () in
+  let pi4 = Aig.add_pi a4 in
+  let l4 = Aig.add_latch a4 ~init:false in
+  Aig.set_latch_next a4 l4 ~next:(Aig.mk_and a4 l4 pi4);
+  Aig.add_po a4 "o" l4;
+  Alcotest.(check bool) "stuck fires" true (has_rule "stuck-latch" (Lint.check_aig a4));
+  (* a clean AIG from a clean circuit *)
+  let aig, _ = Aig.of_netlist (clean_counter ()) in
+  Alcotest.(check (list string)) "clean" [] (rules (Lint.check_aig aig))
+
+(* --- validate: all errors, not the first -------------------------------------- *)
+
+let test_validate_reports_all () =
+  let c =
+    Netlist.Blif.parse_string ~lenient:true
+      ".model m\n.inputs a\n.outputs f\n.latch nowhere q 0\n.names a f\n1 1\n.names q f\n1 1\n.end\n"
+  in
+  match Netlist.validate c with
+  | Ok () -> Alcotest.fail "should be invalid"
+  | Error msg ->
+    Alcotest.(check bool) "mentions multiply-driven" true (contains msg "multiply-driven");
+    Alcotest.(check bool) "mentions unclosed-latch" true (contains msg "unclosed-latch")
+
+(* --- renderers and exit codes -------------------------------------------------- *)
+
+let test_render_and_json () =
+  let d1 = Netlist.Diag.make ~nets:[ (3, Some "f\"oo") ] "r1" Netlist.Diag.Error "broken \"here\"" in
+  let d2 = Netlist.Diag.make "r2" Netlist.Diag.Warning "meh" in
+  let human = Lint.render ~subject:"t" [ d1; d2 ] in
+  Alcotest.(check bool) "summary" true (contains human "1 error(s), 1 warning(s)");
+  Alcotest.(check bool) "lists rule" true (contains human "error[r1]");
+  let json = Lint.to_json ~subject:"t" [ d1; d2 ] in
+  Alcotest.(check bool) "escapes quotes" true (contains json {|broken \"here\"|});
+  Alcotest.(check bool) "net name escaped" true (contains json {|"name":"f\"oo"|});
+  Alcotest.(check bool) "severity written" true (contains json {|"severity":"warning"|});
+  Alcotest.(check string) "clean render" "t: clean\n" (Lint.render ~subject:"t" []);
+  (* exit-code policy *)
+  Alcotest.(check int) "non-strict always 0" 0 (Lint.exit_code ~strict:false [ d1 ]);
+  Alcotest.(check int) "strict errors 2" 2 (Lint.exit_code ~strict:true [ d1; d2 ]);
+  Alcotest.(check int) "strict warnings 1" 1 (Lint.exit_code ~strict:true [ d2 ]);
+  Alcotest.(check int) "strict clean 0" 0 (Lint.exit_code ~strict:true []);
+  let info = Netlist.Diag.make "r3" Netlist.Diag.Info "fyi" in
+  Alcotest.(check int) "strict info 0" 0 (Lint.exit_code ~strict:true [ info ])
+
+(* --- preflight gating of the verifier ------------------------------------------- *)
+
+let test_preflight_rejects () =
+  let good, _ = Aig.of_netlist (clean_counter ()) in
+  let bad = Aig.create () in
+  let _pi = Aig.add_pi bad in
+  let l = Aig.add_latch bad ~init:false in
+  ignore l;
+  (* mirror the good interface: same PI count, an output of the same name *)
+  Aig.add_po bad "carry" Aig.lit_false;
+  match Scorr.check good bad with
+  | exception Lint.Rejected report ->
+    Alcotest.(check bool) "report names the rule" true (contains report "unclosed-latch")
+  | _ -> Alcotest.fail "preflight should reject the unclosed latch"
+
+let test_preflight_can_be_disabled () =
+  (* with preflight off nothing raises; the verifier still answers on two
+     clean circuits *)
+  let aig, _ = Aig.of_netlist (clean_counter ()) in
+  let options = { Scorr.default_options with Scorr.Verify.preflight = false } in
+  match Scorr.check ~options aig aig with
+  | Scorr.Equivalent _ -> ()
+  | _ -> Alcotest.fail "self-equivalence expected"
+
+(* --- ternary seeding of the partition -------------------------------------------- *)
+
+let test_ternseed_refine () =
+  (* two circuits whose registers the ternary walk distinguishes: a stuck
+     register vs a toggling one, same interface *)
+  let mk toggling =
+    let aig = Aig.create () in
+    let _pi = Aig.add_pi aig in
+    let l = Aig.add_latch aig ~init:false in
+    Aig.set_latch_next aig l ~next:(if toggling then Aig.lit_not l else l);
+    Aig.add_po aig "o" Aig.lit_false;
+    aig
+  in
+  let product = Scorr.Product.make (mk false) (mk true) in
+  let aig = product.Scorr.Product.aig in
+  let pol = Scorr.Product.reference_values ~seed:1 product in
+  let partition =
+    Scorr.Partition.create ~n_nodes:(Aig.num_nodes aig)
+      ~candidates:(Scorr.Product.candidate_nodes product) ~pol
+  in
+  let splits = Scorr.Ternseed.refine product partition in
+  Alcotest.(check bool) "split happened" true (splits > 0);
+  (* the stuck (spec) and toggling (impl) latch must now be apart *)
+  let spec_l = Aig.latch_node aig 0 and impl_l = Aig.latch_node aig 1 in
+  Alcotest.(check bool) "latches separated" false
+    (Scorr.Partition.class_of partition spec_l = Scorr.Partition.class_of partition impl_l);
+  Alcotest.(check (list (pair int bool))) "stuck constant known" [ (0, false) ]
+    (Scorr.Ternseed.stuck_constants product)
+
+(* --- lenient .bench recovery ------------------------------------------------------ *)
+
+let test_bench_lenient () =
+  let text = "INPUT(a)\nOUTPUT(f)\nq = DFF(nowhere)\nf = AND(a, ghost)\nf = NOT(a)\n" in
+  (match Netlist.Bench.parse_string text with
+  | exception Netlist.Bench.Parse_error _ -> ()
+  | _ -> Alcotest.fail "strict .bench should reject");
+  let c = Netlist.Bench.parse_string ~lenient:true text in
+  let diags = Netlist.Check.run c in
+  Alcotest.(check bool) "multiply-driven" true (has_rule "multiply-driven" diags);
+  Alcotest.(check bool) "undriven" true (has_rule "undriven-net" diags);
+  Alcotest.(check bool) "unclosed" true (has_rule "unclosed-latch" diags)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "multiply-driven" `Quick test_multiply_driven;
+          Alcotest.test_case "undriven-net" `Quick test_undriven;
+          Alcotest.test_case "unclosed-latch" `Quick test_unclosed_latch;
+          Alcotest.test_case "bad-arity" `Quick test_bad_arity;
+          Alcotest.test_case "comb-cycle witness" `Quick test_comb_cycle;
+          Alcotest.test_case "output-collision" `Quick test_output_collision;
+          Alcotest.test_case "dead-net and unused-input" `Quick test_dead_and_unused;
+          Alcotest.test_case "const-gate" `Quick test_const_gate;
+          Alcotest.test_case "stuck-latch" `Quick test_stuck_latch_rule;
+          Alcotest.test_case "aig rules" `Quick test_aig_rules;
+        ] );
+      ( "ternary",
+        [
+          Alcotest.test_case "netlist facts are inductive" `Quick test_ternary_facts;
+          Alcotest.test_case "aig signatures" `Quick test_aig_ternary_signatures;
+          Alcotest.test_case "partition seeding" `Quick test_ternseed_refine;
+        ] );
+      ( "surface",
+        [
+          Alcotest.test_case "validate reports all errors" `Quick test_validate_reports_all;
+          Alcotest.test_case "render and json" `Quick test_render_and_json;
+          Alcotest.test_case "preflight rejects" `Quick test_preflight_rejects;
+          Alcotest.test_case "preflight off" `Quick test_preflight_can_be_disabled;
+          Alcotest.test_case "lenient .bench" `Quick test_bench_lenient;
+        ] );
+    ]
