@@ -1,9 +1,11 @@
 (* seqver — command-line driver for the sequential equivalence checker.
 
    Subcommands: verify (the paper's method, the register-correspondence
-   special case, or the traversal baseline), lint (static analysis), gen
-   (emit suite circuits), opt (apply the synthesis pipeline), sim (random
-   simulation), stats. *)
+   special case, or the traversal baseline), bmc (bounded refutation),
+   check-cert (independently re-validate an equivalence certificate),
+   replay (re-simulate a counterexample witness), lint (static analysis),
+   gen (emit suite circuits), opt (apply the synthesis pipeline), sim
+   (random simulation), stats. *)
 
 (* Every input path is preflight-linted — including .aag files, which used
    to bypass validation entirely; a rejection prints the full
@@ -53,7 +55,19 @@ let pp_stats (s : Scorr.stats) =
     s.peak_bdd_nodes s.sat_calls s.eq_pct s.seconds
 
 let run_verify spec_path impl_path meth engine no_sim_seed no_fundep no_retime dontcare
-    node_limit unroll seconds show_classes quiet =
+    node_limit unroll seconds show_classes emit_cert emit_witness quiet =
+  (* certificate emission needs the relation, which only -m scorr exposes,
+     and refuses don't-care-strengthened relations (not self-certifying) *)
+  if (emit_cert <> None || emit_witness <> None) && meth <> M_scorr then begin
+    prerr_endline "seqver verify: --emit-cert/--emit-witness require -m scorr";
+    exit 2
+  end;
+  if emit_cert <> None && dontcare then begin
+    prerr_endline
+      "seqver verify: --emit-cert is incompatible with --dontcare (a relation \
+       holding only inside the reachable care set is not self-certifying)";
+    exit 2
+  end;
   let spec = read_circuit spec_path and impl = read_circuit impl_path in
   let options =
     {
@@ -101,11 +115,41 @@ let run_verify spec_path impl_path meth engine no_sim_seed no_fundep no_retime d
   match meth with
   | M_auto -> exit_of (Scorr.portfolio ~options spec impl)
   | M_scorr ->
-    if show_classes then begin
-      let verdict, product, relation = Scorr.Verify.run_with_relation ~options spec impl in
-      (match relation with
-      | Some partition -> Format.printf "%a" Scorr.Verify.pp_relation (product, partition)
-      | None -> ());
+    if show_classes || emit_cert <> None || emit_witness <> None then begin
+      let ((verdict, product, relation) as run) =
+        Scorr.Verify.run_with_relation ~options spec impl
+      in
+      if show_classes then
+        (match relation with
+        | Some partition -> Format.printf "%a" Scorr.Verify.pp_relation (product, partition)
+        | None -> ());
+      (match emit_cert with
+      | None -> ()
+      | Some path -> (
+        match Cert.Certificate.of_run ~options ~spec ~impl run with
+        | Ok cert ->
+          Cert.Certificate.to_file path cert;
+          if not quiet then
+            Printf.printf "certificate: %s (%d classes, %d constraints)\n" path
+              (Cert.Certificate.n_classes cert)
+              (Cert.Certificate.n_constraints cert)
+        | Error e ->
+          Printf.eprintf "seqver verify: no certificate emitted: %s\n"
+            (Cert.Certificate.explain_emit_error e)));
+      (match emit_witness with
+      | None -> ()
+      | Some path -> (
+        match verdict with
+        | Scorr.Not_equivalent { trace = Some inputs; _ } ->
+          let w = Cert.Witness.of_trace inputs in
+          Cert.Witness.to_file path w;
+          if not quiet then
+            Printf.printf "witness: %s (%d frames)\n" path (Cert.Witness.n_frames w)
+        | Scorr.Not_equivalent { trace = None; _ } ->
+          prerr_endline "seqver verify: no witness emitted: refutation carried no trace"
+        | Scorr.Equivalent _ | Scorr.Unknown _ ->
+          if not quiet then
+            Printf.eprintf "seqver verify: no witness emitted: circuits not refuted\n"));
       exit_of verdict
     end
     else exit_of (Scorr.check ~options spec impl)
@@ -202,7 +246,7 @@ let run_sim path frames seed =
 
 (* --- bmc ------------------------------------------------------------------------ *)
 
-let run_bmc spec_path impl_path depth =
+let run_bmc spec_path impl_path depth emit_witness =
   let spec = read_circuit spec_path and impl = read_circuit impl_path in
   let product = Scorr.Product.make spec impl in
   match Reach.Bmc.check ~max_depth:depth product.Scorr.Product.aig with
@@ -217,9 +261,126 @@ let run_bmc spec_path impl_path depth =
         Array.iter (fun b -> print_string (if b then " 1" else " 0")) frame;
         print_newline ())
       cex.Reach.Bmc.inputs;
+    (match emit_witness with
+    | None -> ()
+    | Some path ->
+      let w = Cert.Witness.of_bmc cex in
+      Cert.Witness.to_file path w;
+      Printf.printf "witness: %s (%d frames)\n" path (Cert.Witness.n_frames w));
     1
   | Reach.Bmc.Budget what ->
     Printf.printf "budget exceeded: %s\n" what;
+    2
+
+(* --- check-cert ----------------------------------------------------------------- *)
+
+(* Exit codes: 0 the certificate (or every suite certificate) validated,
+   1 a check rejected it, 2 parse/IO/usage trouble. *)
+let run_check_cert cert_path spec_path impl_path suite quiet =
+  if suite then begin
+    (* self-check: emit and independently re-validate a certificate for
+       every built-in (spec, retimed implementation) pair *)
+    let failures = ref 0 in
+    List.iter
+      (fun e ->
+        let spec = fst (Aig.of_netlist (e.Circuits.Suite.build ())) in
+        let impl =
+          Circuits.Suite.implementation ~recipe:Circuits.Suite.Retime_only ~seed:7 spec
+        in
+        let options = Scorr.default_options in
+        let run = Scorr.Verify.run_with_relation ~options spec impl in
+        let status =
+          match Cert.Certificate.of_run ~options ~spec ~impl run with
+          | Error e -> Error (Cert.Certificate.explain_emit_error e)
+          | Ok cert -> (
+            (* round-trip through the text format so the suite also
+               exercises the parser *)
+            let cert = Cert.Certificate.parse_string (Cert.Certificate.to_string cert) in
+            match Cert.Certificate.check ~spec ~impl cert with
+            | Ok () -> Ok (Cert.Certificate.n_constraints cert)
+            | Error e -> Error (Cert.Certificate.explain_check_error e))
+        in
+        match status with
+        | Ok n ->
+          if not quiet then
+            Printf.printf "ok   %-10s %d constraints\n" e.Circuits.Suite.name n
+        | Error msg ->
+          incr failures;
+          Printf.printf "FAIL %-10s %s\n" e.Circuits.Suite.name msg)
+      Circuits.Suite.suite;
+    if !failures = 0 then 0 else 1
+  end
+  else
+    match (cert_path, spec_path, impl_path) with
+    | Some cert_path, Some spec_path, Some impl_path -> (
+      let cert =
+        try Cert.Certificate.parse_file cert_path with
+        | Cert.Certificate.Parse_error msg ->
+          Printf.eprintf "%s: %s\n" cert_path msg;
+          exit 2
+        | Sys_error msg ->
+          Printf.eprintf "seqver check-cert: %s\n" msg;
+          exit 2
+      in
+      let spec = read_circuit spec_path and impl = read_circuit impl_path in
+      match Cert.Certificate.check ~spec ~impl cert with
+      | Ok () ->
+        if not quiet then
+          Printf.printf "certificate valid: %d classes, %d constraints (induction %d)\n"
+            (Cert.Certificate.n_classes cert)
+            (Cert.Certificate.n_constraints cert)
+            cert.Cert.Certificate.induction;
+        0
+      | Error e ->
+        Printf.printf "certificate REJECTED: %s\n" (Cert.Certificate.explain_check_error e);
+        1)
+    | _ ->
+      prerr_endline "seqver check-cert: expected CERT SPEC IMPL (or --suite)";
+      2
+
+(* --- replay --------------------------------------------------------------------- *)
+
+(* Exit codes: 0 the witness demonstrates a real output mismatch, 1 it
+   replays cleanly (disproves nothing), 2 malformed witness or a
+   shape/width mismatch against the circuits. *)
+let run_replay witness_path spec_path impl_path do_shrink vcd quiet =
+  let w =
+    try Cert.Witness.parse_file witness_path with
+    | Cert.Witness.Parse_error msg ->
+      Printf.eprintf "%s: %s\n" witness_path msg;
+      exit 2
+    | Sys_error msg ->
+      Printf.eprintf "seqver replay: %s\n" msg;
+      exit 2
+  in
+  let spec = read_circuit spec_path and impl = read_circuit impl_path in
+  match Cert.Witness.replay ~spec ~impl w with
+  | Ok _ ->
+    let w = if do_shrink then Cert.Witness.shrink ~spec ~impl w else w in
+    let m =
+      match Cert.Witness.replay ~spec ~impl w with
+      | Ok m -> m
+      | Error _ -> assert false (* shrink preserves the disproof *)
+    in
+    if not quiet then begin
+      Printf.printf "CONFIRMED: output %s differs at frame %d (spec=%d impl=%d)\n"
+        m.Cert.Witness.output m.at_frame
+        (Bool.to_int m.spec_value) (Bool.to_int m.impl_value);
+      print_string (Cert.Witness.to_waveform ~spec ~impl w)
+    end;
+    (match vcd with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Cert.Witness.to_vcd ~spec ~impl w);
+      close_out oc;
+      if not quiet then Printf.printf "vcd: %s\n" path);
+    0
+  | Error Cert.Witness.No_failure ->
+    Printf.printf "NOT CONFIRMED: %s\n" (Cert.Witness.explain_error Cert.Witness.No_failure);
+    1
+  | Error e ->
+    Printf.eprintf "seqver replay: %s\n" (Cert.Witness.explain_error e);
     2
 
 (* --- lint ----------------------------------------------------------------------- *)
@@ -331,12 +492,23 @@ let verify_cmd =
   let show_classes =
     Arg.(value & flag & info [ "show-classes" ] ~doc:"Print the correspondence relation.")
   in
+  let emit_cert =
+    Arg.(value & opt (some string) None
+         & info [ "emit-cert" ] ~docv:"FILE"
+             ~doc:"Write an independently checkable equivalence certificate (scorr only).")
+  in
+  let emit_witness =
+    Arg.(value & opt (some string) None
+         & info [ "emit-witness" ] ~docv:"FILE"
+             ~doc:"Write a replayable counterexample witness on refutation (scorr only).")
+  in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only set the exit code.") in
   Cmd.v
     (Cmd.info "verify" ~doc:"Check sequential equivalence of two circuits")
     Term.(
       const run_verify $ spec $ impl $ meth $ engine $ no_sim_seed $ no_fundep $ no_retime
-      $ dontcare $ node_limit $ unroll $ seconds $ show_classes $ quiet)
+      $ dontcare $ node_limit $ unroll $ seconds $ show_classes $ emit_cert $ emit_witness
+      $ quiet)
 
 let gen_cmd =
   let circuit_name = Arg.(value & pos 0 string "" & info [] ~docv:"NAME") in
@@ -372,9 +544,49 @@ let bmc_cmd =
   let spec = Arg.(required & pos 0 (some file) None & info [] ~docv:"SPEC") in
   let impl = Arg.(required & pos 1 (some file) None & info [] ~docv:"IMPL") in
   let depth = Arg.(value & opt int 20 & info [ "depth" ] ~doc:"Unrolling depth.") in
+  let emit_witness =
+    Arg.(value & opt (some string) None
+         & info [ "emit-witness" ] ~docv:"FILE"
+             ~doc:"Write the counterexample as a replayable witness.")
+  in
   Cmd.v
     (Cmd.info "bmc" ~doc:"Bounded refutation with a concrete trace")
-    Term.(const run_bmc $ spec $ impl $ depth)
+    Term.(const run_bmc $ spec $ impl $ depth $ emit_witness)
+
+let check_cert_cmd =
+  let cert = Arg.(value & pos 0 (some file) None & info [] ~docv:"CERT") in
+  let spec = Arg.(value & pos 1 (some file) None & info [] ~docv:"SPEC") in
+  let impl = Arg.(value & pos 2 (some file) None & info [] ~docv:"IMPL") in
+  let suite =
+    Arg.(value & flag
+         & info [ "suite" ]
+             ~doc:"Emit and re-validate a certificate for every built-in \
+                   (spec, retimed implementation) pair instead.")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only set the exit code.") in
+  Cmd.v
+    (Cmd.info "check-cert"
+       ~doc:"Independently re-validate an equivalence certificate \
+             (exit 0 valid, 1 rejected, 2 parse/usage error)")
+    Term.(const run_check_cert $ cert $ spec $ impl $ suite $ quiet)
+
+let replay_cmd =
+  let witness = Arg.(required & pos 0 (some file) None & info [] ~docv:"WITNESS") in
+  let spec = Arg.(required & pos 1 (some file) None & info [] ~docv:"SPEC") in
+  let impl = Arg.(required & pos 2 (some file) None & info [] ~docv:"IMPL") in
+  let shrink =
+    Arg.(value & flag & info [ "shrink" ] ~doc:"Greedily minimize the witness first.")
+  in
+  let vcd =
+    Arg.(value & opt (some string) None
+         & info [ "vcd" ] ~docv:"FILE" ~doc:"Also write a VCD waveform.")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only set the exit code.") in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Replay a counterexample witness against two circuits \
+             (exit 0 mismatch confirmed, 1 no failure, 2 malformed)")
+    Term.(const run_replay $ witness $ spec $ impl $ shrink $ vcd $ quiet)
 
 let stats_cmd =
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT") in
@@ -400,4 +612,6 @@ let () =
   let info = Cmd.info "seqver" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
-       (Cmd.group info [ verify_cmd; bmc_cmd; lint_cmd; gen_cmd; opt_cmd; sim_cmd; stats_cmd ]))
+       (Cmd.group info
+          [ verify_cmd; bmc_cmd; check_cert_cmd; replay_cmd; lint_cmd; gen_cmd; opt_cmd;
+            sim_cmd; stats_cmd ]))

@@ -1,0 +1,13 @@
+(* The trust layer of the checker: exportable equivalence certificates and
+   replayable counterexample witnesses.
+
+   Both halves follow the same principle — every verdict should be
+   re-checkable without re-running (or trusting) the engine that produced
+   it.  [Certificate] re-validates an "Equivalent" answer by re-proving
+   that the exported signal correspondence relation is an inductive
+   invariant covering all output pairs; [Witness] re-validates a
+   "Not_equivalent" answer by simulating the original circuits over the
+   recorded input trace. *)
+
+module Witness = Witness
+module Certificate = Certificate

@@ -1,0 +1,372 @@
+(* Equivalence certificates: the exportable, independently checkable form
+   of an "Equivalent" verdict.
+
+   Van Eijk's maximum signal correspondence relation is an inductive
+   invariant of the product machine: it holds in the initial state and is
+   preserved by one step of the transition function (k steps for the
+   k-inductive SAT engine).  A certificate records exactly that relation —
+   the equivalence classes of polarity-normalized product-machine
+   literals — plus fingerprints of the two circuits and the shape of the
+   product it was computed on.  The checker re-validates all three
+   conditions of the proof with cheap combinational queries in a fresh
+   SAT solver, never reusing the fixed-point engine that produced the
+   relation:
+
+     (a) every class equality holds in the first k frames from the
+         initial state, for all inputs;
+     (b) the conjunction Q of all class equalities over k consecutive
+         frames forces them in the next frame (k-step induction);
+     (c) every output pair is equal on all states satisfying Q.
+
+   (a) + (b) make Q an invariant of every reachable state; (c) then gives
+   sequential equivalence (paper Theorem 1, generalized to the
+   register-correspondence tying check of [5]/[9]). *)
+
+type t = {
+  spec_digest : string; (* MD5 of the canonical AIGER text *)
+  impl_digest : string;
+  engine : string; (* informational: which engine computed the relation *)
+  candidates : string; (* "all" | "registers" *)
+  induction : int; (* k: 1 = the paper's Equation (3) *)
+  retime_rounds : int; (* augmentation rounds to replay on the product *)
+  product_nodes : int; (* product size after augmentation (shape check) *)
+  classes : int list list; (* normalized literals, each class sorted *)
+}
+
+exception Parse_error of string
+
+let fingerprint aig = Digest.to_hex (Digest.string (Aig.Aiger.to_string aig))
+
+let n_classes cert = List.length cert.classes
+
+let n_constraints cert =
+  List.fold_left (fun acc cls -> acc + max 0 (List.length cls - 1)) 0 cert.classes
+
+(* --- emission ----------------------------------------------------------------- *)
+
+type emit_error =
+  | Not_proved of string (* the verdict was not Equivalent *)
+  | Unsupported of string (* the relation is not self-certifying *)
+
+let explain_emit_error = function
+  | Not_proved what -> Printf.sprintf "no certificate: verdict was %s" what
+  | Unsupported why -> Printf.sprintf "relation is not self-certifying: %s" why
+
+(* Build a certificate from the result of [Scorr.Verify.run_with_relation]
+   under the options that produced it. *)
+let of_run ~(options : Scorr.Verify.options) ~spec ~impl (verdict, product, relation) =
+  match (verdict, relation) with
+  | Scorr.Equivalent stats, Some partition ->
+    if options.Scorr.Verify.use_reach_dontcare then
+      (* with reachability don't-cares the class equalities may hold only
+         inside the reachable care set, so Q alone need not be inductive *)
+      Error (Unsupported "computed under reachability don't-cares")
+    else
+      Ok
+        {
+          spec_digest = fingerprint spec;
+          impl_digest = fingerprint impl;
+          engine =
+            (match options.Scorr.Verify.engine with
+            | Scorr.Verify.Bdd_engine -> "bdd"
+            | Scorr.Verify.Sat_engine -> "sat");
+          candidates =
+            (match options.Scorr.Verify.candidates with
+            | Scorr.Verify.All_signals -> "all"
+            | Scorr.Verify.Registers_only -> "registers");
+          induction =
+            (match options.Scorr.Verify.engine with
+            | Scorr.Verify.Bdd_engine -> 1
+            | Scorr.Verify.Sat_engine -> options.Scorr.Verify.sat_unroll);
+          retime_rounds = stats.Scorr.Verify.retime_rounds;
+          product_nodes = Aig.num_nodes product.Scorr.Product.aig;
+          classes =
+            List.map
+              (fun cls ->
+                List.sort compare
+                  (List.map
+                     (Scorr.Partition.norm_lit partition)
+                     (Scorr.Partition.members partition cls)))
+              (Scorr.Partition.multi_member_classes partition);
+        }
+  | Scorr.Not_equivalent _, _ -> Error (Not_proved "Not_equivalent")
+  | Scorr.Unknown _, _ -> Error (Not_proved "Unknown")
+  | Scorr.Equivalent _, None -> Error (Not_proved "Equivalent without a relation")
+
+(* --- independent checking ------------------------------------------------------- *)
+
+type check_error =
+  | Fingerprint_mismatch of { subject : string; expected : string; got : string }
+  | Shape_mismatch of { expected : int; got : int }
+  | Bad_literal of int
+  | Bad_header of string
+  | Not_initial of { lit_a : int; lit_b : int; frame : int }
+  | Not_inductive of { lit_a : int; lit_b : int }
+  | Output_unproved of string
+
+let explain_check_error = function
+  | Fingerprint_mismatch { subject; expected; got } ->
+    Printf.sprintf "%s fingerprint mismatch: certificate has %s, circuit is %s" subject
+      expected got
+  | Shape_mismatch { expected; got } ->
+    Printf.sprintf "product-machine shape mismatch: certificate says %d nodes, rebuilt %d"
+      expected got
+  | Bad_literal l -> Printf.sprintf "literal %d outside the product machine" l
+  | Bad_header what -> Printf.sprintf "malformed certificate: %s" what
+  | Not_initial { lit_a; lit_b; frame } ->
+    Printf.sprintf "class equality %d = %d does not hold at frame %d from the initial state"
+      lit_a lit_b frame
+  | Not_inductive { lit_a; lit_b } ->
+    Printf.sprintf "class equality %d = %d is not %s" lit_a lit_b "preserved by the relation (induction fails)"
+  | Output_unproved name ->
+    Printf.sprintf "output pair %s is not proved equal under the relation" name
+
+exception Check_failed of check_error
+
+(* Chain [n] time frames of [aig] in [solver]; [first_latch_var] supplies
+   the frame-0 state variables, later frames capture the previous frame's
+   next-state values.  Deliberately re-implemented here (mirroring
+   [Engine_sat]) so the checker shares no state with any engine. *)
+let unroll solver aig ~n ~first_latch_var =
+  let n_latches = Aig.num_latches aig in
+  let frames = Array.make n (fun _ -> 0) in
+  let latch_vars = ref first_latch_var in
+  for i = 0 to n - 1 do
+    let this_latch = !latch_vars in
+    let x_vars = Array.init (Aig.num_pis aig) (fun _ -> Sat.new_var solver) in
+    let lit_of =
+      Aig.Cnf.encode solver aig ~pi_var:(fun j -> x_vars.(j)) ~latch_var:this_latch
+    in
+    frames.(i) <- lit_of;
+    let next_latch =
+      Array.init n_latches (fun j ->
+          let v = Sat.new_var solver in
+          let next = lit_of (Aig.latch_next aig j) in
+          Sat.add_clause solver [ Sat.Lit.neg v; next ];
+          Sat.add_clause solver [ Sat.Lit.pos v; Sat.Lit.negate next ];
+          v)
+    in
+    latch_vars := (fun j -> next_latch.(j))
+  done;
+  frames
+
+(* Is [a <-> b] valid under the solver's clauses?  One assumption-guarded
+   query; the selector is retired afterwards so the solver stays clean. *)
+let equality_valid solver a b =
+  a = b
+  ||
+  let s = Sat.new_var solver in
+  let sl = Sat.Lit.pos s and ns = Sat.Lit.neg s in
+  Sat.add_clause solver [ ns; a; b ];
+  Sat.add_clause solver [ ns; Sat.Lit.negate a; Sat.Lit.negate b ];
+  let r = Sat.solve ~assumptions:[ sl ] solver in
+  Sat.add_clause solver [ ns ];
+  r = Sat.Unsat
+
+(* The (representative, member) literal pairs whose equalities form Q. *)
+let constraint_pairs cert =
+  List.concat_map
+    (function [] | [ _ ] -> [] | rep :: rest -> List.map (fun l -> (rep, l)) rest)
+    cert.classes
+
+let check ~spec ~impl cert =
+  try
+    let expect subject expected aig =
+      let got = fingerprint aig in
+      if got <> expected then
+        raise (Check_failed (Fingerprint_mismatch { subject; expected; got }))
+    in
+    expect "specification" cert.spec_digest spec;
+    expect "implementation" cert.impl_digest impl;
+    if cert.induction < 1 then
+      raise (Check_failed (Bad_header (Printf.sprintf "induction depth %d" cert.induction)));
+    if cert.retime_rounds < 0 || cert.retime_rounds > 64 then
+      raise
+        (Check_failed (Bad_header (Printf.sprintf "retime rounds %d" cert.retime_rounds)));
+    (* rebuild the product the relation was computed on: the construction
+       and the augmentation are both deterministic *)
+    let product = Scorr.Product.make spec impl in
+    for _ = 1 to cert.retime_rounds do
+      ignore (Scorr.Retime_aug.augment product)
+    done;
+    let aig = product.Scorr.Product.aig in
+    if Aig.num_nodes aig <> cert.product_nodes then
+      raise
+        (Check_failed
+           (Shape_mismatch { expected = cert.product_nodes; got = Aig.num_nodes aig }));
+    List.iter
+      (fun l ->
+        if l < 0 || Aig.node_of_lit l >= Aig.num_nodes aig then
+          raise (Check_failed (Bad_literal l)))
+      (List.concat cert.classes);
+    let k = cert.induction in
+    let pairs = constraint_pairs cert in
+    (* (a) base case: every equality holds in the first k frames from the
+       initial state, for all input sequences *)
+    let solver0 = Sat.create () in
+    let s0 =
+      Array.init (Aig.num_latches aig) (fun i ->
+          let v = Sat.new_var solver0 in
+          Sat.add_clause solver0 [ Sat.Lit.make v (Aig.latch_init aig i) ];
+          v)
+    in
+    let frames0 = unroll solver0 aig ~n:k ~first_latch_var:(fun i -> s0.(i)) in
+    for t = 0 to k - 1 do
+      List.iter
+        (fun (la, lb) ->
+          if not (equality_valid solver0 (frames0.(t) la) (frames0.(t) lb)) then
+            raise (Check_failed (Not_initial { lit_a = la; lit_b = lb; frame = t })))
+        pairs
+    done;
+    (* (b) induction: from a free state, Q over frames 0..k-1 forces every
+       equality in frame k *)
+    let solver = Sat.create () in
+    let s =
+      Array.init (Aig.num_latches aig) (fun _ -> Sat.new_var solver)
+    in
+    let frames = unroll solver aig ~n:(k + 1) ~first_latch_var:(fun i -> s.(i)) in
+    for t = 0 to k - 1 do
+      List.iter
+        (fun (la, lb) ->
+          let a = frames.(t) la and b = frames.(t) lb in
+          if a <> b then begin
+            Sat.add_clause solver [ Sat.Lit.negate a; b ];
+            Sat.add_clause solver [ a; Sat.Lit.negate b ]
+          end)
+        pairs
+    done;
+    List.iter
+      (fun (la, lb) ->
+        if not (equality_valid solver (frames.(k) la) (frames.(k) lb)) then
+          raise (Check_failed (Not_inductive { lit_a = la; lit_b = lb })))
+      pairs;
+    (* (c) Theorem 1: each output pair is equal on all Q-states — membership
+       in a common class for all-signals relations, the combinational tying
+       check for register-correspondence ones; both reduce to a query in
+       the Q-constrained frame 0 *)
+    List.iter
+      (fun (name, ls, li) ->
+        if not (equality_valid solver (frames.(0) ls) (frames.(0) li)) then
+          raise (Check_failed (Output_unproved name)))
+      product.Scorr.Product.outputs;
+    Ok ()
+  with Check_failed e -> Error e
+
+(* --- serialization -------------------------------------------------------------- *)
+
+(* Text format:
+
+     seqver-cert 1
+     spec-md5 <32 hex chars>
+     impl-md5 <32 hex chars>
+     engine bdd
+     candidates all
+     induction 1
+     retime-rounds 0
+     product-nodes 420
+     classes 2
+     class 4 6 12
+     class 9 13
+     end                                                                 *)
+
+let to_string cert =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "seqver-cert 1\n";
+  Buffer.add_string buf (Printf.sprintf "spec-md5 %s\n" cert.spec_digest);
+  Buffer.add_string buf (Printf.sprintf "impl-md5 %s\n" cert.impl_digest);
+  Buffer.add_string buf (Printf.sprintf "engine %s\n" cert.engine);
+  Buffer.add_string buf (Printf.sprintf "candidates %s\n" cert.candidates);
+  Buffer.add_string buf (Printf.sprintf "induction %d\n" cert.induction);
+  Buffer.add_string buf (Printf.sprintf "retime-rounds %d\n" cert.retime_rounds);
+  Buffer.add_string buf (Printf.sprintf "product-nodes %d\n" cert.product_nodes);
+  Buffer.add_string buf (Printf.sprintf "classes %d\n" (List.length cert.classes));
+  List.iter
+    (fun cls ->
+      Buffer.add_string buf "class";
+      List.iter (fun l -> Buffer.add_string buf (Printf.sprintf " %d" l)) cls;
+      Buffer.add_char buf '\n')
+    cert.classes;
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Parse_error msg)) fmt
+
+let parse_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  let field key = function
+    | [] -> fail "unexpected end of certificate (expected %s)" key
+    | line :: rest -> (
+      match String.index_opt line ' ' with
+      | Some sp when String.sub line 0 sp = key ->
+        (String.sub line (sp + 1) (String.length line - sp - 1), rest)
+      | _ -> fail "expected field %s, got %S" key line)
+  in
+  let int_field key lines =
+    let v, lines = field key lines in
+    match int_of_string_opt (String.trim v) with
+    | Some n -> (n, lines)
+    | None -> fail "field %s: expected an integer, got %S" key v
+  in
+  let version, lines = int_field "seqver-cert" lines in
+  if version <> 1 then fail "unsupported certificate version %d" version;
+  let spec_digest, lines = field "spec-md5" lines in
+  let impl_digest, lines = field "impl-md5" lines in
+  let engine, lines = field "engine" lines in
+  let candidates, lines = field "candidates" lines in
+  let induction, lines = int_field "induction" lines in
+  let retime_rounds, lines = int_field "retime-rounds" lines in
+  let product_nodes, lines = int_field "product-nodes" lines in
+  let n, lines = int_field "classes" lines in
+  if n < 0 then fail "negative class count %d" n;
+  let parse_class line =
+    String.split_on_char ' ' line
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun s ->
+           match int_of_string_opt s with
+           | Some l -> l
+           | None -> fail "class member: expected a literal, got %S" s)
+  in
+  let rec read_classes i acc lines =
+    if i = n then (List.rev acc, lines)
+    else
+      match lines with
+      | [] -> fail "unexpected end of certificate (expected %d more class(es))" (n - i)
+      | line :: rest ->
+        if line = "class" then read_classes (i + 1) ([] :: acc) rest
+        else if String.length line > 6 && String.sub line 0 6 = "class " then
+          read_classes (i + 1)
+            (parse_class (String.sub line 6 (String.length line - 6)) :: acc)
+            rest
+        else fail "expected a class line, got %S" line
+  in
+  let classes, lines = read_classes 0 [] lines in
+  (match lines with
+  | [ "end" ] -> ()
+  | [] -> fail "missing end marker"
+  | line :: _ -> fail "trailing content after classes: %S" line);
+  {
+    spec_digest;
+    impl_digest;
+    engine;
+    candidates;
+    induction;
+    retime_rounds;
+    product_nodes;
+    classes;
+  }
+
+let to_file path cert =
+  let oc = open_out path in
+  output_string oc (to_string cert);
+  close_out oc
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse_string text

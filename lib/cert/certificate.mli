@@ -1,0 +1,79 @@
+(** Equivalence certificates.
+
+    An [Equivalent] verdict of {!Scorr.Verify} rests on a long fixed-point
+    computation; the maximum signal correspondence relation it computes is
+    an {e inductive invariant} of the product machine, so it can be
+    exported and re-validated independently with cheap combinational
+    checks.  A certificate records that relation (equivalence classes of
+    polarity-normalized product-machine literals), fingerprints of the two
+    circuits, and the options needed to rebuild the product; {!check}
+    re-proves the three conditions of the theorem — base case, induction
+    step, output coverage — with fresh SAT queries that share nothing with
+    the engine that found the relation. *)
+
+type t = {
+  spec_digest : string;  (** MD5 of the canonical AIGER text *)
+  impl_digest : string;
+  engine : string;  (** informational: "bdd" or "sat" *)
+  candidates : string;  (** "all" or "registers" *)
+  induction : int;  (** k: 1 = the paper's Equation (3) *)
+  retime_rounds : int;  (** augmentation rounds to replay on the product *)
+  product_nodes : int;  (** product size after augmentation (shape check) *)
+  classes : int list list;  (** normalized literals, each class sorted *)
+}
+
+exception Parse_error of string
+
+val fingerprint : Aig.t -> string
+(** MD5 hex digest of the circuit's canonical AIGER text. *)
+
+val n_classes : t -> int
+val n_constraints : t -> int
+(** Number of pairwise equalities in Q (class sizes minus class count). *)
+
+(** {1 Emission} *)
+
+type emit_error =
+  | Not_proved of string  (** the verdict was not [Equivalent] *)
+  | Unsupported of string  (** the relation is not self-certifying *)
+
+val explain_emit_error : emit_error -> string
+
+val of_run :
+  options:Scorr.Verify.options ->
+  spec:Aig.t ->
+  impl:Aig.t ->
+  Scorr.verdict * Scorr.Product.t * Scorr.Partition.t option ->
+  (t, emit_error) result
+(** Certificate of a {!Scorr.Verify.run_with_relation} result, under the
+    options that produced it.  Fails on non-[Equivalent] verdicts and on
+    relations computed under reachability don't-cares (those hold only
+    inside the care set, so Q alone need not be inductive). *)
+
+(** {1 Independent checking} *)
+
+type check_error =
+  | Fingerprint_mismatch of { subject : string; expected : string; got : string }
+  | Shape_mismatch of { expected : int; got : int }
+  | Bad_literal of int
+  | Bad_header of string
+  | Not_initial of { lit_a : int; lit_b : int; frame : int }
+  | Not_inductive of { lit_a : int; lit_b : int }
+  | Output_unproved of string
+
+val explain_check_error : check_error -> string
+
+val check : spec:Aig.t -> impl:Aig.t -> t -> (unit, check_error) result
+(** Re-validate the certificate against the two circuits without trusting
+    the fixed-point loop: fingerprints, product shape, the base case in
+    the first [induction] frames from the initial state, the k-step
+    induction from a free state, and coverage of every output pair. *)
+
+(** {1 Serialization (text format)} *)
+
+val to_string : t -> string
+val parse_string : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val to_file : string -> t -> unit
+val parse_file : string -> t

@@ -1,0 +1,82 @@
+(** Replayable counterexample witnesses.
+
+    A witness packages the concrete input trace behind a
+    ["Not_equivalent"] verdict: frame-indexed primary-input vectors plus
+    the frame at which the disproof lands.  It unifies
+    {!Reach.Bmc.counterexample} and the raw [bool array array] trace of
+    {!Scorr.Verify.verdict}, and is validated by {e simulating the
+    original circuits} — the verdict of the engine that produced it is
+    never trusted. *)
+
+type t = {
+  frame : int;  (** frame at which the disproof lands *)
+  inputs : bool array array;  (** [inputs.(t).(i)]: PI [i] at frame [t] *)
+  output : string option;  (** failing output name, when known *)
+}
+
+exception Parse_error of string
+
+val make : ?output:string -> bool array array -> t
+(** Witness failing at the last frame of the trace.
+    @raise Invalid_argument on an empty trace. *)
+
+val of_trace : ?output:string -> bool array array -> t
+(** Alias of {!make}: adapt the trace of a {!Scorr.Verify.verdict}. *)
+
+val of_bmc : Reach.Bmc.counterexample -> t
+
+val n_frames : t -> int
+val n_pis : t -> int
+
+(** {1 Validation by replay} *)
+
+type replay_error =
+  | No_frames
+  | Frame_out_of_range of { failing_frame : int; frames : int }
+  | Width_mismatch of { subject : string; expected : int; got : int; frame : int }
+  | Unknown_output of string
+  | No_failure  (** replays cleanly: the witness disproves nothing *)
+
+val explain_error : replay_error -> string
+
+val check_shape : subject:string -> Aig.t -> t -> (unit, replay_error) result
+(** Reject (with a diagnostic, never an exception or a silent truncation)
+    witnesses whose PI vector width or failing-frame index does not match
+    the circuit. *)
+
+type mismatch = { at_frame : int; output : string; spec_value : bool; impl_value : bool }
+
+val replay : spec:Aig.t -> impl:Aig.t -> t -> (mismatch, replay_error) result
+(** Simulate both circuits over the witness inputs and return the first
+    frame at which an output pair (matched by name) disagrees. *)
+
+val po_failure : Aig.t -> t -> (string, replay_error) result
+(** Single-circuit property form (the BMC convention: every PO must be 1):
+    the name of the witness's output — or of any output, when unnamed —
+    that evaluates to 0 at the failing frame. *)
+
+val refutes : Aig.t -> t -> bool
+(** [po_failure] as a plain test. *)
+
+val shrink : spec:Aig.t -> impl:Aig.t -> t -> t
+(** Greedy minimization preserving the disproof: drop trailing frames
+    beyond the earliest mismatch, then flip input bits toward 0.  Returns
+    the witness unchanged if it does not replay. *)
+
+(** {1 Renderers} *)
+
+val to_waveform : ?spec:Aig.t -> ?impl:Aig.t -> t -> string
+(** Text waveform, one row per signal and one column per frame; supplied
+    circuits contribute their output values as extra rows. *)
+
+val to_vcd : ?spec:Aig.t -> ?impl:Aig.t -> t -> string
+(** Value-change-dump rendering of the same signals. *)
+
+(** {1 Serialization (text format)} *)
+
+val to_string : t -> string
+val parse_string : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val to_file : string -> t -> unit
+val parse_file : string -> t

@@ -223,7 +223,10 @@ module Verify : sig
     | Not_equivalent of {
         frame : int;
         trace : bool array array option;
-            (** input vectors of a witnessing run, when available *)
+            (** input vectors of a witnessing run.  Every refutation path
+                (presimulation, bounded refutation, and the initial-frame
+                class split) derives a concrete trace, so this is [Some]
+                in practice; [None] survives only as a defensive case. *)
         stats : stats;
       }
     | Unknown of stats

@@ -324,6 +324,21 @@ let simulate_difference ~seed ~n_frames spec impl =
   ignore scan;
   scan0 ()
 
+(* --- initial-frame disproofs -------------------------------------------------------- *)
+
+(* When the exact initial refinement separates an output pair, the
+   circuits differ within the first frames the refinement inspected (one
+   frame for the BDD engine, [sat_unroll] for the SAT engine).  Derive the
+   concrete witness with a bounded refutation over exactly that window so
+   the verdict never ships without a trace. *)
+let initial_disproof (options : options) product =
+  let k =
+    match options.engine with Bdd_engine -> 1 | Sat_engine -> max 1 options.sat_unroll
+  in
+  match Reach.Bmc.check ~max_depth:(k - 1) product.Product.aig with
+  | Reach.Bmc.Counterexample cex -> (cex.Reach.Bmc.depth, Some cex.Reach.Bmc.inputs)
+  | Reach.Bmc.No_counterexample _ | Reach.Bmc.Budget _ -> (0, None)
+
 (* --- outputs proved? (Theorem 1) --------------------------------------------------- *)
 
 (* With all signals as candidates, the output functions are themselves
@@ -482,7 +497,8 @@ let run_with_relation ?(options = default_options) spec impl =
           && not (outputs_in_same_class product partition)
         then begin
           record_stats ();
-          Not_equivalent { frame = 0; trace = None; stats = mk_stats (Some partition) }
+          let frame, trace = initial_disproof options product in
+          Not_equivalent { frame; trace; stats = mk_stats (Some partition) }
         end
         else begin
           (* ternary-simulation seeding: exact splits by X-valued

@@ -76,20 +76,7 @@ let check ?(max_depth = 20) ?(max_sat_calls = max_int) ?(ignore_outputs = []) ai
   | Found cex -> Counterexample cex
   | Out_of_budget -> Budget "sat calls"
 
-(* Replay a counterexample on the AIG: returns the failing PO's value at
-   the final frame (must be false for a genuine counterexample). *)
-let replay aig cex =
-  let to_words frame = Array.map (fun b -> if b then -1L else 0L) frame in
-  let state = ref (Aig.Sim.initial_latch_words aig) in
-  let final = ref true in
-  Array.iteri
-    (fun t frame ->
-      let values, next = Aig.Sim.step aig ~pi_words:(to_words frame) ~latch_words:!state in
-      state := next;
-      if t = cex.depth then begin
-        match List.assoc_opt cex.output (Aig.pos aig) with
-        | Some l -> final := Int64.logand 1L (Aig.Sim.lit_word values l) = 1L
-        | None -> ()
-      end)
-    cex.inputs;
-  not !final
+(* Counterexample replay lives in [Cert.Witness]: convert with
+   [Cert.Witness.of_bmc] and validate with [Cert.Witness.refutes], which
+   shares one simulation-based validator across BMC, induction and the
+   signal-correspondence verdicts. *)

@@ -109,10 +109,9 @@ module Bmc : sig
 
   val check :
     ?max_depth:int -> ?max_sat_calls:int -> ?ignore_outputs:string list -> Aig.t -> result
-  (** Check that every PO holds (is 1) in all frames up to [max_depth]. *)
-
-  val replay : Aig.t -> counterexample -> bool
-  (** Validate a counterexample by simulation. *)
+  (** Check that every PO holds (is 1) in all frames up to [max_depth].
+      Counterexamples are validated by [Cert.Witness]: convert with
+      [Cert.Witness.of_bmc] and replay with [Cert.Witness.refutes]. *)
 end
 
 (** Plain k-induction on the outputs: the monolithic modern baseline

@@ -1,0 +1,99 @@
+Certificates: prove a retimed pair equivalent and export the relation,
+then re-validate it with the independent checker (exit 0):
+
+  $ seqver gen ctr8 -o spec.blif
+  $ seqver opt spec.blif impl.aag --recipe retime --seed 7 > /dev/null
+  $ seqver verify spec.blif impl.aag --emit-cert cert.txt -q
+  $ head -7 cert.txt
+  seqver-cert 1
+  spec-md5 6d97f2e50f16f2f6d4094192c6966496
+  impl-md5 ad791fb9c5fc69a83010b18bfa266220
+  engine bdd
+  candidates all
+  induction 1
+  retime-rounds 0
+  $ seqver check-cert cert.txt spec.blif impl.aag
+  certificate valid: 42 classes, 82 constraints (induction 1)
+
+The same certificate is rejected against a different implementation
+(exit 1 — the fingerprint no longer matches):
+
+  $ seqver opt spec.blif other.aag --recipe retime+opt --seed 3 > /dev/null
+  $ seqver check-cert cert.txt spec.blif other.aag -q
+  certificate REJECTED: implementation fingerprint mismatch: certificate has ad791fb9c5fc69a83010b18bfa266220, circuit is a0042957c5ab6bbedeaebee6f55ff60e
+  [1]
+
+Witnesses: a refuted pair ships a replayable counterexample.  The two
+circuits below differ combinationally (o = q versus o = !q):
+
+  $ cat > a.blif << EOF
+  > .model spec
+  > .inputs x
+  > .outputs o
+  > .latch n q 0
+  > .names x n
+  > 1 1
+  > .names q o
+  > 1 1
+  > .end
+  > EOF
+  $ sed 's/^1 1$/0 1/; s/.model spec/.model impl/' a.blif > b.blif
+  $ seqver verify a.blif b.blif --emit-witness w.txt -q
+  [1]
+  $ cat w.txt
+  seqver-witness 1
+  pis 1
+  frames 1
+  failing-frame 0
+  frame 0 1
+  end
+
+Replay confirms the mismatch by simulating both circuits (exit 0):
+
+  $ seqver replay w.txt a.blif b.blif
+  CONFIRMED: output o differs at frame 0 (spec=0 impl=1)
+  witness: 1 frame(s), disproof at frame 0
+    pi0            1
+    spec o         0
+    impl o         1
+
+A witness that replays cleanly confirms nothing (exit 1), and one whose
+PI width does not fit the circuits is diagnosed, not truncated (exit 2):
+
+  $ seqver replay w.txt a.blif a.blif -q
+  NOT CONFIRMED: replay shows no output mismatch: the witness disproves nothing
+  [1]
+  $ seqver replay w.txt spec.blif impl.aag -q
+  seqver replay: PI vector of frame 0 has 1 bit(s) but the specification has 2 primary input(s)
+  [2]
+
+The waveform can also be rendered as a VCD:
+
+  $ seqver replay w.txt a.blif b.blif --vcd w.vcd -q
+  $ head -5 w.vcd
+  $timescale 1 ns $end
+  $scope module witness $end
+  $var wire 1 ! pi0 $end
+  $var wire 1 " spec_o $end
+  $var wire 1 # impl_o $end
+
+Certificate emission is only meaningful for the signal-correspondence
+method, and refuses relations computed under reachability don't-cares
+(usage errors, exit 2):
+
+  $ seqver verify a.blif b.blif -m traversal --emit-cert x.txt
+  seqver verify: --emit-cert/--emit-witness require -m scorr
+  [2]
+  $ seqver verify spec.blif impl.aag --dontcare --emit-cert x.txt
+  seqver verify: --emit-cert is incompatible with --dontcare (a relation holding only inside the reachable care set is not self-certifying)
+  [2]
+
+Bounded model checking exports its counterexamples in the same witness
+format:
+
+  $ seqver bmc a.blif b.blif --depth 2 --emit-witness wb.txt
+  NOT EQUIVALENT: outputs differ at frame 0
+    t=0: 0
+  witness: wb.txt (1 frames)
+  [1]
+  $ seqver replay wb.txt a.blif b.blif -q

@@ -1,0 +1,303 @@
+(* Tests of the trust layer (lib/cert): witness and certificate format
+   round-trips, replay of refutation traces on injected faults, shape
+   diagnostics, and independent certificate checking — including
+   handcrafted bogus certificates that must fail the base-case and
+   induction conditions. *)
+
+(* --- witness format round-trip ------------------------------------------------ *)
+
+let gen_witness =
+  QCheck.Gen.(
+    int_range 0 4 >>= fun pis ->
+    int_range 1 5 >>= fun frames ->
+    int_range 0 (frames - 1) >>= fun failing ->
+    opt (oneofl [ "o"; "carry"; "outputs_agree" ]) >>= fun output ->
+    array_repeat frames (array_repeat pis bool) >>= fun inputs ->
+    return { Cert.Witness.frame = failing; inputs; output })
+
+let arb_witness = QCheck.make ~print:Cert.Witness.to_string gen_witness
+
+let prop_witness_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"witness print/parse round-trips" ~count:200 arb_witness
+       (fun w -> Cert.Witness.parse_string (Cert.Witness.to_string w) = w))
+
+(* --- certificate format round-trip -------------------------------------------- *)
+
+let gen_cert =
+  QCheck.Gen.(
+    int_range 0 1_000_000 >>= fun salt ->
+    oneofl [ "bdd"; "sat" ] >>= fun engine ->
+    oneofl [ "all"; "registers" ] >>= fun candidates ->
+    int_range 1 4 >>= fun induction ->
+    int_range 0 3 >>= fun retime_rounds ->
+    int_range 1 500 >>= fun product_nodes ->
+    list_size (int_range 0 5) (list_size (int_range 0 4) (int_range 0 999)) >>= fun classes ->
+    return
+      {
+        Cert.Certificate.spec_digest = Digest.to_hex (Digest.string (string_of_int salt));
+        impl_digest = Digest.to_hex (Digest.string (string_of_int (salt + 1)));
+        engine;
+        candidates;
+        induction;
+        retime_rounds;
+        product_nodes;
+        classes;
+      })
+
+let arb_cert = QCheck.make ~print:Cert.Certificate.to_string gen_cert
+
+let prop_cert_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"certificate print/parse round-trips" ~count:200 arb_cert
+       (fun c -> Cert.Certificate.parse_string (Cert.Certificate.to_string c) = c))
+
+let test_witness_parse_rejects () =
+  let rejects what text =
+    match Cert.Witness.parse_string text with
+    | exception Cert.Witness.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("parser accepted " ^ what)
+  in
+  rejects "an empty witness" "";
+  rejects "a bad version" "seqver-witness 2\npis 1\nframes 1\nfailing-frame 0\nframe 0 1\nend\n";
+  rejects "an out-of-range failing frame"
+    "seqver-witness 1\npis 1\nframes 1\nfailing-frame 3\nframe 0 1\nend\n";
+  rejects "a width mismatch"
+    "seqver-witness 1\npis 2\nframes 1\nfailing-frame 0\nframe 0 1\nend\n";
+  rejects "a bad bit" "seqver-witness 1\npis 1\nframes 1\nfailing-frame 0\nframe 0 x\nend\n";
+  rejects "a missing end marker" "seqver-witness 1\npis 1\nframes 1\nfailing-frame 0\nframe 0 1\n"
+
+(* --- replay diagnostics --------------------------------------------------------- *)
+
+(* a 1-PI buffer: out = x *)
+let buffer () =
+  let a = Aig.create () in
+  let x = Aig.add_pi a in
+  Aig.add_po a "o" x;
+  a
+
+let test_width_mismatch_diagnosed () =
+  let a = buffer () in
+  let w = Cert.Witness.make [| [| true; false |] |] in
+  (match Cert.Witness.check_shape ~subject:"circuit" a w with
+  | Error (Cert.Witness.Width_mismatch { expected = 1; got = 2; frame = 0; _ }) -> ()
+  | Error e -> Alcotest.fail ("wrong diagnostic: " ^ Cert.Witness.explain_error e)
+  | Ok () -> Alcotest.fail "accepted a too-wide witness");
+  match Cert.Witness.replay ~spec:a ~impl:a w with
+  | Error (Cert.Witness.Width_mismatch _) -> ()
+  | _ -> Alcotest.fail "replay must reject the width mismatch"
+
+let test_frame_out_of_range_diagnosed () =
+  let a = buffer () in
+  let w = { Cert.Witness.frame = 5; inputs = [| [| true |] |]; output = None } in
+  match Cert.Witness.check_shape ~subject:"circuit" a w with
+  | Error (Cert.Witness.Frame_out_of_range { failing_frame = 5; frames = 1 }) -> ()
+  | _ -> Alcotest.fail "expected Frame_out_of_range"
+
+let test_clean_replay_is_no_failure () =
+  let a = buffer () in
+  let w = Cert.Witness.make [| [| true |]; [| false |] |] in
+  match Cert.Witness.replay ~spec:a ~impl:a w with
+  | Error Cert.Witness.No_failure -> ()
+  | _ -> Alcotest.fail "identical circuits cannot be refuted"
+
+(* --- replay of injected faults --------------------------------------------------- *)
+
+let prop_mutant_witness_replays =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"mutant refutation witnesses replay and shrink" ~count:25
+       QCheck.(int_range 0 100_000)
+       (fun seed ->
+         let c = Test_util.random_circuit ~n_inputs:3 ~n_latches:4 ~n_gates:18 seed in
+         let spec, _ = Aig.of_netlist c in
+         match Transform.Mutate.observable_mutant ~seed spec with
+         | None -> QCheck.assume_fail ()
+         | Some (mutant, _) -> (
+           match Scorr.check spec mutant with
+           | Scorr.Not_equivalent { trace = Some trace; _ } -> (
+             let w = Cert.Witness.of_trace trace in
+             match Cert.Witness.replay ~spec ~impl:mutant w with
+             | Error _ -> false
+             | Ok _ -> (
+               let s = Cert.Witness.shrink ~spec ~impl:mutant w in
+               match Cert.Witness.replay ~spec ~impl:mutant s with
+               | Ok m ->
+                 m.Cert.Witness.at_frame = s.Cert.Witness.frame
+                 && Cert.Witness.n_frames s <= Cert.Witness.n_frames w
+               | Error _ -> false))
+           | Scorr.Not_equivalent { trace = None; _ } -> false (* must carry a witness *)
+           | Scorr.Equivalent _ -> false
+           | Scorr.Unknown _ -> true)))
+
+let test_bmc_witness_refutes () =
+  let spec, _ = Aig.of_netlist (Circuits.Counter.modulo 5) in
+  let mutant = Transform.Mutate.apply spec (Transform.Mutate.Flip_latch_init 1) in
+  let product = (Scorr.Product.make spec mutant).Scorr.Product.aig in
+  match Reach.Bmc.check ~max_depth:8 product with
+  | Reach.Bmc.Counterexample cex ->
+    let w = Cert.Witness.of_bmc cex in
+    Alcotest.(check bool) "refutes the product property" true
+      (Cert.Witness.refutes product w)
+  | _ -> Alcotest.fail "expected a counterexample"
+
+(* --- certificates: emission and independent checking ------------------------------ *)
+
+let fig2_cert () =
+  let spec, impl = Circuits.Fig2.pair () in
+  let options = Scorr.default_options in
+  let run = Scorr.Verify.run_with_relation ~options spec impl in
+  match Cert.Certificate.of_run ~options ~spec ~impl run with
+  | Ok cert -> (spec, impl, cert)
+  | Error e -> Alcotest.fail (Cert.Certificate.explain_emit_error e)
+
+let test_fig2_certificate_checks () =
+  let spec, impl, cert = fig2_cert () in
+  (* round-trip through the text format before checking *)
+  let cert = Cert.Certificate.parse_string (Cert.Certificate.to_string cert) in
+  Alcotest.(check bool) "has constraints" true (Cert.Certificate.n_constraints cert > 0);
+  match Cert.Certificate.check ~spec ~impl cert with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Cert.Certificate.explain_check_error e)
+
+let test_certificate_rejects_mutated_impl () =
+  let spec, impl, cert = fig2_cert () in
+  let mutant = Transform.Mutate.apply impl (Transform.Mutate.Flip_latch_init 0) in
+  match Cert.Certificate.check ~spec ~impl:mutant cert with
+  | Error (Cert.Certificate.Fingerprint_mismatch { subject = "implementation"; _ }) -> ()
+  | Ok () -> Alcotest.fail "accepted a certificate for a mutated implementation"
+  | Error e -> Alcotest.fail ("wrong rejection: " ^ Cert.Certificate.explain_check_error e)
+
+let test_certificate_rejects_tampering () =
+  let spec, impl, cert = fig2_cert () in
+  (match
+     Cert.Certificate.check ~spec ~impl
+       { cert with Cert.Certificate.product_nodes = cert.Cert.Certificate.product_nodes + 1 }
+   with
+  | Error (Cert.Certificate.Shape_mismatch _) -> ()
+  | _ -> Alcotest.fail "expected Shape_mismatch");
+  match
+    Cert.Certificate.check ~spec ~impl
+      { cert with Cert.Certificate.classes = [ 1_000_000; 1_000_002 ] :: cert.classes }
+  with
+  | Error (Cert.Certificate.Bad_literal _) -> ()
+  | _ -> Alcotest.fail "expected Bad_literal"
+
+let test_emit_refuses_dontcare_relations () =
+  let spec, impl = Circuits.Fig2.pair () in
+  let options = { Scorr.default_options with Scorr.Verify.use_reach_dontcare = true } in
+  let run = Scorr.Verify.run_with_relation ~options spec impl in
+  match Cert.Certificate.of_run ~options ~spec ~impl run with
+  | Error (Cert.Certificate.Unsupported _) -> ()
+  | Ok _ -> Alcotest.fail "emitted a certificate under reachability don't-cares"
+  | Error e -> Alcotest.fail ("wrong error: " ^ Cert.Certificate.explain_emit_error e)
+
+(* spec circuit with its latch literal exposed: q (init 0, next = x), o = q *)
+let latch_follows_input () =
+  let a = Aig.create () in
+  let x = Aig.add_pi a in
+  let q = Aig.add_latch a ~init:false in
+  Aig.set_latch_next a q ~next:x;
+  Aig.add_po a "o" q;
+  (a, x, q)
+
+let handcrafted_cert spec impl classes =
+  let product = Scorr.Product.make spec impl in
+  ( {
+      Cert.Certificate.spec_digest = Cert.Certificate.fingerprint spec;
+      impl_digest = Cert.Certificate.fingerprint impl;
+      engine = "bdd";
+      candidates = "all";
+      induction = 1;
+      retime_rounds = 0;
+      product_nodes = Aig.num_nodes product.Scorr.Product.aig;
+      classes;
+    },
+    product )
+
+let test_bogus_equality_fails_base_case () =
+  (* claim pi = latch: false at frame 0, where the latch is still 0 *)
+  let spec, x, q = latch_follows_input () in
+  let impl, _, _ = latch_follows_input () in
+  let product = Scorr.Product.make spec impl in
+  let x_p = product.Scorr.Product.spec.Scorr.Product.lit_in_product x in
+  let q_p = product.Scorr.Product.spec.Scorr.Product.lit_in_product q in
+  let cert, _ = handcrafted_cert spec impl [ List.sort compare [ x_p; q_p ] ] in
+  match Cert.Certificate.check ~spec ~impl cert with
+  | Error (Cert.Certificate.Not_initial { frame = 0; _ }) -> ()
+  | Ok () -> Alcotest.fail "accepted a relation that fails at the initial state"
+  | Error e -> Alcotest.fail ("wrong rejection: " ^ Cert.Certificate.explain_check_error e)
+
+let test_bogus_equality_fails_induction () =
+  (* claim latch = const0: true at frame 0 (init), destroyed by next = x *)
+  let spec, _, q = latch_follows_input () in
+  let impl, _, _ = latch_follows_input () in
+  let product = Scorr.Product.make spec impl in
+  let q_p = product.Scorr.Product.spec.Scorr.Product.lit_in_product q in
+  let cert, _ = handcrafted_cert spec impl [ List.sort compare [ Aig.lit_false; q_p ] ] in
+  match Cert.Certificate.check ~spec ~impl cert with
+  | Error (Cert.Certificate.Not_inductive _) -> ()
+  | Ok () -> Alcotest.fail "accepted a non-inductive relation"
+  | Error e -> Alcotest.fail ("wrong rejection: " ^ Cert.Certificate.explain_check_error e)
+
+let test_sat_engine_k2_certificate () =
+  let spec, impl = Circuits.Fig2.pair () in
+  let options =
+    { Scorr.default_options with Scorr.Verify.engine = Scorr.Verify.Sat_engine; sat_unroll = 2 }
+  in
+  let run = Scorr.Verify.run_with_relation ~options spec impl in
+  match Cert.Certificate.of_run ~options ~spec ~impl run with
+  | Error e -> Alcotest.fail (Cert.Certificate.explain_emit_error e)
+  | Ok cert -> (
+    Alcotest.(check int) "records k" 2 cert.Cert.Certificate.induction;
+    match Cert.Certificate.check ~spec ~impl cert with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail (Cert.Certificate.explain_check_error e))
+
+let test_retimed_certificate_checks () =
+  (* a pair that needs retiming augmentation: the certificate must record
+     the rounds and the checker must replay them *)
+  let spec, _ = Aig.of_netlist (Circuits.Counter.binary 8) in
+  let impl =
+    Circuits.Suite.implementation ~recipe:Circuits.Suite.Retime_only ~seed:7 spec
+  in
+  let options = Scorr.default_options in
+  let run = Scorr.Verify.run_with_relation ~options spec impl in
+  match Cert.Certificate.of_run ~options ~spec ~impl run with
+  | Error e -> Alcotest.fail (Cert.Certificate.explain_emit_error e)
+  | Ok cert -> (
+    match Cert.Certificate.check ~spec ~impl cert with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail (Cert.Certificate.explain_check_error e))
+
+let suite =
+  [
+    Alcotest.test_case "witness parser rejects malformed input" `Quick
+      test_witness_parse_rejects;
+    Alcotest.test_case "width mismatch is diagnosed" `Quick test_width_mismatch_diagnosed;
+    Alcotest.test_case "failing frame out of range is diagnosed" `Quick
+      test_frame_out_of_range_diagnosed;
+    Alcotest.test_case "clean replay reports No_failure" `Quick
+      test_clean_replay_is_no_failure;
+    Alcotest.test_case "bmc witness refutes the product" `Quick test_bmc_witness_refutes;
+    Alcotest.test_case "fig2 certificate emits and checks" `Quick
+      test_fig2_certificate_checks;
+    Alcotest.test_case "certificate rejects a mutated implementation" `Quick
+      test_certificate_rejects_mutated_impl;
+    Alcotest.test_case "certificate rejects tampering" `Quick
+      test_certificate_rejects_tampering;
+    Alcotest.test_case "emission refuses don't-care relations" `Quick
+      test_emit_refuses_dontcare_relations;
+    Alcotest.test_case "bogus equality fails the base case" `Quick
+      test_bogus_equality_fails_base_case;
+    Alcotest.test_case "bogus equality fails induction" `Quick
+      test_bogus_equality_fails_induction;
+    Alcotest.test_case "sat-engine k=2 certificate checks" `Quick
+      test_sat_engine_k2_certificate;
+    Alcotest.test_case "retimed pair certificate checks" `Quick
+      test_retimed_certificate_checks;
+    prop_witness_roundtrip;
+    prop_cert_roundtrip;
+    prop_mutant_witness_replays;
+  ]
+
+let () = Alcotest.run "cert" [ ("cert", suite) ]

@@ -175,7 +175,8 @@ let test_bmc_finds_latch_fault () =
   let product = product_aig spec mutant in
   match Reach.Bmc.check ~max_depth:8 product with
   | Reach.Bmc.Counterexample cex ->
-    Alcotest.(check bool) "replay confirms" true (Reach.Bmc.replay product cex);
+    Alcotest.(check bool) "replay confirms" true
+      (Cert.Witness.refutes product (Cert.Witness.of_bmc cex));
     Alcotest.(check bool) "trace length" true (Array.length cex.Reach.Bmc.inputs = cex.depth + 1)
   | Reach.Bmc.No_counterexample _ -> Alcotest.fail "missed the fault"
   | Reach.Bmc.Budget what -> Alcotest.fail ("budget: " ^ what)
@@ -197,7 +198,7 @@ let prop_bmc_agrees_with_exhaustive =
             exist *)
          match Reach.Bmc.check ~max_depth:(if equal then 12 else 70) (product_aig a1 a2) with
          | Reach.Bmc.Counterexample cex ->
-           (not equal) && Reach.Bmc.replay (product_aig a1 a2) cex
+           (not equal) && Cert.Witness.refutes (product_aig a1 a2) (Cert.Witness.of_bmc cex)
          | Reach.Bmc.No_counterexample _ -> equal
          | Reach.Bmc.Budget _ -> true))
 
@@ -235,7 +236,8 @@ let test_induction_refutes_mutant () =
   let p = Scorr.Product.make a mutant in
   match Reach.Induction.check p.Scorr.Product.aig with
   | Reach.Induction.Refuted cex ->
-    Alcotest.(check bool) "replay" true (Reach.Bmc.replay p.Scorr.Product.aig cex)
+    Alcotest.(check bool) "replay" true
+      (Cert.Witness.refutes p.Scorr.Product.aig (Cert.Witness.of_bmc cex))
   | Reach.Induction.Proved _ -> Alcotest.fail "proved a mutant"
   | Reach.Induction.Unknown w -> Alcotest.fail ("unknown: " ^ w)
 

@@ -60,7 +60,8 @@ let prop_traces_replay =
            match Scorr.check spec mutant with
            | Scorr.Not_equivalent { frame; trace = Some trace; _ } ->
              Array.length trace = frame + 1 && replay_outputs_differ spec mutant trace
-           | Scorr.Not_equivalent { trace = None; _ } -> true (* frame-0 class split *)
+           | Scorr.Not_equivalent { trace = None; _ } ->
+             false (* every refutation must carry a concrete trace *)
            | Scorr.Equivalent _ -> false
            | Scorr.Unknown _ -> true)))
 
@@ -86,6 +87,27 @@ let test_bmc_catches_post_sim_difference () =
   | Scorr.Not_equivalent { frame; trace = Some _; _ } ->
     Alcotest.(check int) "first difference at frame 1" 1 frame
   | _ -> Alcotest.fail "expected a BMC refutation with a trace"
+
+let test_initial_frame_split_has_witness () =
+  (* combinationally inverted outputs with presimulation and bounded
+     refutation disabled: the disproof comes from the initial-frame class
+     split, which used to ship trace = None *)
+  let mk invert =
+    let a = Aig.create () in
+    let x = Aig.add_pi a in
+    Aig.add_po a "o" (if invert then Aig.lit_not x else x);
+    a
+  in
+  let spec = mk false and impl = mk true in
+  let options =
+    { Scorr.default_options with Scorr.Verify.presim_frames = 0; bmc_depth = 0 }
+  in
+  match Scorr.check ~options spec impl with
+  | Scorr.Not_equivalent { frame = 0; trace = Some trace; _ } ->
+    Alcotest.(check bool) "trace replays" true (replay_outputs_differ spec impl trace)
+  | Scorr.Not_equivalent { trace = None; _ } ->
+    Alcotest.fail "initial-frame refutation carried no trace"
+  | _ -> Alcotest.fail "expected a frame-0 refutation"
 
 (* --- relation certificate ----------------------------------------------------- *)
 
@@ -125,6 +147,8 @@ let prop_certificate_relation_is_inductive =
 let suite =
   [ Alcotest.test_case "order interleaves counter" `Quick test_order_interleaves_counter;
     Alcotest.test_case "bmc catches post-sim fault" `Quick test_bmc_catches_post_sim_difference;
+    Alcotest.test_case "initial-frame split has a witness" `Quick
+      test_initial_frame_split_has_witness;
     Alcotest.test_case "certificate covers outputs" `Quick test_certificate_covers_outputs;
     prop_order_is_permutation;
     prop_traces_replay;
