@@ -11,20 +11,75 @@
      micro              Bechamel microbenchmarks of the substrates (B1)
      all                everything above
 
-   Run with:  dune exec bench/main.exe -- [target ...] *)
+   Run with:  dune exec bench/main.exe -- [--json FILE] [--smoke] [target ...]
+
+   --json FILE   append one JSON record per measured run to FILE
+   --smoke       small-suite, tight-budget mode for CI: only quick circuits,
+                 nonzero exit when any verdict regresses from "proved" *)
 
 let impl_seed = 11
 let line = String.make 100 '-'
 
+(* Wall clock, not [Sys.time]: the processor time the latter reports hides
+   time spent blocked and saturates against multi-threaded runtimes; every
+   figure this harness prints is meant to be wall time. *)
 let timed f =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   let r = f () in
-  (r, Sys.time () -. t0)
+  (r, Unix.gettimeofday () -. t0)
 
 let verdict_name = function
   | Scorr.Equivalent _ -> "proved"
   | Scorr.Not_equivalent _ -> "REFUTED"
   | Scorr.Unknown _ -> "unknown"
+
+(* --- machine-readable results (hand-rolled JSON; no external deps) ---------- *)
+
+let json_file : string option ref = ref None
+let smoke = ref false
+let smoke_failures : string list ref = ref []
+let json_rows : string list ref = ref []
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Record one measured verification run; also the smoke-mode verdict gate. *)
+let record ~circuit ~engine verdict seconds =
+  let s = Scorr.verdict_stats verdict in
+  let name = verdict_name verdict in
+  if !smoke && name <> "proved" then
+    smoke_failures := Printf.sprintf "%s/%s: %s" circuit engine name :: !smoke_failures;
+  json_rows :=
+    Printf.sprintf
+      "{\"circuit\": \"%s\", \"engine\": \"%s\", \"verdict\": \"%s\", \
+       \"seconds\": %.3f, \"sat_calls\": %d, \"peak_nodes\": %d, \
+       \"iterations\": %d, \"retime_rounds\": %d, \"pool_lanes\": %d, \
+       \"resim_splits\": %d, \"batched_solves\": %d, \"cache_hits\": %d, \
+       \"eq_pct\": %.1f}"
+      (json_escape circuit) (json_escape engine) name seconds
+      s.Scorr.Verify.sat_calls s.peak_bdd_nodes s.iterations s.retime_rounds
+      s.pool_lanes s.resim_splits s.batched_solves s.cache_hits s.eq_pct
+    :: !json_rows
+
+let write_json () =
+  match !json_file with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc "[\n";
+    output_string oc (String.concat ",\n" (List.rev !json_rows));
+    output_string oc "\n]\n";
+    close_out oc;
+    Printf.printf "wrote %d records to %s\n" (List.length !json_rows) path
 
 (* Per-run resource budgets, standing in for the paper's 100 MB / 3600 s. *)
 let traversal_budget =
@@ -44,14 +99,14 @@ let suite_pairs recipe =
 
 let run_traversal ?(use_fundep = true) spec impl =
   let product = Scorr.Product.make spec impl in
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   match
     Reach.Trans.make ~node_limit:traversal_budget.Reach.Traversal.max_live_nodes
       ~latch_order:(Scorr.Verify.latch_order_from_outputs product)
       product.Scorr.Product.aig
   with
   | exception Bdd.Limit_exceeded ->
-    ("limit:nodes", Sys.time () -. t0, traversal_budget.Reach.Traversal.max_live_nodes, 0)
+    ("limit:nodes", Unix.gettimeofday () -. t0, traversal_budget.Reach.Traversal.max_live_nodes, 0)
   | trans ->
     let result =
       Reach.Traversal.check_equivalence ~budget:traversal_budget ~use_fundep trans
@@ -193,25 +248,51 @@ let ablation_retime () =
 
 (* --- A3: engines --------------------------------------------------------------------- *)
 
+let smoke_circuits = [ "ctr8"; "gray12"; "traffic"; "mod10"; "arb4" ]
+
 let ablation_engine () =
   Printf.printf
-    "A3: BDD refinement (the paper) vs SAT refinement (the paper's future work)\n\n";
-  Printf.printf "%-9s | %-8s %8s %9s | %-8s %8s %9s\n" "circuit" "bdd" "time" "nodes" "sat"
-    "time" "calls";
+    "A3: BDD refinement (the paper) vs SAT refinement (the paper's future work),\n\
+     and the batched sweeps + counterexample pool vs the legacy pairwise scans\n\n";
+  Printf.printf "%-9s | %-8s %7s %8s | %-8s %7s %7s %5s %5s %5s | %-8s %7s %7s\n" "circuit"
+    "bdd" "time" "nodes" "sat" "time" "calls" "pool" "resim" "hits" "sat-pair" "time"
+    "calls";
   print_endline line;
   List.iter
     (fun (e, spec, impl) ->
-      let run engine =
-        let options = { scorr_options with Scorr.Verify.engine } in
-        timed (fun () -> Scorr.check ~options spec impl)
+      let name = e.Circuits.Suite.name in
+      let run tag options =
+        let options =
+          if !smoke then
+            { options with Scorr.Verify.max_sat_calls = 50_000; node_limit = 500_000 }
+          else options
+        in
+        let v, t = timed (fun () -> Scorr.check ~options spec impl) in
+        record ~circuit:name ~engine:tag v t;
+        (v, t)
       in
-      let vb, tb = run Scorr.Verify.Bdd_engine in
-      let vs, ts = run Scorr.Verify.Sat_engine in
-      Printf.printf "%-9s | %-8s %8.2f %9d | %-8s %8.2f %9d\n%!" e.Circuits.Suite.name
+      let vb, tb = run "bdd" scorr_options in
+      let vs, ts =
+        run "sat" { scorr_options with Scorr.Verify.engine = Scorr.Verify.Sat_engine }
+      in
+      let vp, tp =
+        run "sat-pairwise"
+          {
+            scorr_options with
+            Scorr.Verify.engine = Scorr.Verify.Sat_engine;
+            use_batched_sweeps = false;
+          }
+      in
+      let sb = Scorr.verdict_stats vs and sp = Scorr.verdict_stats vp in
+      Printf.printf
+        "%-9s | %-8s %7.2f %8d | %-8s %7.2f %7d %5d %5d %5d | %-8s %7.2f %7d\n%!" name
         (verdict_name vb) tb (Scorr.verdict_stats vb).Scorr.Verify.peak_bdd_nodes
-        (verdict_name vs) ts (Scorr.verdict_stats vs).Scorr.Verify.sat_calls)
+        (verdict_name vs) ts sb.Scorr.Verify.sat_calls sb.pool_lanes sb.resim_splits
+        sb.cache_hits (verdict_name vp) tp sp.Scorr.Verify.sat_calls)
     (List.filter
-       (fun (e, _, _) -> not (List.mem e.Circuits.Suite.name [ "ctr32"; "crc32" ]))
+       (fun (e, _, _) ->
+         if !smoke then List.mem e.Circuits.Suite.name smoke_circuits
+         else not (List.mem e.Circuits.Suite.name [ "ctr32"; "crc32" ]))
        (suite_pairs Circuits.Suite.Retime_opt))
 
 (* --- A4: reachable don't-cares -------------------------------------------------------- *)
@@ -404,12 +485,29 @@ let () =
         (String.concat " " (List.map fst targets));
       exit 1
   in
-  match Array.to_list Sys.argv with
-  | _ :: [] | [ _; "all" ] ->
+  (* flags first, then target names *)
+  let rec parse_flags = function
+    | "--json" :: path :: rest ->
+      json_file := Some path;
+      parse_flags rest
+    | "--smoke" :: rest ->
+      smoke := true;
+      parse_flags rest
+    | rest -> rest
+  in
+  let names = parse_flags (List.tl (Array.to_list Sys.argv)) in
+  (match names with
+  | [] | [ "all" ] ->
     List.iter
       (fun (_, f) ->
         f ();
         print_newline ())
       targets
-  | _ :: names -> List.iter run names
+  | names -> List.iter run names);
+  write_json ();
+  match !smoke_failures with
   | [] -> ()
+  | fails ->
+    Printf.eprintf "smoke: %d verdict(s) regressed from proved:\n" (List.length fails);
+    List.iter (Printf.eprintf "  %s\n") (List.rev fails);
+    exit 1

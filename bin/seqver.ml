@@ -50,9 +50,17 @@ let pp_stats (s : Scorr.stats) =
   Printf.printf
     "  iterations:      %d\n  retime rounds:   %d\n  candidates:      %d\n\
     \  classes:         %d\n  peak BDD nodes:  %d\n  SAT calls:       %d\n\
-    \  equivalences:    %.1f%%\n  time:            %.2f s\n"
+    \  batched solves:  %d\n  pool lanes:      %d\n  resim splits:    %d\n\
+    \  cache hits:      %d\n  equivalences:    %.1f%%\n  time:            %.2f s\n"
     s.Scorr.Verify.iterations s.retime_rounds s.candidates s.classes
-    s.peak_bdd_nodes s.sat_calls s.eq_pct s.seconds
+    s.peak_bdd_nodes s.sat_calls s.batched_solves s.pool_lanes s.resim_splits
+    s.cache_hits s.eq_pct s.seconds;
+  match s.phase_seconds with
+  | [] -> ()
+  | phases ->
+    Printf.printf "  phases:         %s\n"
+      (String.concat " "
+         (List.map (fun (name, t) -> Printf.sprintf "%s=%.2fs" name t) phases))
 
 let run_verify spec_path impl_path meth engine no_sim_seed no_fundep no_retime dontcare
     node_limit unroll seconds show_classes emit_cert emit_witness quiet =

@@ -47,10 +47,9 @@ let run t frames =
   in
   (outs, !state)
 
+(* Uniform 64-bit pattern words.  [Random.State.int64 rng Int64.max_int]
+   draws from [0, 2^63 - 1): bit 63 would never be set, leaving simulation
+   lane 63 constant-0 on every input; [bits64] covers the full word. *)
 let random_frames ~seed ~n_pis ~n_frames =
   let rng = Random.State.make [| seed; 0x5e41 |] in
-  List.init n_frames (fun _ ->
-      Array.init n_pis (fun _ ->
-          Int64.logxor
-            (Random.State.int64 rng Int64.max_int)
-            (Int64.shift_left (Random.State.int64 rng 2L) 62)))
+  List.init n_frames (fun _ -> Array.init n_pis (fun _ -> Random.State.bits64 rng))

@@ -25,6 +25,11 @@ type ctx = {
   care : Bdd.t; (* over s: upper bound of reachable states (or one) *)
   node_limit : int;
   mutable peak_nodes : int;
+  pool : Simpool.t; (* accumulated counterexample patterns *)
+  support : Support.t Lazy.t; (* structural cones for dirty scheduling *)
+  proved_at : (int, int) Hashtbl.t; (* class -> version proven stable *)
+  mutable n_batched : int; (* batched class scans performed *)
+  mutable n_cache_hits : int; (* classes skipped by the stability cache *)
 }
 
 let note ctx =
@@ -95,7 +100,9 @@ let make ?(use_fundep = true) ?latch_order ?care_of ?(node_limit = max_int) p =
   let care = match care_of with Some f -> f m s | None -> Bdd.one in
   let ctx =
     { p; m; n_pis; n_latches; x1; s; x2; cur; delta; nxt; ini; use_fundep; care;
-      node_limit; peak_nodes = 0 }
+      node_limit; peak_nodes = 0; pool = Simpool.create aig;
+      support = lazy (Support.make aig); proved_at = Hashtbl.create 256;
+      n_batched = 0; n_cache_hits = 0 }
   in
   note ctx;
   ctx
@@ -200,54 +207,58 @@ let correspondence_condition ?(memo = Hashtbl.create 256) ctx partition subst =
   note ctx;
   result
 
+(* Per-sweep builder of the Q-simplified nu functions.  As described in
+   Section 4, the complement of the correspondence condition is used as a
+   don't-care set while the next-state functions are *built*: whenever an
+   intermediate result grows beyond a bound, it is simplified with
+   Coudert–Madre restrict against Q.  The simplified functions agree with
+   the exact nu on every state satisfying Q, which is all the comparison
+   needs. *)
+let nu_builder ~clamp_size ctx partition q subst =
+  let m = ctx.m in
+  let apply f = match subst with Some s -> Bdd.vector_compose m f s | None -> f in
+  let clamp f =
+    match Bdd.size_at_most f clamp_size with
+    | Some _ -> f
+    | None ->
+      note ctx;
+      Bdd.restrict m f ~care:q
+  in
+  let aig = ctx.p.Product.aig in
+  let memo = Hashtbl.create 256 in
+  let rec nu_node id =
+    match Hashtbl.find_opt memo id with
+    | Some f -> f
+    | None ->
+      let f =
+        match Aig.node aig id with
+        | Aig.Const -> Bdd.zero
+        | Aig.Pi i -> Bdd.var m ctx.x2.(i)
+        | Aig.Latch i ->
+          clamp (apply ctx.delta.(i))
+        | Aig.And (a, b) -> clamp (Bdd.mk_and m (nu_lit a) (nu_lit b))
+      in
+      Hashtbl.add memo id f;
+      f
+  and nu_lit l =
+    let f = nu_node (Aig.node_of_lit l) in
+    if Aig.lit_is_compl l then Bdd.mk_not m f else f
+  in
+  fun id ->
+    let f = nu_node id in
+    if Partition.polarity partition id then Bdd.mk_not m f else f
+
 (* One application of Equation (3): split classes whose members' next-state
    functions differ on some state satisfying Q.  Returns true when any
-   class split. *)
-(* One application of Equation (3).  As described in Section 4, the
-   complement of the correspondence condition is used as a don't-care set
-   while the next-state functions are *built*: whenever an intermediate
-   result grows beyond a bound, it is simplified with Coudert–Madre
-   restrict against Q.  The simplified functions agree with the exact nu
-   on every state satisfying Q, which is all the comparison needs. *)
-let refine_once ?(clamp_size = 2_000) ctx partition =
+   class split.  Legacy pairwise comparison within each class; kept for
+   benchmarking and the equal-fixed-point cross-check. *)
+let refine_once_pairwise ?(clamp_size = 2_000) ctx partition =
   let m = ctx.m in
   let subst = if ctx.use_fundep then fundep_subst ctx partition else None in
   let q = correspondence_condition ctx partition subst in
   if Bdd.is_false q then false
   else begin
-    let apply f = match subst with Some s -> Bdd.vector_compose m f s | None -> f in
-    let clamp f =
-      match Bdd.size_at_most f clamp_size with
-      | Some _ -> f
-      | None ->
-        note ctx;
-        Bdd.restrict m f ~care:q
-    in
-    let aig = ctx.p.Product.aig in
-    (* per-iteration build of Q-simplified nu functions *)
-    let memo = Hashtbl.create 256 in
-    let rec nu_node id =
-      match Hashtbl.find_opt memo id with
-      | Some f -> f
-      | None ->
-        let f =
-          match Aig.node aig id with
-          | Aig.Const -> Bdd.zero
-          | Aig.Pi i -> Bdd.var m ctx.x2.(i)
-          | Aig.Latch i ->
-            clamp (apply ctx.delta.(i))
-          | Aig.And (a, b) -> clamp (Bdd.mk_and m (nu_lit a) (nu_lit b))
-        in
-        Hashtbl.add memo id f;
-        f
-    and nu_lit l =
-      let f = nu_node (Aig.node_of_lit l) in
-      if Aig.lit_is_compl l then Bdd.mk_not m f else f
-    in
-    let nu_of id =
-      let f = nu_node id in
-      if Partition.polarity partition id then Bdd.mk_not m f else f
-    in
+    let nu_of = nu_builder ~clamp_size ctx partition q subst in
     let changed = ref false in
     List.iter
       (fun cls ->
@@ -262,3 +273,102 @@ let refine_once ?(clamp_size = 2_000) ctx partition =
     note ctx;
     !changed
   end
+
+(* Extract one counterexample pattern from a pair of class members whose
+   nu functions differ modulo Q: a satisfying assignment of
+   Q /\ (nu_a xor nu_b) over (x1, s, x2), converted into the *next* frame's
+   (state, input) valuation — state' = delta(s, x1), inputs = x2 — which is
+   exactly the frame whose node values separate the pair.
+
+   The assignment lives in the SUBSTITUTED variable space: Q and the nu
+   functions were built by one simultaneous [vector_compose], so a model V
+   of the composed BDD corresponds to the original-space point sigma(V)
+   where each substituted variable reads as its substitution function
+   evaluated at V's PLAIN values (one level — substitution images may
+   themselves mention substituted variables, which stay free there). *)
+let pool_counterexample ctx subst q nu_a nu_b =
+  let m = ctx.m in
+  let d = Bdd.mk_and m q (Bdd.mk_xor m nu_a nu_b) in
+  match Bdd.any_sat d with
+  | None -> ()
+  | Some assignment ->
+    let env = Hashtbl.create 16 in
+    List.iter (fun (v, b) -> Hashtbl.replace env v b) assignment;
+    let base v = match Hashtbl.find_opt env v with Some b -> b | None -> false in
+    let lookup v =
+      match subst with
+      | Some s when v < Array.length s -> (
+        match s.(v) with Some h -> Bdd.eval h base | None -> base v)
+      | _ -> base v
+    in
+    Simpool.add ctx.pool
+      ~pi:(fun i -> lookup ctx.x2.(i))
+      ~latch:(fun i -> Bdd.eval ctx.delta.(i) lookup)
+
+(* One batched sweep: each suspect class is refined in a single scan by
+   the canonical key [Bdd.id (nu /\ Q)] — members are Q-equivalent iff
+   their conjunctions with Q are the same BDD — instead of a quadratic
+   pairwise comparison.  Split classes contribute one counterexample
+   pattern to the pool, flushed at the start of the next sweep (and when
+   full) so cheap bit-parallel simulation pre-splits classes before any
+   further BDD work.  [trust] enables the cone-based dirty skip; the
+   strict confirmation pass re-proves stale classes at the current
+   version. *)
+let sweep ~clamp_size ctx partition ~trust =
+  let splits = ref (Simpool.flush ctx.pool partition > 0) in
+  let vq = Partition.version partition in
+  let subst = if ctx.use_fundep then fundep_subst ctx partition else None in
+  let q = correspondence_condition ctx partition subst in
+  if Bdd.is_false q then !splits
+  else begin
+    let nu_of = nu_builder ~clamp_size ctx partition q subst in
+    List.iter
+      (fun cls ->
+        let skip =
+          match Hashtbl.find_opt ctx.proved_at cls with
+          | Some v ->
+            v >= vq
+            || (trust
+               && not
+                    (Support.suspect (Lazy.force ctx.support) partition cls
+                       ~proved_at:v))
+          | None -> false
+        in
+        if skip then ctx.n_cache_hits <- ctx.n_cache_hits + 1
+        else begin
+          match Partition.members partition cls with
+          | [] | [ _ ] -> ()
+          | rep :: _ as mems ->
+            note ctx;
+            ctx.n_batched <- ctx.n_batched + 1;
+            let keys = Hashtbl.create 8 in
+            let key id =
+              match Hashtbl.find_opt keys id with
+              | Some k -> k
+              | None ->
+                let k = Bdd.id (Bdd.mk_and ctx.m (nu_of id) q) in
+                note ctx;
+                Hashtbl.add keys id k;
+                k
+            in
+            let rep_key = key rep in
+            (match List.find_opt (fun id -> key id <> rep_key) mems with
+            | None -> Hashtbl.replace ctx.proved_at cls vq
+            | Some other ->
+              if Simpool.is_full ctx.pool then
+                splits := Simpool.flush ctx.pool partition > 0 || !splits;
+              pool_counterexample ctx subst q (nu_of rep) (nu_of other);
+              if Partition.refine_class partition cls ~equal:(fun a b -> key a = key b)
+              then splits := true)
+        end)
+      (Partition.multi_member_classes partition);
+    note ctx;
+    !splits
+  end
+
+(* One refinement iteration: a trusting sweep over suspect classes,
+   confirmed by a strict pass when quiescent so the reported fixed point
+   never rests on the cone heuristic. *)
+let refine_once ?(clamp_size = 2_000) ctx partition =
+  if sweep ~clamp_size ctx partition ~trust:true then true
+  else sweep ~clamp_size ctx partition ~trust:false

@@ -13,10 +13,31 @@
    agree on the first k frames reachable from the initial state.
 
    Because everything is assumption-based, the clause database and all
-   learned clauses persist across every query of every iteration.  A
-   satisfying assignment is a concrete Q-conforming run that distinguishes
-   some pair; its last-frame values split every affected class at once
-   (counterexample-driven bulk refinement). *)
+   learned clauses persist across every query of every iteration.
+
+   The hot loop is organised around three cooperating optimisations:
+
+   - batched disjunctive sweeps: one solve per multi-member class (assume
+     Q, assert the OR of the class's difference selectors through a fresh
+     staging selector) instead of one solve per candidate pair, so a
+     sweep costs O(#classes) queries rather than O(sum of class sizes);
+
+   - a counterexample pattern pool ({!Simpool}): each model's last-frame
+     state+input valuation is packed as a bit lane and applied to *all*
+     classes at once by one bit-parallel simulation pass when the lane
+     buffer fills or a hit class is about to be re-solved;
+
+   - dirty-class scheduling with an UNSAT cache: a class proven stable at
+     partition version V is skipped while no later split moved a node in
+     its structural support cone ({!Support}); because that test is a
+     heuristic, a zero-split sweep is confirmed by a strict pass that
+     re-proves every stale class at the current version before the fixed
+     point is reported.
+
+   The legacy one-query-per-pair scan is kept as
+   [refine_once_pairwise] / [refine_initial_pairwise]: it computes the
+   same fixed point (property-tested) and anchors the benchmark
+   comparison. *)
 
 exception Budget_exceeded of string
 
@@ -32,6 +53,14 @@ type ctx = {
   diff_sel0 : (int * int * int, int) Hashtbl.t; (* (frame, la, lb) *)
   mutable sat_calls : int;
   max_sat_calls : int;
+  pool : Simpool.t; (* accumulated counterexample patterns *)
+  pi_nodes : int array; (* PI node ids by input index *)
+  support : Support.t Lazy.t; (* structural cones for dirty scheduling *)
+  proved_at : (int, int) Hashtbl.t; (* class -> version proven stable *)
+  init_clean : (int, int) Hashtbl.t; (* class -> frames proven clean from s0 *)
+  mutable q_cache : (int * Sat.Lit.t list) option; (* per-version Q selectors *)
+  mutable n_batched : int; (* batched class solves issued *)
+  mutable n_cache_hits : int; (* classes skipped by the UNSAT cache *)
 }
 
 (* Chain [n] frames of [aig] inside [solver].  [first_latch_var] supplies
@@ -87,6 +116,14 @@ let make ?(max_sat_calls = max_int) ?(k = 1) p =
     diff_sel0 = Hashtbl.create 256;
     sat_calls = 0;
     max_sat_calls;
+    pool = Simpool.create aig;
+    pi_nodes = Array.of_list (Aig.pis aig);
+    support = lazy (Support.make aig);
+    proved_at = Hashtbl.create 256;
+    init_clean = Hashtbl.create 256;
+    q_cache = None;
+    n_batched = 0;
+    n_cache_hits = 0;
   }
 
 let norm_key la lb = if la <= lb then (la, lb) else (lb, la)
@@ -119,19 +156,26 @@ let check_budget ctx =
   ctx.sat_calls <- ctx.sat_calls + 1;
   if ctx.sat_calls > ctx.max_sat_calls then raise (Budget_exceeded "sat calls")
 
-let lit_value solver l =
-  let v = Sat.value solver (Sat.Lit.var l) in
-  if Sat.Lit.sign l then v else not v
-
 (* Split every class according to a model's valuation of [frame_lit]. *)
 let bulk_split partition frame_lit solver =
   ignore
     (Partition.refine_by_key partition (fun id ->
-         lit_value solver (frame_lit (Partition.norm_lit partition id))))
+         Sat.value_lit solver (frame_lit (Partition.norm_lit partition id))))
+
+(* Pack the model's valuation of one frame (its state and inputs) into the
+   pattern pool; a later flush replays it against every class at once. *)
+let pool_model ctx solver lit_of =
+  let aig = ctx.p.Product.aig in
+  Simpool.add ctx.pool
+    ~pi:(fun i -> Sat.value_lit solver (lit_of (Aig.lit_of_node ctx.pi_nodes.(i))))
+    ~latch:(fun i ->
+      Sat.value_lit solver (lit_of (Aig.lit_of_node (Aig.latch_node aig i))))
+
+(* --- legacy pairwise scans (kept for benchmarking and cross-checks) -------- *)
 
 (* Initial-state refinement: classes must agree on every input in each of
    the first k frames from s0 (Equation 2 for k = 1). *)
-let refine_initial ctx partition =
+let refine_initial_pairwise ctx partition =
   let rec clean_pass () =
     let violated =
       List.find_map
@@ -197,7 +241,7 @@ let q_assumptions ctx partition =
    whose frame-(k+1) values differ on some run conforming to Q for k
    frames; split all classes with the witness.  Returns false when a full
    scan finds no violation. *)
-let refine_once ctx partition =
+let refine_once_pairwise ctx partition =
   let q = q_assumptions ctx partition in
   let last = ctx.frames.(ctx.k) in
   let violated =
@@ -229,3 +273,167 @@ let refine_once ctx partition =
     bulk_split partition last ctx.solver;
     true
   | None -> false
+
+(* --- batched sweeps ----------------------------------------------------------- *)
+
+(* Q selectors are rebuilt only when the partition version moved: within a
+   sweep (and across the trust/strict passes of one version) the cached
+   list is reused by every batched class solve. *)
+let q_of ctx partition =
+  let v = Partition.version partition in
+  match ctx.q_cache with
+  | Some (v', q) when v' = v -> q
+  | _ ->
+    let q = q_assumptions ctx partition in
+    ctx.q_cache <- Some (v, q);
+    q
+
+(* Exact initial-state refinement (Equation 2), batched: one staged solve
+   per (class, frame) asserting the OR of the class's difference
+   selectors.  Counterexamples are pooled and applied in bit-parallel
+   batches between passes.  An UNSAT answer here is permanent — solver0
+   has no removable assumptions and class member sets only shrink — so
+   proven (class, frame) prefixes are cached in [init_clean]. *)
+let refine_initial ctx partition =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    List.iter
+      (fun cls ->
+        let clean =
+          match Hashtbl.find_opt ctx.init_clean cls with Some f -> f | None -> 0
+        in
+        if clean >= ctx.k then ctx.n_cache_hits <- ctx.n_cache_hits + 1
+        else begin
+          let rec frames frame =
+            if frame < ctx.k then begin
+              match Partition.members partition cls with
+              | [] | [ _ ] -> ()
+              | rep :: rest ->
+                let lit_of = ctx.init_frames.(frame) in
+                let la = Partition.norm_lit partition rep in
+                let a = lit_of la in
+                let dsels =
+                  List.filter_map
+                    (fun id ->
+                      let lb = Partition.norm_lit partition id in
+                      let b = lit_of lb in
+                      if a = b then None
+                      else
+                        let ka, kb = norm_key la lb in
+                        Some
+                          (difference_selector ctx.solver0 ctx.diff_sel0
+                             (frame, ka, kb) a b))
+                    rest
+                in
+                (match dsels with
+                | [] ->
+                  Hashtbl.replace ctx.init_clean cls (frame + 1);
+                  frames (frame + 1)
+                | _ ->
+                  let g = Sat.new_var ctx.solver0 in
+                  Sat.add_clause ctx.solver0 (Sat.Lit.neg g :: dsels);
+                  check_budget ctx;
+                  ctx.n_batched <- ctx.n_batched + 1;
+                  let answer = Sat.solve ~assumptions:[ Sat.Lit.pos g ] ctx.solver0 in
+                  (* read the model before retiring the staging selector:
+                     adding the unit clause backtracks the trail *)
+                  (match answer with
+                  | Sat.Unsat -> ()
+                  | Sat.Sat -> pool_model ctx ctx.solver0 lit_of);
+                  Sat.add_clause ctx.solver0 [ Sat.Lit.neg g ];
+                  (match answer with
+                  | Sat.Unsat ->
+                    Hashtbl.replace ctx.init_clean cls (frame + 1);
+                    frames (frame + 1)
+                  | Sat.Sat ->
+                    (* the violating frame is pooled; the end-of-pass flush
+                       splits the witnessed pair, so the next pass makes
+                       progress here *)
+                    progress := true;
+                    if Simpool.is_full ctx.pool then
+                      ignore (Simpool.flush ctx.pool partition)))
+            end
+          in
+          frames clean
+        end)
+      (Partition.multi_member_classes partition);
+    if Simpool.flush ctx.pool partition > 0 then progress := true
+  done
+
+(* One batched sweep of Equation (3).  [trust] enables the cone-based
+   dirty skip; a strict pass re-proves every class whose certificate is
+   older than the current partition version.  Returns whether any class
+   split. *)
+let sweep ctx partition ~trust =
+  let splits = ref 0 in
+  let flush () = splits := !splits + Simpool.flush ctx.pool partition in
+  flush ();
+  let vq = Partition.version partition in
+  let q = q_of ctx partition in
+  let last = ctx.frames.(ctx.k) in
+  let hit = Hashtbl.create 16 in
+  let work = Queue.create () in
+  List.iter (fun c -> Queue.add c work) (Partition.multi_member_classes partition);
+  while not (Queue.is_empty work) do
+    let cls = Queue.pop work in
+    let skip =
+      match Hashtbl.find_opt ctx.proved_at cls with
+      | Some v ->
+        v >= vq
+        || (trust
+           && not (Support.suspect (Lazy.force ctx.support) partition cls ~proved_at:v))
+      | None -> false
+    in
+    if skip then ctx.n_cache_hits <- ctx.n_cache_hits + 1
+    else begin
+      (* a re-queued hit class must see its own counterexample applied
+         before it is solved again, or the same model could recur *)
+      if Hashtbl.mem hit cls && Simpool.lanes ctx.pool > 0 then flush ();
+      match Partition.members partition cls with
+      | [] | [ _ ] -> ()
+      | rep :: rest ->
+        let la = Partition.norm_lit partition rep in
+        let a = last la in
+        let dsels =
+          List.filter_map
+            (fun id ->
+              let lb = Partition.norm_lit partition id in
+              let b = last lb in
+              if a = b then None
+              else
+                let ka, kb = norm_key la lb in
+                Some (difference_selector ctx.solver ctx.diff_sel (ka, kb) a b))
+            rest
+        in
+        (match dsels with
+        | [] -> Hashtbl.replace ctx.proved_at cls vq
+        | _ ->
+          let g = Sat.new_var ctx.solver in
+          Sat.add_clause ctx.solver (Sat.Lit.neg g :: dsels);
+          check_budget ctx;
+          ctx.n_batched <- ctx.n_batched + 1;
+          let answer = Sat.solve ~assumptions:(Sat.Lit.pos g :: q) ctx.solver in
+          (* read the model before retiring the staging selector: adding
+             the unit clause backtracks the trail *)
+          (match answer with
+          | Sat.Unsat -> ()
+          | Sat.Sat -> pool_model ctx ctx.solver last);
+          Sat.add_clause ctx.solver [ Sat.Lit.neg g ];
+          (match answer with
+          | Sat.Unsat -> Hashtbl.replace ctx.proved_at cls vq
+          | Sat.Sat ->
+            Hashtbl.replace hit cls ();
+            if Simpool.is_full ctx.pool then flush ();
+            Queue.add cls work))
+    end
+  done;
+  flush ();
+  !splits > 0
+
+(* One refinement iteration: a trusting sweep over suspect classes; when
+   it is quiescent, a strict confirmation sweep that re-examines every
+   class not proven at the current version, so the reported fixed point
+   never rests on the cone heuristic. *)
+let refine_once ctx partition =
+  if sweep ctx partition ~trust:true then true else sweep ctx partition ~trust:false

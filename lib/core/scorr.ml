@@ -2,6 +2,8 @@
 
 module Product = Product
 module Partition = Partition
+module Simpool = Simpool
+module Support = Support
 module Simseed = Simseed
 module Ternseed = Ternseed
 module Engine_bdd = Engine_bdd

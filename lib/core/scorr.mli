@@ -76,7 +76,62 @@ module Partition : sig
   (** The (representative, member) pairs whose equalities form Q. *)
 
   val multi_member_classes : t -> int list
+
+  val version : t -> int
+  (** Monotone counter bumped by every refinement event that splits a
+      class.  Drives the dirty-class scheduling of the engines. *)
+
+  val touched_version : t -> int -> int
+  (** Version at which a class last changed membership (creation counts). *)
+
+  val moved_since : ?limit:int -> t -> int -> int list option
+  (** Nodes moved to a new class by events after the given version;
+      [None] when more than [limit] entries would need scanning (callers
+      should then assume everything moved). *)
+
   val pp : Format.formatter -> t -> unit
+end
+
+(** Counterexample pattern pool: solver/BDD counterexamples packed as bit
+    lanes of a 64-wide simulation buffer, replayed against every class at
+    once by one bit-parallel pass. *)
+module Simpool : sig
+  type t
+
+  val create : Aig.t -> t
+  val lanes : t -> int
+  (** Filled lanes of the current buffer (0..64). *)
+
+  val total_lanes : t -> int
+  val flushes : t -> int
+  val resim_splits : t -> int
+  (** Classes created by flushes so far. *)
+
+  val is_full : t -> bool
+
+  val add : t -> pi:(int -> bool) -> latch:(int -> bool) -> unit
+  (** Pack one (input, state) valuation into the next free lane.
+      @raise Invalid_argument when the pool {!is_full}. *)
+
+  val flush : t -> Partition.t -> int
+  (** Split every class by the members' values on all buffered patterns
+      (unused lanes masked out); resets the buffer and returns the number
+      of classes created. *)
+end
+
+(** Structural support cones of the product machine, closed through latch
+    next-state functions; drives the engines' dirty-class scheduling. *)
+module Support : sig
+  type t
+
+  val make : Aig.t -> t
+  val in_cone : t -> node:int -> of_:int -> bool
+
+  val suspect : t -> Partition.t -> int -> proved_at:int -> bool
+  (** Must the class be re-examined after being proven stable at partition
+      version [proved_at]?  Conservative in the direction engines handle:
+      a [false] answer is confirmed by a strict sweep before the fixed
+      point is reported. *)
 end
 
 (** Random sequential simulation seeding (Section 4). *)
@@ -117,6 +172,11 @@ module Engine_bdd : sig
     care : Bdd.t;
     node_limit : int;
     mutable peak_nodes : int;
+    pool : Simpool.t;
+    support : Support.t Lazy.t;
+    proved_at : (int, int) Hashtbl.t;
+    mutable n_batched : int;  (** batched class scans performed *)
+    mutable n_cache_hits : int;  (** classes skipped by the stability cache *)
   }
 
   val make :
@@ -131,9 +191,14 @@ module Engine_bdd : sig
   (** Equation (2): exact initial-state partition. *)
 
   val refine_once : ?clamp_size:int -> ctx -> Partition.t -> bool
-  (** Equation (3): one refinement pass; [true] when a class split.
-      [clamp_size] bounds intermediate nu sizes before the complement of Q
-      is applied as a don't-care set (Section 4). *)
+  (** Equation (3): one refinement iteration with batched class scans,
+      pooled counterexamples and dirty-class scheduling; [true] when a
+      class split.  [clamp_size] bounds intermediate nu sizes before the
+      complement of Q is applied as a don't-care set (Section 4). *)
+
+  val refine_once_pairwise : ?clamp_size:int -> ctx -> Partition.t -> bool
+  (** The legacy one-comparison-per-pair pass; computes the same fixed
+      point (property-tested) and anchors the benchmark comparison. *)
 
   val correspondence_condition :
     ?memo:(int, Bdd.t) Hashtbl.t -> ctx -> Partition.t -> Bdd.t option array option -> Bdd.t
@@ -163,11 +228,32 @@ module Engine_sat : sig
     diff_sel0 : (int * int * int, int) Hashtbl.t;
     mutable sat_calls : int;
     max_sat_calls : int;
+    pool : Simpool.t;
+    pi_nodes : int array;
+    support : Support.t Lazy.t;
+    proved_at : (int, int) Hashtbl.t;
+    init_clean : (int, int) Hashtbl.t;
+    mutable q_cache : (int * Sat.Lit.t list) option;
+    mutable n_batched : int;  (** batched class solves issued *)
+    mutable n_cache_hits : int;  (** classes skipped by the UNSAT cache *)
   }
 
   val make : ?max_sat_calls:int -> ?k:int -> Product.t -> ctx
+
   val refine_initial : ctx -> Partition.t -> unit
+  (** Equation (2) batched: one staged disjunctive solve per (class,
+      frame), counterexamples pooled and replayed bit-parallel. *)
+
   val refine_once : ctx -> Partition.t -> bool
+  (** Equation (3) batched: one staged disjunctive solve per suspect
+      class under the cached Q assumptions, with pooled counterexamples
+      and dirty-class scheduling.  A quiescent trusting sweep is confirmed
+      by a strict one before [false] is returned. *)
+
+  val refine_initial_pairwise : ctx -> Partition.t -> unit
+  val refine_once_pairwise : ctx -> Partition.t -> bool
+  (** The legacy one-query-per-pair scans; same fixed point
+      (property-tested), kept for benchmarking. *)
 end
 
 (** Candidate-set extension by forward retiming with lag 1 (Fig. 3). *)
@@ -192,6 +278,10 @@ module Verify : sig
     sim_frames : int;
     use_ternary_seed : bool;
         (** Seed the partition with {!Ternseed.refine}.  Default true. *)
+    use_batched_sweeps : bool;
+        (** Use the batched class solves, counterexample pattern pool and
+            dirty-class scheduling (default true); [false] selects the
+            legacy pairwise scans, which compute the same fixed point. *)
     use_fundep : bool;
     use_retime : bool;
     max_retime_rounds : int;
@@ -214,8 +304,15 @@ module Verify : sig
     classes : int;
     peak_bdd_nodes : int;
     sat_calls : int;
+    pool_lanes : int;  (** counterexample patterns accumulated in the pool *)
+    resim_splits : int;  (** classes created by bit-parallel pattern replay *)
+    batched_solves : int;  (** one-per-class disjunctive solves / key scans *)
+    cache_hits : int;  (** classes skipped by the stability (UNSAT) cache *)
     eq_pct : float;
-    seconds : float;
+    seconds : float;  (** wall-clock time of the whole run *)
+    phase_seconds : (string * float) list;
+        (** wall time per phase ([refute], [seed], [initial], [fixpoint],
+            [outputs]), accumulated across retiming rounds *)
   }
 
   type verdict =

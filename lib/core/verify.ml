@@ -25,6 +25,7 @@ type options = {
   use_sim_seed : bool;
   sim_frames : int;
   use_ternary_seed : bool; (* split the partition by ternary signatures *)
+  use_batched_sweeps : bool; (* batched class solves + pool + dirty cache *)
   use_fundep : bool;
   use_retime : bool;
   max_retime_rounds : int;
@@ -46,6 +47,7 @@ let default_options =
     use_sim_seed = true;
     sim_frames = 16;
     use_ternary_seed = true;
+    use_batched_sweeps = true;
     use_fundep = true;
     use_retime = true;
     max_retime_rounds = 4;
@@ -66,8 +68,13 @@ type stats = {
   classes : int; (* classes of the final relation *)
   peak_bdd_nodes : int;
   sat_calls : int;
+  pool_lanes : int; (* counterexample patterns accumulated in the pool *)
+  resim_splits : int; (* classes created by bit-parallel pattern replay *)
+  batched_solves : int; (* one-per-class disjunctive solves / key scans *)
+  cache_hits : int; (* classes skipped by the stability (UNSAT) cache *)
   eq_pct : float; (* % of spec signals with an impl correspondence *)
   seconds : float;
+  phase_seconds : (string * float) list; (* wall time per verification phase *)
 }
 
 type verdict =
@@ -87,6 +94,8 @@ type engine_ops = {
   refine_once : Partition.t -> bool;
   peak_bdd : unit -> int;
   n_sat_calls : unit -> int;
+  sweep_counters : unit -> int * int * int * int;
+      (* (pool lanes, resim splits, batched solves, cache hits) *)
 }
 
 exception Budget of string
@@ -210,20 +219,41 @@ let make_engine (options : options) product pol =
       | Engine_bdd.Budget_exceeded msg -> raise (Budget msg)
       | Bdd.Limit_exceeded -> raise (Budget "bdd nodes")
     in
+    let refine_once =
+      if options.use_batched_sweeps then Engine_bdd.refine_once ctx
+      else Engine_bdd.refine_once_pairwise ctx
+    in
     {
       refine_initial = wrap (Engine_bdd.refine_initial ctx);
-      refine_once = (fun p -> wrap (Engine_bdd.refine_once ctx) p);
+      refine_once = (fun p -> wrap refine_once p);
       peak_bdd = (fun () -> ctx.Engine_bdd.peak_nodes);
       n_sat_calls = (fun () -> 0);
+      sweep_counters =
+        (fun () ->
+          ( Simpool.total_lanes ctx.Engine_bdd.pool,
+            Simpool.resim_splits ctx.Engine_bdd.pool,
+            ctx.Engine_bdd.n_batched,
+            ctx.Engine_bdd.n_cache_hits ));
     }
   | Sat_engine ->
     let ctx = Engine_sat.make ~max_sat_calls:options.max_sat_calls ~k:options.sat_unroll product in
     let wrap f x = try f x with Engine_sat.Budget_exceeded msg -> raise (Budget msg) in
+    let refine_initial, refine_once =
+      if options.use_batched_sweeps then
+        (Engine_sat.refine_initial ctx, Engine_sat.refine_once ctx)
+      else (Engine_sat.refine_initial_pairwise ctx, Engine_sat.refine_once_pairwise ctx)
+    in
     {
-      refine_initial = wrap (Engine_sat.refine_initial ctx);
-      refine_once = (fun p -> try Engine_sat.refine_once ctx p with Engine_sat.Budget_exceeded msg -> raise (Budget msg));
+      refine_initial = wrap refine_initial;
+      refine_once = (fun p -> wrap refine_once p);
       peak_bdd = (fun () -> 0);
       n_sat_calls = (fun () -> ctx.Engine_sat.sat_calls);
+      sweep_counters =
+        (fun () ->
+          ( Simpool.total_lanes ctx.Engine_sat.pool,
+            Simpool.resim_splits ctx.Engine_sat.pool,
+            ctx.Engine_sat.n_batched,
+            ctx.Engine_sat.n_cache_hits ));
     }
 
 (* --- candidate selection ------------------------------------------------------ *)
@@ -419,12 +449,29 @@ let run_with_relation ?(options = default_options) spec impl =
     Lint.preflight_aig ~subject:"specification" spec;
     Lint.preflight_aig ~subject:"implementation" impl
   end;
-  let start = Sys.time () in
+  let start = Unix.gettimeofday () in
   let product = Product.make spec impl in
   let iterations = ref 0 in
   let retime_rounds = ref 0 in
   let peak_bdd = ref 0 in
   let sat_calls = ref 0 in
+  let pool_lanes = ref 0 in
+  let resim_splits = ref 0 in
+  let batched_solves = ref 0 in
+  let cache_hits = ref 0 in
+  (* per-phase wall clock, accumulated across retiming rounds *)
+  let phases = ref [] in
+  let phase name f =
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dt = Unix.gettimeofday () -. t0 in
+        phases :=
+          match List.assoc_opt name !phases with
+          | Some acc -> (name, acc +. dt) :: List.remove_assoc name !phases
+          | None -> !phases @ [ (name, dt) ])
+      f
+  in
   let mk_stats partition =
     {
       iterations = !iterations;
@@ -440,22 +487,31 @@ let run_with_relation ?(options = default_options) spec impl =
       classes = (match partition with Some p -> Partition.n_classes p | None -> 0);
       peak_bdd_nodes = !peak_bdd;
       sat_calls = !sat_calls;
+      pool_lanes = !pool_lanes;
+      resim_splits = !resim_splits;
+      batched_solves = !batched_solves;
+      cache_hits = !cache_hits;
       eq_pct = (match partition with Some p -> equivalence_percentage product p | None -> 0.0);
-      seconds = Sys.time () -. start;
+      seconds = Unix.gettimeofday () -. start;
+      phase_seconds = !phases;
     }
   in
   let relation = ref None in
   let finish verdict = (verdict, product, !relation) in
   finish
   @@
-  match simulate_difference ~seed:options.seed ~n_frames:options.presim_frames spec impl with
+  match
+    phase "refute" (fun () ->
+        simulate_difference ~seed:options.seed ~n_frames:options.presim_frames spec impl)
+  with
   | Some (frame, trace) -> Not_equivalent { frame; trace = Some trace; stats = mk_stats None }
   | None ->
   (* exhaustive refutation up to a small depth: catches corner-case
      differences random simulation misses and yields a concrete trace *)
   match
-    if options.bmc_depth <= 0 then Reach.Bmc.No_counterexample (-1)
-    else Reach.Bmc.check ~max_depth:options.bmc_depth product.Product.aig
+    phase "refute" (fun () ->
+        if options.bmc_depth <= 0 then Reach.Bmc.No_counterexample (-1)
+        else Reach.Bmc.check ~max_depth:options.bmc_depth product.Product.aig)
   with
   | Reach.Bmc.Counterexample cex ->
     Not_equivalent
@@ -474,7 +530,9 @@ let run_with_relation ?(options = default_options) spec impl =
           ~pol
       in
       if options.use_sim_seed then
-        ignore (Simseed.refine ~seed:options.seed ~n_frames:options.sim_frames product partition);
+        phase "seed" (fun () ->
+            ignore
+              (Simseed.refine ~seed:options.seed ~n_frames:options.sim_frames product partition));
       relation := Some partition;
       try
         let engine =
@@ -485,9 +543,14 @@ let run_with_relation ?(options = default_options) spec impl =
         in
         let record_stats () =
           peak_bdd := max !peak_bdd (engine.peak_bdd ());
-          sat_calls := !sat_calls + engine.n_sat_calls ()
+          sat_calls := !sat_calls + engine.n_sat_calls ();
+          let lanes, resim, batched, hits = engine.sweep_counters () in
+          pool_lanes := !pool_lanes + lanes;
+          resim_splits := !resim_splits + resim;
+          batched_solves := !batched_solves + batched;
+          cache_hits := !cache_hits + hits
         in
-        engine.refine_initial partition;
+        phase "initial" (fun () -> engine.refine_initial partition);
         (* conclusive check: before any Eq.3 refinement, a split output
            pair reflects a genuine difference at (or simulated from) the
            initial state.  Only available when the outputs themselves are
@@ -506,13 +569,14 @@ let run_with_relation ?(options = default_options) spec impl =
              conclusive check above so it can only sharpen the fixed
              point, never distort the initial-frame refutation *)
           if options.use_ternary_seed then
-            ignore (Ternseed.refine product partition);
-          while engine.refine_once partition do
-            incr iterations
-          done;
+            phase "seed" (fun () -> ignore (Ternseed.refine product partition));
+          phase "fixpoint" (fun () ->
+              while engine.refine_once partition do
+                incr iterations
+              done);
           incr iterations;
           record_stats ();
-          if outputs_proved options product partition then
+          if phase "outputs" (fun () -> outputs_proved options product partition) then
             Equivalent (mk_stats (Some partition))
           else if options.use_retime && n < options.max_retime_rounds then begin
             incr retime_rounds;

@@ -11,6 +11,11 @@ let ensure_vars = Solver.ensure_vars
 let add_clause = Solver.add_clause
 let solve = Solver.solve
 let value = Solver.model_value
+
+let value_lit s l =
+  let v = Solver.model_value s (Lit.var l) in
+  if Lit.sign l then v else not v
+
 let model = Solver.model
 let is_consistent = Solver.is_consistent
 let num_vars = Solver.num_vars

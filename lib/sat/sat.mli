@@ -59,6 +59,10 @@ val value : t -> int -> bool
 (** Model value of a variable after a [Sat] answer (arbitrary but fixed for
     unconstrained variables). *)
 
+val value_lit : t -> Lit.t -> bool
+(** Model value of a literal: {!value} of its variable, complemented for
+    negative literals. *)
+
 val model : t -> bool array
 
 val is_consistent : t -> bool

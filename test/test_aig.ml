@@ -169,8 +169,36 @@ let test_latch_roundtrip_aiger () =
   Alcotest.(check bool) "init" true (Aig.latch_init t2 0);
   Alcotest.(check (option int)) "behaviour" None (Test_util.aig_seq_differ t t2)
 
+let test_random_frames_all_lanes_toggle () =
+  (* Regression for the bit-63 bias: [Random.State.int64 max_int] never sets
+     bit 63, so simulation lane 63 stayed constant-0 and one of the 64
+     parallel patterns was wasted.  With enough frames every one of the 64
+     lanes of every PI word must take both values. *)
+  let n_pis = 4 and n_frames = 64 in
+  List.iter
+    (fun seed ->
+      let frames = Aig.Sim.random_frames ~seed ~n_pis ~n_frames in
+      Alcotest.(check int) "frame count" n_frames (List.length frames);
+      for pi = 0 to n_pis - 1 do
+        let ones = ref 0L and zeros = ref (-1L) in
+        List.iter
+          (fun words ->
+            ones := Int64.logor !ones words.(pi);
+            zeros := Int64.logand !zeros words.(pi))
+          frames;
+        Alcotest.(check int64)
+          (Printf.sprintf "seed %d pi %d: every lane hits 1" seed pi)
+          (-1L) !ones;
+        Alcotest.(check int64)
+          (Printf.sprintf "seed %d pi %d: every lane hits 0" seed pi)
+          0L !zeros
+      done)
+    [ 0; 1; 42 ]
+
 let suite =
   [ Alcotest.test_case "strash folding" `Quick test_strash_folding;
+    Alcotest.test_case "random frames toggle all 64 lanes" `Quick
+      test_random_frames_all_lanes_toggle;
     Alcotest.test_case "no duplicate ands" `Quick test_no_duplicate_ands;
     Alcotest.test_case "copy_into" `Quick test_copy_into;
     Alcotest.test_case "aiger latch roundtrip" `Quick test_latch_roundtrip_aiger;

@@ -302,6 +302,43 @@ let prop_engines_compute_same_relation =
                         (Scorr.Partition.multi_member_classes ps)))
          | _ -> true))
 
+let prop_batched_matches_pairwise =
+  (* the counterexample pool, batched disjunctive sweeps and the stability
+     cache are pure accelerators: for either engine the final partition,
+     the verdict and the equivalence score must be exactly those of the
+     legacy one-solve-per-pair path *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"batched sweeps reach the pairwise fixed point" ~count:12
+       QCheck.(pair (int_range 0 100_000) bool)
+       (fun (seed, use_sat) ->
+         let a = small_aig seed in
+         let a' = Circuits.Suite.implementation ~recipe:Circuits.Suite.Retime_opt ~seed a in
+         let base = if use_sat then sat_opts else bdd_opts in
+         let run batched =
+           Scorr.Verify.run_with_relation
+             ~options:{ base with Scorr.Verify.use_batched_sweeps = batched }
+             a a'
+         in
+         let classes = function
+           | _, _, Some p ->
+             Some
+               (List.sort compare
+                  (List.map
+                     (fun c -> List.sort compare (Scorr.Partition.members p c))
+                     (Scorr.Partition.multi_member_classes p)))
+           | _, _, None -> None
+         in
+         let tag = function
+           | Scorr.Equivalent _ -> 0
+           | Scorr.Not_equivalent _ -> 1
+           | Scorr.Unknown _ -> 2
+         in
+         let ((vb, _, _) as rb) = run true and ((vp, _, _) as rp) = run false in
+         tag vb = tag vp
+         && (Scorr.Verify.verdict_stats vb).Scorr.Verify.eq_pct
+            = (Scorr.Verify.verdict_stats vp).Scorr.Verify.eq_pct
+         && classes rb = classes rp))
+
 (* --- register correspondence ----------------------------------------------------- *)
 
 let test_regcorr_proves_comb_opt () =
@@ -404,6 +441,7 @@ let suite =
     prop_fixpoint_is_correspondence;
     prop_engines_agree;
     prop_engines_compute_same_relation;
+    prop_batched_matches_pairwise;
     prop_regcorr_sound;
     prop_k_induction_sound;
     prop_k2_extends_k1;

@@ -1,0 +1,94 @@
+(* Unit tests of the counterexample pattern pool: lane packing, the
+   masked flush (an unused all-zero lane is not a witness and must never
+   split a class), and buffer reset between flushes. *)
+
+(* A tiny product-style AIG: PIs x, y; a latch q; and the gate x & y. *)
+let mk_aig () =
+  let t = Aig.create () in
+  let x = Aig.add_pi t in
+  let y = Aig.add_pi t in
+  let q = Aig.add_latch t ~init:false in
+  let f = Aig.mk_and t x y in
+  Aig.set_latch_next t q ~next:f;
+  Aig.add_po t "out" q;
+  (t, Aig.node_of_lit x, Aig.node_of_lit y, Aig.node_of_lit q, Aig.node_of_lit f)
+
+let mk_partition t ?(pol = []) candidates =
+  let pol_arr = Array.make (Aig.num_nodes t) false in
+  List.iter (fun i -> pol_arr.(i) <- true) pol;
+  Scorr.Partition.create ~n_nodes:(Aig.num_nodes t) ~candidates ~pol:pol_arr
+
+let test_lane_packing () =
+  let aig, _, _, _, _ = mk_aig () in
+  let pool = Scorr.Simpool.create aig in
+  Alcotest.(check int) "empty" 0 (Scorr.Simpool.lanes pool);
+  Alcotest.(check bool) "not full" false (Scorr.Simpool.is_full pool);
+  for lane = 1 to 64 do
+    Scorr.Simpool.add pool ~pi:(fun _ -> lane mod 2 = 0) ~latch:(fun _ -> false);
+    Alcotest.(check int) "lane count" lane (Scorr.Simpool.lanes pool)
+  done;
+  Alcotest.(check bool) "full after 64" true (Scorr.Simpool.is_full pool);
+  Alcotest.(check int) "total lanes" 64 (Scorr.Simpool.total_lanes pool);
+  Alcotest.check_raises "65th lane rejected"
+    (Invalid_argument "Simpool.add: pool is full") (fun () ->
+      Scorr.Simpool.add pool ~pi:(fun _ -> false) ~latch:(fun _ -> false))
+
+let test_flush_splits_by_pattern () =
+  let aig, x, y, q, f = mk_aig () in
+  let pool = Scorr.Simpool.create aig in
+  let p = mk_partition aig [ x; y; q; f ] in
+  (* pattern x=1 y=0 q=1: values x=1, y=0, q=1, f=0 *)
+  Scorr.Simpool.add pool ~pi:(fun i -> i = 0) ~latch:(fun _ -> true);
+  let created = Scorr.Simpool.flush pool p in
+  Alcotest.(check int) "one class created" 1 created;
+  Alcotest.(check (list int))
+    "ones group keeps the class" [ x; q ]
+    (List.sort compare (Scorr.Partition.members p 0));
+  Alcotest.(check (list int))
+    "zeros group" [ y; f ]
+    (List.sort compare (Scorr.Partition.members p 1));
+  Alcotest.(check int) "split counter" 1 (Scorr.Simpool.resim_splits pool);
+  Alcotest.(check int) "flush counter" 1 (Scorr.Simpool.flushes pool)
+
+let test_unused_lanes_masked () =
+  let aig, x, y, _, _ = mk_aig () in
+  let pool = Scorr.Simpool.create aig in
+  (* candidates x and !y: on the single buffered pattern x=0 y=1 both
+     normalize to 0, so they must stay together.  On the 63 *unused*
+     all-zero lanes x=0 but !y=1 — if those lanes leaked into the key the
+     class would split spuriously. *)
+  let p = mk_partition aig ~pol:[ y ] [ x; y ] in
+  Scorr.Simpool.add pool ~pi:(fun i -> i = 1) ~latch:(fun _ -> false);
+  let created = Scorr.Simpool.flush pool p in
+  Alcotest.(check int) "no spurious split" 0 created;
+  Alcotest.(check int) "still one class" 1 (Scorr.Partition.n_classes p)
+
+let test_flush_resets_buffer () =
+  let aig, x, y, q, f = mk_aig () in
+  let pool = Scorr.Simpool.create aig in
+  let p = mk_partition aig [ x; y; q; f ] in
+  (* first fill agrees everywhere (all-ones pattern): no split *)
+  Scorr.Simpool.add pool ~pi:(fun _ -> true) ~latch:(fun _ -> true);
+  Alcotest.(check int) "agreeing pattern" 0 (Scorr.Simpool.flush pool p);
+  Alcotest.(check int) "buffer drained" 0 (Scorr.Simpool.lanes pool);
+  (* an empty flush is a no-op, not a recorded flush *)
+  Alcotest.(check int) "empty flush" 0 (Scorr.Simpool.flush pool p);
+  Alcotest.(check int) "flush counter" 1 (Scorr.Simpool.flushes pool);
+  (* the earlier lane must not survive the reset: q=0 here, and if the old
+     all-ones lane were still buffered x/q would differ on it *)
+  Scorr.Simpool.add pool ~pi:(fun _ -> true) ~latch:(fun _ -> false);
+  let created = Scorr.Simpool.flush pool p in
+  Alcotest.(check int) "split on fresh lane only" 1 created;
+  Alcotest.(check (list int))
+    "x y f together" [ x; y; f ]
+    (List.sort compare (Scorr.Partition.members p 0));
+  Alcotest.(check int) "total lanes accumulate" 2 (Scorr.Simpool.total_lanes pool)
+
+let suite =
+  [ Alcotest.test_case "lane packing" `Quick test_lane_packing;
+    Alcotest.test_case "flush splits by pattern" `Quick test_flush_splits_by_pattern;
+    Alcotest.test_case "unused lanes are masked" `Quick test_unused_lanes_masked;
+    Alcotest.test_case "flush resets the buffer" `Quick test_flush_resets_buffer;
+  ]
+
+let () = Alcotest.run "simpool" [ ("simpool", suite) ]
