@@ -13,20 +13,24 @@
 
    Run with:  dune exec bench/main.exe -- [--json FILE] [--smoke] [target ...]
 
-   --json FILE   append one JSON record per measured run to FILE
-   --smoke       small-suite, tight-budget mode for CI: only quick circuits,
-                 nonzero exit when any verdict regresses from "proved" *)
+   --json FILE      append one JSON record per measured run to FILE
+   --smoke          small-suite, tight-budget mode for CI: only quick circuits,
+                    nonzero exit when any verdict regresses from "proved"
+   --filter RE      only bench suite circuits whose name matches RE
+                    (OCaml Str regexp: alternation is backslash-pipe)
+   --seed N         PRNG seed for simulation seeding (Scorr options.seed)
+   -j N             run ablation-engine circuit jobs across N worker domains
+   --sweep-jobs N   worker domains inside each SAT sweep (Scorr options.jobs) *)
 
 let impl_seed = 11
 let line = String.make 100 '-'
 
 (* Wall clock, not [Sys.time]: the processor time the latter reports hides
    time spent blocked and saturates against multi-threaded runtimes; every
-   figure this harness prints is meant to be wall time. *)
-let timed f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+   figure this harness prints is meant to be wall time.  Scorr.Clock is
+   additionally monotonic-safe, so a stepped system clock can never produce
+   a negative duration in a report. *)
+let timed = Scorr.Clock.timed
 
 let verdict_name = function
   | Scorr.Equivalent _ -> "proved"
@@ -39,6 +43,19 @@ let json_file : string option ref = ref None
 let smoke = ref false
 let smoke_failures : string list ref = ref []
 let json_rows : string list ref = ref []
+let filter_re : Str.regexp option ref = ref None
+let seed_flag = ref Scorr.default_options.Scorr.Verify.seed
+
+(* Job-level workers default to the hardware; note that with more than
+   one worker the per-row wall times of ablation-engine contend for
+   cores and are only comparable within the same -j. *)
+let jobs = ref (Domain.recommended_domain_count ())
+let sweep_jobs = ref 1
+
+let name_matches name =
+  match !filter_re with
+  | None -> true
+  | Some re -> ( try ignore (Str.search_forward re name 0); true with Not_found -> false)
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -64,10 +81,12 @@ let record ~circuit ~engine verdict seconds =
        \"seconds\": %.3f, \"sat_calls\": %d, \"peak_nodes\": %d, \
        \"iterations\": %d, \"retime_rounds\": %d, \"pool_lanes\": %d, \
        \"resim_splits\": %d, \"batched_solves\": %d, \"cache_hits\": %d, \
+       \"jobs\": %d, \"domains\": %d, \"steals\": %d, \"sched_wait\": %.3f, \
        \"eq_pct\": %.1f}"
       (json_escape circuit) (json_escape engine) name seconds
       s.Scorr.Verify.sat_calls s.peak_bdd_nodes s.iterations s.retime_rounds
-      s.pool_lanes s.resim_splits s.batched_solves s.cache_hits s.eq_pct
+      s.pool_lanes s.resim_splits s.batched_solves s.cache_hits
+      !sweep_jobs s.domains s.steals s.sched_wait_seconds s.eq_pct
     :: !json_rows
 
 let write_json () =
@@ -85,28 +104,38 @@ let write_json () =
 let traversal_budget =
   { Reach.Traversal.max_iterations = 100_000; max_live_nodes = 1_500_000; max_seconds = 30.0 }
 
-let scorr_options = { Scorr.default_options with Scorr.Verify.node_limit = 1_500_000 }
+(* A function, not a constant: --seed and --sweep-jobs are parsed after
+   module initialisation. *)
+let scorr_options () =
+  {
+    Scorr.default_options with
+    Scorr.Verify.node_limit = 1_500_000;
+    seed = !seed_flag;
+    jobs = !sweep_jobs;
+  }
 
 let suite_pairs recipe =
-  List.map
+  List.filter_map
     (fun e ->
-      let spec = Circuits.Suite.aig_of e in
-      let impl = Circuits.Suite.implementation ~recipe ~seed:impl_seed spec in
-      (e, spec, impl))
+      if not (name_matches e.Circuits.Suite.name) then None
+      else
+        let spec = Circuits.Suite.aig_of e in
+        let impl = Circuits.Suite.implementation ~recipe ~seed:impl_seed spec in
+        Some (e, spec, impl))
     Circuits.Suite.suite
 
 (* --- Table 1 ------------------------------------------------------------- *)
 
 let run_traversal ?(use_fundep = true) spec impl =
   let product = Scorr.Product.make spec impl in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Scorr.Clock.now () in
   match
     Reach.Trans.make ~node_limit:traversal_budget.Reach.Traversal.max_live_nodes
       ~latch_order:(Scorr.Verify.latch_order_from_outputs product)
       product.Scorr.Product.aig
   with
   | exception Bdd.Limit_exceeded ->
-    ("limit:nodes", Unix.gettimeofday () -. t0, traversal_budget.Reach.Traversal.max_live_nodes, 0)
+    ("limit:nodes", Scorr.Clock.since t0, traversal_budget.Reach.Traversal.max_live_nodes, 0)
   | trans ->
     let result =
       Reach.Traversal.check_equivalence ~budget:traversal_budget ~use_fundep trans
@@ -134,7 +163,7 @@ let table1 () =
     (fun (e, spec, impl) ->
       let regs = Printf.sprintf "%d/%d" (Aig.num_latches spec) (Aig.num_latches impl) in
       let tstatus, ttime, tnodes, tits = run_traversal spec impl in
-      let v, _ = timed (fun () -> Scorr.check ~options:scorr_options spec impl) in
+      let v, _ = timed (fun () -> Scorr.check ~options:(scorr_options ()) spec impl) in
       let s = Scorr.verdict_stats v in
       Printf.printf "%-9s %9s | %-11s %8.2f %9d %6d | %-8s %8.2f %9d %4d (%2d) %5.0f\n%!"
         e.Circuits.Suite.name regs tstatus ttime tnodes tits (verdict_name v)
@@ -159,7 +188,7 @@ let eqpct () =
       let spec = Circuits.Suite.aig_of e in
       let pct recipe =
         let impl = Circuits.Suite.implementation ~recipe ~seed:impl_seed spec in
-        let v = Scorr.check ~options:scorr_options spec impl in
+        let v = Scorr.check ~options:(scorr_options ()) spec impl in
         (Scorr.verdict_stats v).Scorr.Verify.eq_pct
       in
       let p_r = pct Circuits.Suite.Retime_only in
@@ -195,7 +224,7 @@ let ablation_fundep () =
         let t1, tt1, _, _ = run_traversal ~use_fundep:true spec impl in
         let t0, tt0, _, _ = run_traversal ~use_fundep:false spec impl in
         let sc use_fundep =
-          let options = { scorr_options with Scorr.Verify.use_fundep } in
+          let options = { (scorr_options ()) with Scorr.Verify.use_fundep } in
           let v, t = timed (fun () -> Scorr.check ~options spec impl) in
           (verdict_name v, t)
         in
@@ -215,7 +244,7 @@ let ablation_sim () =
   List.iter
     (fun (e, spec, impl) ->
       let run use_sim_seed =
-        let options = { scorr_options with Scorr.Verify.use_sim_seed } in
+        let options = { (scorr_options ()) with Scorr.Verify.use_sim_seed } in
         let v, t = timed (fun () -> Scorr.check ~options spec impl) in
         (verdict_name v, (Scorr.verdict_stats v).Scorr.Verify.iterations, t)
       in
@@ -238,7 +267,7 @@ let ablation_retime () =
   List.iter
     (fun (e, spec, impl) ->
       let run use_retime =
-        let options = { scorr_options with Scorr.Verify.use_retime } in
+        let options = { (scorr_options ()) with Scorr.Verify.use_retime } in
         Scorr.check ~options spec impl
       in
       let v1 = run true and v0 = run false in
@@ -250,6 +279,11 @@ let ablation_retime () =
 
 let smoke_circuits = [ "ctr8"; "gray12"; "traffic"; "mod10"; "arb4" ]
 
+(* The -j flag parallelises this target at the job level: each (circuit,
+   engine-triple) job runs whole verifications in a worker domain with
+   fully private managers, and the coordinator records and prints results
+   in suite order, so the table and the JSON are byte-identical for every
+   worker count. *)
 let ablation_engine () =
   Printf.printf
     "A3: BDD refinement (the paper) vs SAT refinement (the paper's future work),\n\
@@ -258,42 +292,54 @@ let ablation_engine () =
     "bdd" "time" "nodes" "sat" "time" "calls" "pool" "resim" "hits" "sat-pair" "time"
     "calls";
   print_endline line;
-  List.iter
-    (fun (e, spec, impl) ->
+  let pairs =
+    Array.of_list
+      (List.filter
+         (fun (e, _, _) ->
+           if !smoke then List.mem e.Circuits.Suite.name smoke_circuits
+           else not (List.mem e.Circuits.Suite.name [ "ctr32"; "crc32" ]))
+         (suite_pairs Circuits.Suite.Retime_opt))
+  in
+  let job () (_, spec, impl) =
+    let run options =
+      let options =
+        if !smoke then
+          { options with Scorr.Verify.max_sat_calls = 50_000; node_limit = 500_000 }
+        else options
+      in
+      timed (fun () -> Scorr.check ~options spec impl)
+    in
+    let bdd = run (scorr_options ()) in
+    let sat =
+      run { (scorr_options ()) with Scorr.Verify.engine = Scorr.Verify.Sat_engine }
+    in
+    let pairwise =
+      run
+        {
+          (scorr_options ()) with
+          Scorr.Verify.engine = Scorr.Verify.Sat_engine;
+          use_batched_sweeps = false;
+        }
+    in
+    (bdd, sat, pairwise)
+  in
+  let pool = Scorr.Parsweep.create ~jobs:!jobs ~init:(fun _ -> ()) in
+  let results = Scorr.Parsweep.map pool ~f:job pairs in
+  Scorr.Parsweep.shutdown pool;
+  Array.iteri
+    (fun i ((vb, tb), (vs, ts), (vp, tp)) ->
+      let e, _, _ = pairs.(i) in
       let name = e.Circuits.Suite.name in
-      let run tag options =
-        let options =
-          if !smoke then
-            { options with Scorr.Verify.max_sat_calls = 50_000; node_limit = 500_000 }
-          else options
-        in
-        let v, t = timed (fun () -> Scorr.check ~options spec impl) in
-        record ~circuit:name ~engine:tag v t;
-        (v, t)
-      in
-      let vb, tb = run "bdd" scorr_options in
-      let vs, ts =
-        run "sat" { scorr_options with Scorr.Verify.engine = Scorr.Verify.Sat_engine }
-      in
-      let vp, tp =
-        run "sat-pairwise"
-          {
-            scorr_options with
-            Scorr.Verify.engine = Scorr.Verify.Sat_engine;
-            use_batched_sweeps = false;
-          }
-      in
+      record ~circuit:name ~engine:"bdd" vb tb;
+      record ~circuit:name ~engine:"sat" vs ts;
+      record ~circuit:name ~engine:"sat-pairwise" vp tp;
       let sb = Scorr.verdict_stats vs and sp = Scorr.verdict_stats vp in
       Printf.printf
         "%-9s | %-8s %7.2f %8d | %-8s %7.2f %7d %5d %5d %5d | %-8s %7.2f %7d\n%!" name
         (verdict_name vb) tb (Scorr.verdict_stats vb).Scorr.Verify.peak_bdd_nodes
         (verdict_name vs) ts sb.Scorr.Verify.sat_calls sb.pool_lanes sb.resim_splits
         sb.cache_hits (verdict_name vp) tp sp.Scorr.Verify.sat_calls)
-    (List.filter
-       (fun (e, _, _) ->
-         if !smoke then List.mem e.Circuits.Suite.name smoke_circuits
-         else not (List.mem e.Circuits.Suite.name [ "ctr32"; "crc32" ]))
-       (suite_pairs Circuits.Suite.Retime_opt))
+    results
 
 (* --- A4: reachable don't-cares -------------------------------------------------------- *)
 
@@ -322,7 +368,7 @@ let ablation_dontcare () =
       let spec = mk_spec () and impl = mk_impl () in
       let run use_reach_dontcare =
         let options =
-          { scorr_options with Scorr.Verify.use_reach_dontcare; reach_block_size = 12 }
+          { (scorr_options ()) with Scorr.Verify.use_reach_dontcare; reach_block_size = 12 }
         in
         timed (fun () -> Scorr.check ~options spec impl)
       in
@@ -345,7 +391,7 @@ let ablation_unroll () =
     (fun (e, spec, impl) ->
       let run k =
         let options =
-          { scorr_options with Scorr.Verify.engine = Scorr.Verify.Sat_engine; sat_unroll = k }
+          { (scorr_options ()) with Scorr.Verify.engine = Scorr.Verify.Sat_engine; sat_unroll = k }
         in
         timed (fun () -> Scorr.check ~options spec impl)
       in
@@ -386,7 +432,7 @@ let ablation_induction () =
         | Reach.Induction.Refuted _ -> "REFUTED"
         | Reach.Induction.Unknown _ -> "unknown"
       in
-      let v, ts = timed (fun () -> Scorr.check ~options:scorr_options spec impl) in
+      let v, ts = timed (fun () -> Scorr.check ~options:(scorr_options ()) spec impl) in
       Printf.printf "%-9s | %-10s %8.2f | %-8s %8.2f\n%!" e.Circuits.Suite.name ind_name ti
         (verdict_name v) ts)
     (List.filter
@@ -486,12 +532,31 @@ let () =
       exit 1
   in
   (* flags first, then target names *)
+  let int_arg flag s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> n
+    | _ ->
+      Printf.eprintf "bench: %s expects a positive integer, got %s\n" flag s;
+      exit 1
+  in
   let rec parse_flags = function
     | "--json" :: path :: rest ->
       json_file := Some path;
       parse_flags rest
     | "--smoke" :: rest ->
       smoke := true;
+      parse_flags rest
+    | "--filter" :: re :: rest ->
+      filter_re := Some (Str.regexp re);
+      parse_flags rest
+    | "--seed" :: n :: rest ->
+      seed_flag := int_arg "--seed" n;
+      parse_flags rest
+    | ("-j" | "--jobs") :: n :: rest ->
+      jobs := int_arg "-j" n;
+      parse_flags rest
+    | "--sweep-jobs" :: n :: rest ->
+      sweep_jobs := int_arg "--sweep-jobs" n;
       parse_flags rest
     | rest -> rest
   in

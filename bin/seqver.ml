@@ -55,6 +55,11 @@ let pp_stats (s : Scorr.stats) =
     s.Scorr.Verify.iterations s.retime_rounds s.candidates s.classes
     s.peak_bdd_nodes s.sat_calls s.batched_solves s.pool_lanes s.resim_splits
     s.cache_hits s.eq_pct s.seconds;
+  if s.domains > 1 then
+    Printf.printf "  domains:         %d (lane solves: %s; steals: %d; wait: %.2f s)\n"
+      s.domains
+      (String.concat "," (List.map string_of_int s.lane_solves))
+      s.steals s.sched_wait_seconds;
   match s.phase_seconds with
   | [] -> ()
   | phases ->
@@ -62,8 +67,63 @@ let pp_stats (s : Scorr.stats) =
       (String.concat " "
          (List.map (fun (name, t) -> Printf.sprintf "%s=%.2fs" name t) phases))
 
+(* verify --suite: every built-in (spec, retimed implementation) pair,
+   dispatched as whole verification jobs across worker domains.  Each
+   job is fully isolated — its own circuits, SAT solvers and BDD manager
+   — and results are collected and printed in suite order, so the
+   output (and the exit code, the max of the per-pair codes) is
+   deterministic for every [-j]. *)
+let run_verify_suite engine jobs quiet =
+  let jobs = if jobs <= 0 then Domain.recommended_domain_count () else jobs in
+  let options =
+    {
+      Scorr.default_options with
+      Scorr.Verify.engine =
+        (match engine with "sat" -> Scorr.Verify.Sat_engine | _ -> Scorr.Verify.Bdd_engine);
+      jobs = 1; (* parallelism lives at the job level here *)
+    }
+  in
+  let entries = Array.of_list Circuits.Suite.suite in
+  let pool = Scorr.Parsweep.create ~jobs ~init:(fun _ -> ()) in
+  let results =
+    Scorr.Parsweep.map pool
+      ~f:(fun () e ->
+        let spec = fst (Aig.of_netlist (e.Circuits.Suite.build ())) in
+        let impl =
+          Circuits.Suite.implementation ~recipe:Circuits.Suite.Retime_only ~seed:7 spec
+        in
+        Scorr.Clock.timed (fun () -> Scorr.check ~options spec impl))
+      entries
+  in
+  Scorr.Parsweep.shutdown pool;
+  let code = ref 0 in
+  Array.iteri
+    (fun i (verdict, secs) ->
+      let name = entries.(i).Circuits.Suite.name in
+      let label, c =
+        match verdict with
+        | Scorr.Equivalent _ -> ("equivalent", 0)
+        | Scorr.Not_equivalent _ -> ("NOT EQUIVALENT", 1)
+        | Scorr.Unknown _ -> ("unknown", 2)
+      in
+      code := max !code c;
+      if not quiet then
+        Printf.printf "%-4s %-10s %-14s %6.2f s  eq=%.1f%%\n"
+          (if c = 0 then "ok" else "FAIL")
+          name label secs
+          (Scorr.verdict_stats verdict).Scorr.Verify.eq_pct)
+    results;
+  !code
+
 let run_verify spec_path impl_path meth engine no_sim_seed no_fundep no_retime dontcare
-    node_limit unroll seconds show_classes emit_cert emit_witness quiet =
+    node_limit unroll seconds show_classes emit_cert emit_witness jobs suite quiet =
+  if suite then run_verify_suite engine jobs quiet
+  else
+  match (spec_path, impl_path) with
+  | None, _ | _, None ->
+    prerr_endline "seqver verify: expected SPEC IMPL (or --suite)";
+    exit 2
+  | Some spec_path, Some impl_path ->
   (* certificate emission needs the relation, which only -m scorr exposes,
      and refuses don't-care-strengthened relations (not self-certifying) *)
   if (emit_cert <> None || emit_witness <> None) && meth <> M_scorr then begin
@@ -88,6 +148,7 @@ let run_verify spec_path impl_path meth engine no_sim_seed no_fundep no_retime d
       use_reach_dontcare = dontcare;
       node_limit;
       sat_unroll = unroll;
+      jobs = (if jobs > 0 then jobs else Scorr.default_options.Scorr.Verify.jobs);
     }
   in
   let exit_of = function
@@ -457,8 +518,8 @@ let run_stats path =
 open Cmdliner
 
 let verify_cmd =
-  let spec = Arg.(required & pos 0 (some file) None & info [] ~docv:"SPEC") in
-  let impl = Arg.(required & pos 1 (some file) None & info [] ~docv:"IMPL") in
+  let spec = Arg.(value & pos 0 (some file) None & info [] ~docv:"SPEC") in
+  let impl = Arg.(value & pos 1 (some file) None & info [] ~docv:"IMPL") in
   let meth =
     let parse = function
       | "scorr" -> Ok M_scorr
@@ -510,13 +571,26 @@ let verify_cmd =
          & info [ "emit-witness" ] ~docv:"FILE"
              ~doc:"Write a replayable counterexample witness on refutation (scorr only).")
   in
+  let jobs =
+    Arg.(value & opt int 0
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker domains.  With SPEC IMPL: parallel class solving inside the SAT \
+                   engine (0 = \\$SEQVER_JOBS or 1).  With $(b,--suite): whole \
+                   verification jobs in parallel (0 = all cores).")
+  in
+  let suite =
+    Arg.(value & flag
+         & info [ "suite" ]
+             ~doc:"Verify every built-in suite circuit against its retimed implementation \
+                   instead of a SPEC/IMPL pair.")
+  in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only set the exit code.") in
   Cmd.v
     (Cmd.info "verify" ~doc:"Check sequential equivalence of two circuits")
     Term.(
       const run_verify $ spec $ impl $ meth $ engine $ no_sim_seed $ no_fundep $ no_retime
       $ dontcare $ node_limit $ unroll $ seconds $ show_classes $ emit_cert $ emit_witness
-      $ quiet)
+      $ jobs $ suite $ quiet)
 
 let gen_cmd =
   let circuit_name = Arg.(value & pos 0 string "" & info [] ~docv:"NAME") in

@@ -1,0 +1,25 @@
+(* Monotonic-safe wall clock shared by the verifier and the benchmark
+   driver.  [Unix.gettimeofday] can step backwards under NTP adjustment;
+   feeding such a step into a phase timer yields a negative duration that
+   silently corrupts accumulated statistics.  [now] clamps the reading to
+   be non-decreasing across the whole process — including concurrent
+   readers in worker domains — so every interval measured against it is
+   >= 0.  During a backward step the clock holds its last value until
+   real time catches up, which under-reports the affected interval by at
+   most the step size; that bias is the price of never going negative. *)
+
+let last = Atomic.make 0.0
+
+let rec clamp t =
+  let prev = Atomic.get last in
+  if t <= prev then prev
+  else if Atomic.compare_and_set last prev t then t
+  else clamp t
+
+let now () = clamp (Unix.gettimeofday ())
+let since t0 = now () -. t0
+
+let timed f =
+  let t0 = now () in
+  let result = f () in
+  (result, since t0)

@@ -30,6 +30,10 @@ type ctx = {
   proved_at : (int, int) Hashtbl.t; (* class -> version proven stable *)
   mutable n_batched : int; (* batched class scans performed *)
   mutable n_cache_hits : int; (* classes skipped by the stability cache *)
+  sched : unit Parsweep.t;
+      (* single-lane scheduler: BDD hash-consing is shared-mutable, so
+         class scans stay serial, but the sweep runs through the same
+         snapshot/solve/merge protocol as the SAT engine *)
 }
 
 let note ctx =
@@ -102,10 +106,14 @@ let make ?(use_fundep = true) ?latch_order ?care_of ?(node_limit = max_int) p =
     { p; m; n_pis; n_latches; x1; s; x2; cur; delta; nxt; ini; use_fundep; care;
       node_limit; peak_nodes = 0; pool = Simpool.create aig;
       support = lazy (Support.make aig); proved_at = Hashtbl.create 256;
-      n_batched = 0; n_cache_hits = 0 }
+      n_batched = 0; n_cache_hits = 0;
+      sched = Parsweep.create ~jobs:1 ~init:(fun _ -> ()) }
   in
   note ctx;
   ctx
+
+let shutdown ctx = Parsweep.shutdown ctx.sched
+let sched_stats ctx = Parsweep.stats ctx.sched
 
 let norm ctx f pol = if pol then Bdd.mk_not ctx.m f else f
 
@@ -286,11 +294,11 @@ let refine_once_pairwise ?(clamp_size = 2_000) ctx partition =
    where each substituted variable reads as its substitution function
    evaluated at V's PLAIN values (one level — substitution images may
    themselves mention substituted variables, which stay free there). *)
-let pool_counterexample ctx subst q nu_a nu_b =
+let counterexample_valuation ctx subst q nu_a nu_b =
   let m = ctx.m in
   let d = Bdd.mk_and m q (Bdd.mk_xor m nu_a nu_b) in
   match Bdd.any_sat d with
-  | None -> ()
+  | None -> None
   | Some assignment ->
     let env = Hashtbl.create 16 in
     List.iter (fun (v, b) -> Hashtbl.replace env v b) assignment;
@@ -301,9 +309,18 @@ let pool_counterexample ctx subst q nu_a nu_b =
         match s.(v) with Some h -> Bdd.eval h base | None -> base v)
       | _ -> base v
     in
-    Simpool.add ctx.pool
-      ~pi:(fun i -> lookup ctx.x2.(i))
-      ~latch:(fun i -> Bdd.eval ctx.delta.(i) lookup)
+    Some
+      ( Array.init ctx.n_pis (fun i -> lookup ctx.x2.(i)),
+        Array.init ctx.n_latches (fun i -> Bdd.eval ctx.delta.(i) lookup) )
+
+(* The per-class scan outcome, mirroring the SAT engine's round shape:
+   the sweep freezes the suspect classes, scans each through the
+   (single-lane) scheduler, and merges outcomes serially in ascending
+   class order. *)
+type outcome =
+  | O_stable
+  | O_split of (int, int) Hashtbl.t * (bool array * bool array) option
+      (* member -> canonical key; witness valuation for the pattern pool *)
 
 (* One batched sweep: each suspect class is refined in a single scan by
    the canonical key [Bdd.id (nu /\ Q)] — members are Q-equivalent iff
@@ -322,46 +339,71 @@ let sweep ~clamp_size ctx partition ~trust =
   if Bdd.is_false q then !splits
   else begin
     let nu_of = nu_builder ~clamp_size ctx partition q subst in
-    List.iter
-      (fun cls ->
-        let skip =
-          match Hashtbl.find_opt ctx.proved_at cls with
-          | Some v ->
-            v >= vq
-            || (trust
-               && not
-                    (Support.suspect (Lazy.force ctx.support) partition cls
-                       ~proved_at:v))
-          | None -> false
-        in
-        if skip then ctx.n_cache_hits <- ctx.n_cache_hits + 1
-        else begin
-          match Partition.members partition cls with
-          | [] | [ _ ] -> ()
-          | rep :: _ as mems ->
-            note ctx;
-            ctx.n_batched <- ctx.n_batched + 1;
-            let keys = Hashtbl.create 8 in
-            let key id =
-              match Hashtbl.find_opt keys id with
-              | Some k -> k
-              | None ->
-                let k = Bdd.id (Bdd.mk_and ctx.m (nu_of id) q) in
-                note ctx;
-                Hashtbl.add keys id k;
-                k
-            in
-            let rep_key = key rep in
-            (match List.find_opt (fun id -> key id <> rep_key) mems with
-            | None -> Hashtbl.replace ctx.proved_at cls vq
-            | Some other ->
-              if Simpool.is_full ctx.pool then
-                splits := Simpool.flush ctx.pool partition > 0 || !splits;
-              pool_counterexample ctx subst q (nu_of rep) (nu_of other);
-              if Partition.refine_class partition cls ~equal:(fun a b -> key a = key b)
-              then splits := true)
-        end)
-      (Partition.multi_member_classes partition);
+    let tasks =
+      List.filter_map
+        (fun cls ->
+          let skip =
+            match Hashtbl.find_opt ctx.proved_at cls with
+            | Some v ->
+              v >= vq
+              || (trust
+                 && not
+                      (Support.suspect (Lazy.force ctx.support) partition cls
+                         ~proved_at:v))
+            | None -> false
+          in
+          if skip then begin
+            ctx.n_cache_hits <- ctx.n_cache_hits + 1;
+            None
+          end
+          else
+            match Partition.members partition cls with
+            | [] | [ _ ] -> None
+            | mems -> Some (cls, mems))
+        (Partition.multi_member_classes partition)
+      |> Array.of_list
+    in
+    (* the scan runs in the caller (single lane) — it mutates the shared
+       hash-consed manager and must never cross a domain boundary *)
+    let scan () (_cls, mems) =
+      note ctx;
+      ctx.n_batched <- ctx.n_batched + 1;
+      let keys = Hashtbl.create 8 in
+      let key id =
+        match Hashtbl.find_opt keys id with
+        | Some k -> k
+        | None ->
+          let k = Bdd.id (Bdd.mk_and ctx.m (nu_of id) q) in
+          note ctx;
+          Hashtbl.add keys id k;
+          k
+      in
+      let rep = List.hd mems in
+      let rep_key = key rep in
+      match List.find_opt (fun id -> key id <> rep_key) mems with
+      | None -> O_stable
+      | Some other ->
+        let cex = counterexample_valuation ctx subst q (nu_of rep) (nu_of other) in
+        List.iter (fun id -> ignore (key id)) mems;
+        O_split (keys, cex)
+    in
+    let outcomes = Parsweep.map ctx.sched ~f:scan tasks in
+    Array.iteri
+      (fun i outcome ->
+        let cls, _ = tasks.(i) in
+        match outcome with
+        | O_stable -> Hashtbl.replace ctx.proved_at cls vq
+        | O_split (keys, cex) ->
+          (match cex with
+          | Some (pi, latch) ->
+            if Simpool.is_full ctx.pool then
+              splits := Simpool.flush ctx.pool partition > 0 || !splits;
+            Simpool.add ctx.pool ~pi:(fun i -> pi.(i)) ~latch:(fun i -> latch.(i))
+          | None -> ());
+          let key id = Hashtbl.find keys id in
+          if Partition.refine_class partition cls ~equal:(fun a b -> key a = key b)
+          then splits := true)
+      outcomes;
     note ctx;
     !splits
   end

@@ -37,9 +37,34 @@
    The legacy one-query-per-pair scan is kept as
    [refine_once_pairwise] / [refine_initial_pairwise]: it computes the
    same fixed point (property-tested) and anchors the benchmark
-   comparison. *)
+   comparison.
+
+   Eq.(3) sweeps are scheduled through a {!Parsweep} pool: the class
+   checks of one round are independent given a frozen partition
+   snapshot, so they are sharded across worker domains, each owning a
+   private copy of the unrolled product CNF (deterministic construction
+   gives every lane identical variable numbering) plus private selector
+   tables and Q cache.  Workers never touch the partition: tasks carry
+   the frozen normalized member literals, and the coordinator applies
+   verdicts and pools witness valuations serially in ascending class
+   order.  Every split is justified by a run conforming to the frozen
+   (coarser-or-equal) partition's Q, so the greatest fixed point reached
+   is the same for every worker count — only which lane found which
+   witness varies. *)
 
 exception Budget_exceeded of string
+
+(* Private per-lane solving state: a full copy of the k+1-frame
+   unrolling with its own selector tables and Q-assumption cache.  Lane
+   0 aliases the context's primary solver (the coordinator participates
+   in its own pool), so a 1-job context allocates nothing extra. *)
+type wstate = {
+  w_solver : Sat.t;
+  w_frames : (int -> Sat.Lit.t) array;
+  w_eq_sel : (int * int * int, int) Hashtbl.t;
+  w_diff_sel : (int * int, int) Hashtbl.t;
+  mutable w_q : (int * Sat.Lit.t list) option; (* per-version Q selectors *)
+}
 
 type ctx = {
   p : Product.t;
@@ -61,6 +86,8 @@ type ctx = {
   mutable q_cache : (int * Sat.Lit.t list) option; (* per-version Q selectors *)
   mutable n_batched : int; (* batched class solves issued *)
   mutable n_cache_hits : int; (* classes skipped by the UNSAT cache *)
+  jobs : int; (* worker lanes for Eq.(3) sweeps *)
+  sched : wstate Parsweep.t; (* persistent pool; lane 0 = primary solver *)
 }
 
 (* Chain [n] frames of [aig] inside [solver].  [first_latch_var] supplies
@@ -90,7 +117,7 @@ let unroll solver aig ~n ~first_latch_var =
   done;
   frames
 
-let make ?(max_sat_calls = max_int) ?(k = 1) p =
+let make ?(max_sat_calls = max_int) ?(k = 1) ?(jobs = 1) p =
   if k < 1 then invalid_arg "Engine_sat.make: k must be >= 1";
   let aig = p.Product.aig in
   let solver = Sat.create () in
@@ -104,6 +131,31 @@ let make ?(max_sat_calls = max_int) ?(k = 1) p =
         v)
   in
   let init_frames = unroll solver0 aig ~n:k ~first_latch_var:(fun i -> s0_vars.(i)) in
+  let eq_sel = Hashtbl.create 256 in
+  let diff_sel = Hashtbl.create 256 in
+  (* Lane 0 reuses the primary solver (the coordinator works inside its
+     own pool); other lanes build a private copy of the unrolling inside
+     their own domain.  [unroll] is deterministic, so every lane's frame
+     maps use identical variable numbering. *)
+  let fresh_lane () =
+    let s = Sat.create () in
+    let vars = Array.init (Aig.num_latches aig) (fun _ -> Sat.new_var s) in
+    let fr = unroll s aig ~n:(k + 1) ~first_latch_var:(fun i -> vars.(i)) in
+    {
+      w_solver = s;
+      w_frames = fr;
+      w_eq_sel = Hashtbl.create 256;
+      w_diff_sel = Hashtbl.create 256;
+      w_q = None;
+    }
+  in
+  let sched =
+    Parsweep.create ~jobs ~init:(fun lane ->
+        if lane = 0 then
+          { w_solver = solver; w_frames = frames; w_eq_sel = eq_sel;
+            w_diff_sel = diff_sel; w_q = None }
+        else fresh_lane ())
+  in
   {
     p;
     k;
@@ -111,8 +163,8 @@ let make ?(max_sat_calls = max_int) ?(k = 1) p =
     frames;
     solver0;
     init_frames;
-    eq_sel = Hashtbl.create 256;
-    diff_sel = Hashtbl.create 256;
+    eq_sel;
+    diff_sel;
     diff_sel0 = Hashtbl.create 256;
     sat_calls = 0;
     max_sat_calls;
@@ -124,7 +176,12 @@ let make ?(max_sat_calls = max_int) ?(k = 1) p =
     q_cache = None;
     n_batched = 0;
     n_cache_hits = 0;
+    jobs = max 1 jobs;
+    sched;
   }
+
+let shutdown ctx = Parsweep.shutdown ctx.sched
+let sched_stats ctx = Parsweep.stats ctx.sched
 
 let norm_key la lb = if la <= lb then (la, lb) else (lb, la)
 
@@ -237,12 +294,24 @@ let q_assumptions ctx partition =
         (List.init ctx.k (fun i -> i)))
     (Partition.constraint_pairs partition)
 
+(* Q selectors are rebuilt only when the partition version moved: within a
+   sweep (and across the trust/strict passes of one version) the cached
+   list is reused by every class solve on the primary solver. *)
+let q_of ctx partition =
+  let v = Partition.version partition in
+  match ctx.q_cache with
+  | Some (v', q) when v' = v -> q
+  | _ ->
+    let q = q_assumptions ctx partition in
+    ctx.q_cache <- Some (v, q);
+    q
+
 (* One refinement event (Equation 3 generalized to k frames): find a pair
    whose frame-(k+1) values differ on some run conforming to Q for k
    frames; split all classes with the witness.  Returns false when a full
    scan finds no violation. *)
 let refine_once_pairwise ctx partition =
-  let q = q_assumptions ctx partition in
+  let q = q_of ctx partition in
   let last = ctx.frames.(ctx.k) in
   let violated =
     List.find_map
@@ -275,18 +344,6 @@ let refine_once_pairwise ctx partition =
   | None -> false
 
 (* --- batched sweeps ----------------------------------------------------------- *)
-
-(* Q selectors are rebuilt only when the partition version moved: within a
-   sweep (and across the trust/strict passes of one version) the cached
-   list is reused by every batched class solve. *)
-let q_of ctx partition =
-  let v = Partition.version partition in
-  match ctx.q_cache with
-  | Some (v', q) when v' = v -> q
-  | _ ->
-    let q = q_assumptions ctx partition in
-    ctx.q_cache <- Some (v, q);
-    q
 
 (* Exact initial-state refinement (Equation 2), batched: one staged solve
    per (class, frame) asserting the OR of the class's difference
@@ -361,74 +418,161 @@ let refine_initial ctx partition =
     if Simpool.flush ctx.pool partition > 0 then progress := true
   done
 
-(* One batched sweep of Equation (3).  [trust] enables the cone-based
-   dirty skip; a strict pass re-proves every class whose certificate is
-   older than the current partition version.  Returns whether any class
-   split. *)
+(* A sweep task: one suspect class, frozen at round start as its
+   polarity-normalized member literals (representative first), so worker
+   lanes never read the shared partition. *)
+type task = { t_cls : int; t_lits : int array }
+
+type outcome =
+  | O_trivial (* all members share one frame-k literal: stable for free *)
+  | O_stable (* UNSAT: no Eq.(3) violation under the frozen Q *)
+  | O_witness of bool array * bool array
+      (* (inputs, state) valuation of the last frame of a violating run *)
+
+(* Per-lane Q selectors for one partition version, built from the frozen
+   (rep, member) normalized-literal pairs the coordinator captured. *)
+let lane_q ctx w ~version ~pairs =
+  match w.w_q with
+  | Some (v, q) when v = version -> q
+  | _ ->
+    let q =
+      List.concat_map
+        (fun (la, lb) ->
+          List.filter_map
+            (fun frame ->
+              let lit_of = w.w_frames.(frame) in
+              let a = lit_of la and b = lit_of lb in
+              if a = b then None
+              else
+                let ka, kb = norm_key la lb in
+                Some (equality_selector w.w_solver w.w_eq_sel (frame, ka, kb) a b))
+            (List.init ctx.k (fun i -> i)))
+        pairs
+    in
+    w.w_q <- Some (version, q);
+    q
+
+(* One staged-OR class solve on a lane's private solver; read-only with
+   respect to all shared state. *)
+let solve_class ctx w ~version ~pairs task =
+  let last = w.w_frames.(ctx.k) in
+  let la = task.t_lits.(0) in
+  let a = last la in
+  let dsels = ref [] in
+  for i = Array.length task.t_lits - 1 downto 1 do
+    let lb = task.t_lits.(i) in
+    let b = last lb in
+    if a <> b then begin
+      let ka, kb = norm_key la lb in
+      dsels := difference_selector w.w_solver w.w_diff_sel (ka, kb) a b :: !dsels
+    end
+  done;
+  match !dsels with
+  | [] -> O_trivial
+  | dsels ->
+    let q = lane_q ctx w ~version ~pairs in
+    let g = Sat.new_var w.w_solver in
+    Sat.add_clause w.w_solver (Sat.Lit.neg g :: dsels);
+    let answer = Sat.solve ~assumptions:(Sat.Lit.pos g :: q) w.w_solver in
+    (* read the model before retiring the staging selector: adding the
+       unit clause backtracks the trail *)
+    let out =
+      match answer with
+      | Sat.Unsat -> O_stable
+      | Sat.Sat ->
+        let aig = ctx.p.Product.aig in
+        let pi =
+          Array.map
+            (fun nd -> Sat.value_lit w.w_solver (last (Aig.lit_of_node nd)))
+            ctx.pi_nodes
+        in
+        let latch =
+          Array.init (Aig.num_latches aig) (fun i ->
+              Sat.value_lit w.w_solver (last (Aig.lit_of_node (Aig.latch_node aig i))))
+        in
+        O_witness (pi, latch)
+    in
+    Sat.add_clause w.w_solver [ Sat.Lit.neg g ];
+    out
+
+(* One batched sweep round of Equation (3).  The partition is frozen
+   into tasks, solved across the pool's lanes, and the outcomes applied
+   serially in ascending class order: UNSAT marks the class proven at
+   the round's version, a witness valuation joins the pattern pool and
+   is replayed bit-parallel against every class.  [trust] enables the
+   cone-based dirty skip; a strict pass re-proves every class whose
+   certificate is older than the current partition version.  Returns
+   whether any class split.
+
+   Soundness and schedule-independence: every pooled witness is a run
+   conforming to the Q of a partition coarser than (or equal to) the one
+   being split, so no split ever separates two signals equal in the
+   greatest fixed point; since splits are also the only state change,
+   every worker count converges to the same fixed point.  An UNSAT
+   certificate is recorded at the frozen version and re-examined by the
+   strict pass whenever the partition moved on, exactly as in the
+   sequential schedule.  The SAT-call budget is enforced between rounds,
+   so a parallel round may overshoot [max_sat_calls] by at most one
+   round's worth of solves. *)
 let sweep ctx partition ~trust =
   let splits = ref 0 in
   let flush () = splits := !splits + Simpool.flush ctx.pool partition in
   flush ();
+  if ctx.sat_calls > ctx.max_sat_calls then raise (Budget_exceeded "sat calls");
   let vq = Partition.version partition in
-  let q = q_of ctx partition in
-  let last = ctx.frames.(ctx.k) in
-  let hit = Hashtbl.create 16 in
-  let work = Queue.create () in
-  List.iter (fun c -> Queue.add c work) (Partition.multi_member_classes partition);
-  while not (Queue.is_empty work) do
-    let cls = Queue.pop work in
-    let skip =
-      match Hashtbl.find_opt ctx.proved_at cls with
-      | Some v ->
-        v >= vq
-        || (trust
-           && not (Support.suspect (Lazy.force ctx.support) partition cls ~proved_at:v))
-      | None -> false
-    in
-    if skip then ctx.n_cache_hits <- ctx.n_cache_hits + 1
-    else begin
-      (* a re-queued hit class must see its own counterexample applied
-         before it is solved again, or the same model could recur *)
-      if Hashtbl.mem hit cls && Simpool.lanes ctx.pool > 0 then flush ();
-      match Partition.members partition cls with
-      | [] | [ _ ] -> ()
-      | rep :: rest ->
-        let la = Partition.norm_lit partition rep in
-        let a = last la in
-        let dsels =
-          List.filter_map
-            (fun id ->
-              let lb = Partition.norm_lit partition id in
-              let b = last lb in
-              if a = b then None
-              else
-                let ka, kb = norm_key la lb in
-                Some (difference_selector ctx.solver ctx.diff_sel (ka, kb) a b))
-            rest
+  let pairs =
+    List.map
+      (fun (rep, id) ->
+        (Partition.norm_lit partition rep, Partition.norm_lit partition id))
+      (Partition.constraint_pairs partition)
+  in
+  let tasks =
+    List.filter_map
+      (fun cls ->
+        let skip =
+          match Hashtbl.find_opt ctx.proved_at cls with
+          | Some v ->
+            v >= vq
+            || (trust
+               && not (Support.suspect (Lazy.force ctx.support) partition cls ~proved_at:v))
+          | None -> false
         in
-        (match dsels with
-        | [] -> Hashtbl.replace ctx.proved_at cls vq
-        | _ ->
-          let g = Sat.new_var ctx.solver in
-          Sat.add_clause ctx.solver (Sat.Lit.neg g :: dsels);
-          check_budget ctx;
-          ctx.n_batched <- ctx.n_batched + 1;
-          let answer = Sat.solve ~assumptions:(Sat.Lit.pos g :: q) ctx.solver in
-          (* read the model before retiring the staging selector: adding
-             the unit clause backtracks the trail *)
-          (match answer with
-          | Sat.Unsat -> ()
-          | Sat.Sat -> pool_model ctx ctx.solver last);
-          Sat.add_clause ctx.solver [ Sat.Lit.neg g ];
-          (match answer with
-          | Sat.Unsat -> Hashtbl.replace ctx.proved_at cls vq
-          | Sat.Sat ->
-            Hashtbl.replace hit cls ();
-            if Simpool.is_full ctx.pool then flush ();
-            Queue.add cls work))
-    end
-  done;
+        if skip then begin
+          ctx.n_cache_hits <- ctx.n_cache_hits + 1;
+          None
+        end
+        else
+          match Partition.members partition cls with
+          | [] | [ _ ] -> None
+          | members ->
+            Some
+              {
+                t_cls = cls;
+                t_lits = Array.of_list (List.map (Partition.norm_lit partition) members);
+              })
+      (Partition.multi_member_classes partition)
+    |> Array.of_list
+  in
+  let outcomes =
+    Parsweep.map ctx.sched ~f:(fun w task -> solve_class ctx w ~version:vq ~pairs task) tasks
+  in
+  Array.iteri
+    (fun i outcome ->
+      let cls = tasks.(i).t_cls in
+      match outcome with
+      | O_trivial -> Hashtbl.replace ctx.proved_at cls vq
+      | O_stable ->
+        ctx.sat_calls <- ctx.sat_calls + 1;
+        ctx.n_batched <- ctx.n_batched + 1;
+        Hashtbl.replace ctx.proved_at cls vq
+      | O_witness (pi, latch) ->
+        ctx.sat_calls <- ctx.sat_calls + 1;
+        ctx.n_batched <- ctx.n_batched + 1;
+        if Simpool.is_full ctx.pool then flush ();
+        Simpool.add ctx.pool ~pi:(fun i -> pi.(i)) ~latch:(fun i -> latch.(i)))
+    outcomes;
   flush ();
+  if ctx.sat_calls > ctx.max_sat_calls then raise (Budget_exceeded "sat calls");
   !splits > 0
 
 (* One refinement iteration: a trusting sweep over suspect classes; when

@@ -2,6 +2,8 @@
 
 module Product = Product
 module Partition = Partition
+module Clock = Clock
+module Parsweep = Parsweep
 module Simpool = Simpool
 module Support = Support
 module Simseed = Simseed

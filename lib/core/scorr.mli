@@ -92,6 +92,56 @@ module Partition : sig
   val pp : Format.formatter -> t -> unit
 end
 
+(** Monotonic-safe wall clock: [Unix.gettimeofday] clamped to be
+    non-decreasing process-wide (including across domains), so intervals
+    measured against it are never negative. *)
+module Clock : sig
+  val now : unit -> float
+  val since : float -> float
+  (** Seconds elapsed since an earlier {!now} reading (>= 0). *)
+
+  val timed : (unit -> 'a) -> 'a * float
+  (** Run a thunk and return its result with its wall time. *)
+end
+
+(** Work-stealing domain pool scheduling the engines' sweep rounds.
+
+    A pool of [jobs] lanes: lane 0 is the calling domain (the
+    coordinator participates in its own batches), lanes 1.. are
+    persistent worker domains.  Each lane lazily builds private state
+    with [init lane] inside its own domain and reuses it across every
+    {!map}.  At [jobs = 1] everything runs inline with no domains, locks
+    or atomics — the degenerate pool is the sequential code path. *)
+module Parsweep : sig
+  type stats = {
+    domains : int;  (** lanes, including the coordinator's lane 0 *)
+    lane_tasks : int array;  (** tasks completed per lane, lifetime *)
+    steals : int;  (** tasks claimed from another lane's segment *)
+    wait_seconds : float;  (** coordinator idle time awaiting stragglers *)
+  }
+
+  type 'w t
+
+  val create : jobs:int -> init:(int -> 'w) -> 'w t
+  (** Spawn [jobs - 1] worker domains ([jobs] is clamped to >= 1).
+      [init] runs lazily, once per lane, inside the lane's domain. *)
+
+  val jobs : _ t -> int
+
+  val map : 'w t -> f:('w -> 'a -> 'b) -> 'a array -> 'b array
+  (** Run [f] over every task and return the results in task order,
+      whatever lane computed them.  Tasks are sharded into contiguous
+      per-lane segments; a drained lane steals from the most loaded one.
+      A task that raises does not kill its lane: the exception of the
+      smallest failing task index is re-raised here after the batch
+      completes, and the pool remains usable. *)
+
+  val stats : _ t -> stats
+  val shutdown : _ t -> unit
+  (** Join the worker domains; idempotent.  Subsequent {!map} calls
+      raise [Invalid_argument]. *)
+end
+
 (** Counterexample pattern pool: solver/BDD counterexamples packed as bit
     lanes of a 64-wide simulation buffer, replayed against every class at
     once by one bit-parallel pass. *)
@@ -177,6 +227,10 @@ module Engine_bdd : sig
     proved_at : (int, int) Hashtbl.t;
     mutable n_batched : int;  (** batched class scans performed *)
     mutable n_cache_hits : int;  (** classes skipped by the stability cache *)
+    sched : unit Parsweep.t;
+        (** single-lane scheduler: hash-consing is shared-mutable, so
+            class scans stay serial but follow the same
+            snapshot/solve/merge protocol as the SAT engine *)
   }
 
   val make :
@@ -186,6 +240,9 @@ module Engine_bdd : sig
     ?node_limit:int ->
     Product.t ->
     ctx
+
+  val shutdown : ctx -> unit
+  val sched_stats : ctx -> Parsweep.stats
 
   val refine_initial : ctx -> Partition.t -> unit
   (** Equation (2): exact initial-state partition. *)
@@ -216,6 +273,11 @@ end
 module Engine_sat : sig
   exception Budget_exceeded of string
 
+  type wstate
+  (** Private per-lane solving state: a copy of the unrolled product CNF
+      with its own selector tables and Q cache.  Lane 0 aliases the
+      context's primary solver. *)
+
   type ctx = {
     p : Product.t;
     k : int;  (** induction depth; 1 = the paper's Equation (3) *)
@@ -236,19 +298,35 @@ module Engine_sat : sig
     mutable q_cache : (int * Sat.Lit.t list) option;
     mutable n_batched : int;  (** batched class solves issued *)
     mutable n_cache_hits : int;  (** classes skipped by the UNSAT cache *)
+    jobs : int;  (** worker lanes for Eq.(3) sweeps *)
+    sched : wstate Parsweep.t;
   }
 
-  val make : ?max_sat_calls:int -> ?k:int -> Product.t -> ctx
+  val make : ?max_sat_calls:int -> ?k:int -> ?jobs:int -> Product.t -> ctx
+  (** [jobs] worker lanes solve the Eq.(3) sweep rounds; each lane > 0
+      owns a private copy of the unrolled product CNF built inside its
+      own domain.  Default 1 (sequential, no domains spawned). *)
+
+  val shutdown : ctx -> unit
+  (** Join the sweep pool's worker domains; idempotent. *)
+
+  val sched_stats : ctx -> Parsweep.stats
 
   val refine_initial : ctx -> Partition.t -> unit
   (** Equation (2) batched: one staged disjunctive solve per (class,
       frame), counterexamples pooled and replayed bit-parallel. *)
 
   val refine_once : ctx -> Partition.t -> bool
-  (** Equation (3) batched: one staged disjunctive solve per suspect
-      class under the cached Q assumptions, with pooled counterexamples
-      and dirty-class scheduling.  A quiescent trusting sweep is confirmed
-      by a strict one before [false] is returned. *)
+  (** Equation (3) batched: the suspect classes of a round are frozen
+      into snapshot tasks, solved across the pool's lanes (one staged
+      disjunctive solve each, on the lane's private solver), and the
+      outcomes merged serially in ascending class order — pooled
+      counterexamples, dirty-class scheduling and the trust/strict
+      confirmation protocol as before.  The fixed point reached is
+      schedule-independent: the same for every worker count as for the
+      sequential sweep (property-tested).  With [jobs] > 1 the SAT-call
+      budget is enforced between rounds, so it can overshoot by at most
+      one round. *)
 
   val refine_initial_pairwise : ctx -> Partition.t -> unit
   val refine_once_pairwise : ctx -> Partition.t -> bool
@@ -293,6 +371,12 @@ module Verify : sig
     presim_frames : int;
     bmc_depth : int;  (** exhaustive refutation depth (0 disables) *)
     seed : int;
+    jobs : int;
+        (** Worker domains for the SAT engine's Eq.(3) sweep rounds; the
+            BDD engine ignores it (hash-consing is shared-mutable).  The
+            fixed point and verdict are identical for every value.
+            Default 1, overridable via the SEQVER_JOBS environment
+            variable. *)
   }
 
   val default_options : options
@@ -308,6 +392,11 @@ module Verify : sig
     resim_splits : int;  (** classes created by bit-parallel pattern replay *)
     batched_solves : int;  (** one-per-class disjunctive solves / key scans *)
     cache_hits : int;  (** classes skipped by the stability (UNSAT) cache *)
+    domains : int;  (** worker lanes of the sweep scheduler *)
+    lane_solves : int list;  (** sweep tasks completed per lane *)
+    steals : int;  (** tasks claimed from another lane's segment *)
+    sched_wait_seconds : float;
+        (** coordinator idle time awaiting worker lanes *)
     eq_pct : float;
     seconds : float;  (** wall-clock time of the whole run *)
     phase_seconds : (string * float) list;

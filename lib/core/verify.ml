@@ -37,7 +37,15 @@ type options = {
   presim_frames : int;
   bmc_depth : int; (* exhaustive refutation depth before the fixed point *)
   seed : int;
+  jobs : int; (* worker domains for Eq.(3) sweeps (SAT engine) *)
 }
+
+(* The default worker count honours SEQVER_JOBS so whole test suites can
+   be pushed through the multicore path without plumbing options. *)
+let default_jobs () =
+  match Sys.getenv_opt "SEQVER_JOBS" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some n when n >= 1 -> n | _ -> 1)
+  | None -> 1
 
 let default_options =
   {
@@ -59,6 +67,7 @@ let default_options =
     presim_frames = 64;
     bmc_depth = 4;
     seed = 17;
+    jobs = default_jobs ();
   }
 
 type stats = {
@@ -72,6 +81,10 @@ type stats = {
   resim_splits : int; (* classes created by bit-parallel pattern replay *)
   batched_solves : int; (* one-per-class disjunctive solves / key scans *)
   cache_hits : int; (* classes skipped by the stability (UNSAT) cache *)
+  domains : int; (* worker lanes of the sweep scheduler *)
+  lane_solves : int list; (* sweep tasks completed per lane *)
+  steals : int; (* tasks claimed from another lane's segment *)
+  sched_wait_seconds : float; (* coordinator idle time awaiting workers *)
   eq_pct : float; (* % of spec signals with an impl correspondence *)
   seconds : float;
   phase_seconds : (string * float) list; (* wall time per verification phase *)
@@ -96,6 +109,8 @@ type engine_ops = {
   n_sat_calls : unit -> int;
   sweep_counters : unit -> int * int * int * int;
       (* (pool lanes, resim splits, batched solves, cache hits) *)
+  sched_stats : unit -> Parsweep.stats;
+  shutdown : unit -> unit; (* join the engine's worker domains *)
 }
 
 exception Budget of string
@@ -234,9 +249,14 @@ let make_engine (options : options) product pol =
             Simpool.resim_splits ctx.Engine_bdd.pool,
             ctx.Engine_bdd.n_batched,
             ctx.Engine_bdd.n_cache_hits ));
+      sched_stats = (fun () -> Engine_bdd.sched_stats ctx);
+      shutdown = (fun () -> Engine_bdd.shutdown ctx);
     }
   | Sat_engine ->
-    let ctx = Engine_sat.make ~max_sat_calls:options.max_sat_calls ~k:options.sat_unroll product in
+    let ctx =
+      Engine_sat.make ~max_sat_calls:options.max_sat_calls ~k:options.sat_unroll
+        ~jobs:options.jobs product
+    in
     let wrap f x = try f x with Engine_sat.Budget_exceeded msg -> raise (Budget msg) in
     let refine_initial, refine_once =
       if options.use_batched_sweeps then
@@ -254,6 +274,8 @@ let make_engine (options : options) product pol =
             Simpool.resim_splits ctx.Engine_sat.pool,
             ctx.Engine_sat.n_batched,
             ctx.Engine_sat.n_cache_hits ));
+      sched_stats = (fun () -> Engine_sat.sched_stats ctx);
+      shutdown = (fun () -> Engine_sat.shutdown ctx);
     }
 
 (* --- candidate selection ------------------------------------------------------ *)
@@ -449,7 +471,7 @@ let run_with_relation ?(options = default_options) spec impl =
     Lint.preflight_aig ~subject:"specification" spec;
     Lint.preflight_aig ~subject:"implementation" impl
   end;
-  let start = Unix.gettimeofday () in
+  let start = Clock.now () in
   let product = Product.make spec impl in
   let iterations = ref 0 in
   let retime_rounds = ref 0 in
@@ -459,13 +481,17 @@ let run_with_relation ?(options = default_options) spec impl =
   let resim_splits = ref 0 in
   let batched_solves = ref 0 in
   let cache_hits = ref 0 in
+  let domains = ref 1 in
+  let lane_solves = ref [||] in
+  let steals = ref 0 in
+  let sched_wait = ref 0.0 in
   (* per-phase wall clock, accumulated across retiming rounds *)
   let phases = ref [] in
   let phase name f =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now () in
     Fun.protect
       ~finally:(fun () ->
-        let dt = Unix.gettimeofday () -. t0 in
+        let dt = Clock.since t0 in
         phases :=
           match List.assoc_opt name !phases with
           | Some acc -> (name, acc +. dt) :: List.remove_assoc name !phases
@@ -491,8 +517,12 @@ let run_with_relation ?(options = default_options) spec impl =
       resim_splits = !resim_splits;
       batched_solves = !batched_solves;
       cache_hits = !cache_hits;
+      domains = !domains;
+      lane_solves = Array.to_list !lane_solves;
+      steals = !steals;
+      sched_wait_seconds = !sched_wait;
       eq_pct = (match partition with Some p -> equivalence_percentage product p | None -> 0.0);
-      seconds = Unix.gettimeofday () -. start;
+      seconds = Clock.since start;
       phase_seconds = !phases;
     }
   in
@@ -534,58 +564,90 @@ let run_with_relation ?(options = default_options) spec impl =
             ignore
               (Simseed.refine ~seed:options.seed ~n_frames:options.sim_frames product partition));
       relation := Some partition;
-      try
-        let engine =
-          try make_engine options product pol with
-          | Engine_bdd.Budget_exceeded msg | Engine_sat.Budget_exceeded msg ->
-            raise (Budget msg)
-          | Bdd.Limit_exceeded -> raise (Budget "bdd nodes")
-        in
-        let record_stats () =
-          peak_bdd := max !peak_bdd (engine.peak_bdd ());
-          sat_calls := !sat_calls + engine.n_sat_calls ();
-          let lanes, resim, batched, hits = engine.sweep_counters () in
-          pool_lanes := !pool_lanes + lanes;
-          resim_splits := !resim_splits + resim;
-          batched_solves := !batched_solves + batched;
-          cache_hits := !cache_hits + hits
-        in
-        phase "initial" (fun () -> engine.refine_initial partition);
-        (* conclusive check: before any Eq.3 refinement, a split output
-           pair reflects a genuine difference at (or simulated from) the
-           initial state.  Only available when the outputs themselves are
-           candidates. *)
-        if
-          options.candidates = All_signals
-          && not (outputs_in_same_class product partition)
-        then begin
-          record_stats ();
-          let frame, trace = initial_disproof options product in
-          Not_equivalent { frame; trace; stats = mk_stats (Some partition) }
-        end
-        else begin
-          (* ternary-simulation seeding: exact splits by X-valued
-             signatures from the initial state; placed after the
-             conclusive check above so it can only sharpen the fixed
-             point, never distort the initial-frame refutation *)
-          if options.use_ternary_seed then
-            phase "seed" (fun () -> ignore (Ternseed.refine product partition));
-          phase "fixpoint" (fun () ->
-              while engine.refine_once partition do
-                incr iterations
-              done);
-          incr iterations;
-          record_stats ();
-          if phase "outputs" (fun () -> outputs_proved options product partition) then
-            Equivalent (mk_stats (Some partition))
-          else if options.use_retime && n < options.max_retime_rounds then begin
-            incr retime_rounds;
-            let added = Retime_aug.augment product in
-            if added > 0 then round (n + 1) else Unknown (mk_stats (Some partition))
-          end
-          else Unknown (mk_stats (Some partition))
-        end
-      with Budget _ -> Unknown (mk_stats (Some partition))
+      let outcome =
+        try
+          let engine =
+            try make_engine options product pol with
+            | Engine_bdd.Budget_exceeded msg | Engine_sat.Budget_exceeded msg ->
+              raise (Budget msg)
+            | Bdd.Limit_exceeded -> raise (Budget "bdd nodes")
+          in
+          (* idempotent so the finalizer below can back-fill the counters
+             on exceptional exits (budget aborts, node-limit overruns)
+             without double-counting the normal paths — an engine's
+             counters must be folded in exactly once per round, whatever
+             the exit *)
+          let recorded = ref false in
+          let record_stats () =
+            if not !recorded then begin
+              recorded := true;
+              peak_bdd := max !peak_bdd (engine.peak_bdd ());
+              sat_calls := !sat_calls + engine.n_sat_calls ();
+              let lanes, resim, batched, hits = engine.sweep_counters () in
+              pool_lanes := !pool_lanes + lanes;
+              resim_splits := !resim_splits + resim;
+              batched_solves := !batched_solves + batched;
+              cache_hits := !cache_hits + hits;
+              let st = engine.sched_stats () in
+              domains := max !domains st.Parsweep.domains;
+              steals := !steals + st.Parsweep.steals;
+              sched_wait := !sched_wait +. st.Parsweep.wait_seconds;
+              let tasks = st.Parsweep.lane_tasks in
+              if Array.length !lane_solves < Array.length tasks then begin
+                let grown = Array.make (Array.length tasks) 0 in
+                Array.blit !lane_solves 0 grown 0 (Array.length !lane_solves);
+                lane_solves := grown
+              end;
+              Array.iteri (fun i n -> !lane_solves.(i) <- !lane_solves.(i) + n) tasks
+            end
+          in
+          Fun.protect
+            ~finally:(fun () ->
+              record_stats ();
+              engine.shutdown ())
+            (fun () ->
+              phase "initial" (fun () -> engine.refine_initial partition);
+              (* conclusive check: before any Eq.3 refinement, a split output
+                 pair reflects a genuine difference at (or simulated from) the
+                 initial state.  Only available when the outputs themselves are
+                 candidates. *)
+              if
+                options.candidates = All_signals
+                && not (outputs_in_same_class product partition)
+              then begin
+                record_stats ();
+                let frame, trace = initial_disproof options product in
+                `Done (Not_equivalent { frame; trace; stats = mk_stats (Some partition) })
+              end
+              else begin
+                (* ternary-simulation seeding: exact splits by X-valued
+                   signatures from the initial state; placed after the
+                   conclusive check above so it can only sharpen the fixed
+                   point, never distort the initial-frame refutation *)
+                if options.use_ternary_seed then
+                  phase "seed" (fun () -> ignore (Ternseed.refine product partition));
+                phase "fixpoint" (fun () ->
+                    while engine.refine_once partition do
+                      incr iterations
+                    done);
+                incr iterations;
+                record_stats ();
+                if phase "outputs" (fun () -> outputs_proved options product partition) then
+                  `Done (Equivalent (mk_stats (Some partition)))
+                else if options.use_retime && n < options.max_retime_rounds then begin
+                  incr retime_rounds;
+                  let added = Retime_aug.augment product in
+                  if added > 0 then `Retime
+                  else `Done (Unknown (mk_stats (Some partition)))
+                end
+                else `Done (Unknown (mk_stats (Some partition)))
+              end)
+        with Budget _ -> `Done (Unknown (mk_stats (Some partition)))
+      in
+      (* the retiming extension restarts with a fresh engine; recursing
+         outside the finalizer keeps at most one engine's worker domains
+         alive at a time *)
+      match outcome with `Done verdict -> verdict | `Retime -> round (n + 1)
     in
     round 0
 

@@ -7,7 +7,14 @@
 
     Typical use: create a solver, allocate variables, add clauses, then call
     {!solve} (optionally under assumptions, which enables incremental
-    equivalence queries without copying the clause database). *)
+    equivalence queries without copying the clause database).
+
+    Domain safety: the solver keeps {e no} global mutable state — every
+    clause, watch list, trail and heuristic counter lives inside its
+    {!t} — so distinct instances may be driven concurrently from
+    distinct domains (the parallel sweep scheduler relies on this).  A
+    single instance is not thread-safe and must stay confined to one
+    domain at a time. *)
 
 (** Literals packed as ints ([2v] positive, [2v+1] negative). *)
 module Lit : sig

@@ -5,7 +5,13 @@
    This is the "combinational verification technique based on the
    introduction of extra variables representing intermediate signals" that
    the paper names as future work; the scorr engine can use it instead of
-   BDDs for the refinement checks. *)
+   BDDs for the refinement checks.
+
+   Invariant relied on by the parallel sweep scheduler: ALL mutable
+   state is confined to the record [t] below — no module-level
+   references, caches or scratch buffers — so independent instances can
+   run concurrently in separate domains without synchronization.  Keep
+   it that way: any new scratch state belongs in [t]. *)
 
 type clause = {
   mutable lits : int array;

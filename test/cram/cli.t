@@ -15,7 +15,14 @@ Generate a circuit, optimize it, and verify the pair with every method:
   $ seqver opt spec.blif impl.aag --recipe retime+opt --seed 3 > /dev/null
   $ seqver verify spec.blif impl.aag -q
   $ seqver verify spec.blif impl.aag -e sat -q
+  $ seqver verify spec.blif impl.aag -e sat -j 2 -q
   $ seqver verify spec.blif impl.aag -m traversal -q
+
+Without positional arguments the verify command needs --suite:
+
+  $ seqver verify -q
+  seqver verify: expected SPEC IMPL (or --suite)
+  [2]
 
 Register correspondence alone cannot handle the retimed circuit
 (exit code 2 = unknown):

@@ -339,6 +339,47 @@ let prop_batched_matches_pairwise =
             = (Scorr.Verify.verdict_stats vp).Scorr.Verify.eq_pct
          && classes rb = classes rp))
 
+let prop_parallel_matches_sequential =
+  (* the domain-parallel scheduler freezes the partition per round, solves
+     classes in worker lanes and merges the verdicts serially in canonical
+     class order, so for any worker count the fixed point must be exactly
+     the sequential one: same verdict, same equivalence score, same final
+     partition (the greatest fixed point is unique; only the schedule of
+     sound splits differs) *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"parallel sweeps reach the sequential fixed point" ~count:8
+       QCheck.(pair (int_range 0 100_000) bool)
+       (fun (seed, use_sat) ->
+         let a = small_aig seed in
+         let a' = Circuits.Suite.implementation ~recipe:Circuits.Suite.Retime_opt ~seed a in
+         let base = if use_sat then sat_opts else bdd_opts in
+         let run jobs =
+           Scorr.Verify.run_with_relation ~options:{ base with Scorr.Verify.jobs } a a'
+         in
+         let classes = function
+           | _, _, Some p ->
+             Some
+               (List.sort compare
+                  (List.map
+                     (fun c -> List.sort compare (Scorr.Partition.members p c))
+                     (Scorr.Partition.multi_member_classes p)))
+           | _, _, None -> None
+         in
+         let tag = function
+           | Scorr.Equivalent _ -> 0
+           | Scorr.Not_equivalent _ -> 1
+           | Scorr.Unknown _ -> 2
+         in
+         let ((v1, _, _) as r1) = run 1 in
+         List.for_all
+           (fun jobs ->
+             let ((v, _, _) as r) = run jobs in
+             tag v = tag v1
+             && (Scorr.Verify.verdict_stats v).Scorr.Verify.eq_pct
+                = (Scorr.Verify.verdict_stats v1).Scorr.Verify.eq_pct
+             && classes r = classes r1)
+           [ 2; 4 ]))
+
 (* --- register correspondence ----------------------------------------------------- *)
 
 let test_regcorr_proves_comb_opt () =
@@ -442,6 +483,7 @@ let suite =
     prop_engines_agree;
     prop_engines_compute_same_relation;
     prop_batched_matches_pairwise;
+    prop_parallel_matches_sequential;
     prop_regcorr_sound;
     prop_k_induction_sound;
     prop_k2_extends_k1;

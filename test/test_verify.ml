@@ -144,12 +144,59 @@ let prop_certificate_relation_is_inductive =
            not (Scorr.Engine_bdd.refine_once ctx partition)
          | _ -> true))
 
+(* --- budget-exhausted exits still carry their stats ----------------------- *)
+
+(* Regression: Unknown verdicts produced by a blown engine budget used to
+   report peak_bdd_nodes = 0 and empty phase stats because the exceptional
+   exit skipped the counter harvest; the harvest now runs on every exit
+   path of the per-round engine scope. *)
+
+let budget_pair () =
+  let spec = Circuits.Suite.aig_of (Option.get (Circuits.Suite.find "ctr16")) in
+  let impl =
+    Circuits.Suite.implementation ~recipe:Circuits.Suite.Retime_opt ~seed:5 spec
+  in
+  (spec, impl)
+
+let test_budget_unknown_keeps_sat_stats () =
+  let spec, impl = budget_pair () in
+  let options =
+    {
+      Scorr.default_options with
+      Scorr.Verify.engine = Scorr.Verify.Sat_engine;
+      max_sat_calls = 3;
+      use_retime = false;
+    }
+  in
+  match Scorr.check ~options spec impl with
+  | Scorr.Unknown s ->
+    Alcotest.(check bool) "sat_calls harvested" true (s.Scorr.Verify.sat_calls > 0);
+    Alcotest.(check bool) "phase stats harvested" true (s.phase_seconds <> [])
+  | _ -> Alcotest.fail "expected Unknown under a 3-call SAT budget"
+
+let test_budget_unknown_keeps_bdd_stats () =
+  let spec, impl = budget_pair () in
+  let options =
+    (* low enough that the refinement sweep blows the budget, high enough
+       that engine construction itself succeeds (it needs ~5k nodes) *)
+    { Scorr.default_options with Scorr.Verify.node_limit = 10_000; use_retime = false }
+  in
+  match Scorr.check ~options spec impl with
+  | Scorr.Unknown s ->
+    Alcotest.(check bool) "peak nodes harvested" true (s.Scorr.Verify.peak_bdd_nodes > 0);
+    Alcotest.(check bool) "phase stats harvested" true (s.phase_seconds <> [])
+  | _ -> Alcotest.fail "expected Unknown under a 2k-node BDD budget"
+
 let suite =
   [ Alcotest.test_case "order interleaves counter" `Quick test_order_interleaves_counter;
     Alcotest.test_case "bmc catches post-sim fault" `Quick test_bmc_catches_post_sim_difference;
     Alcotest.test_case "initial-frame split has a witness" `Quick
       test_initial_frame_split_has_witness;
     Alcotest.test_case "certificate covers outputs" `Quick test_certificate_covers_outputs;
+    Alcotest.test_case "budget Unknown keeps SAT stats" `Quick
+      test_budget_unknown_keeps_sat_stats;
+    Alcotest.test_case "budget Unknown keeps BDD stats" `Quick
+      test_budget_unknown_keeps_bdd_stats;
     prop_order_is_permutation;
     prop_traces_replay;
     prop_certificate_relation_is_inductive;
