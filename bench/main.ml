@@ -20,7 +20,10 @@
                     (OCaml Str regexp: alternation is backslash-pipe)
    --seed N         PRNG seed for simulation seeding (Scorr options.seed)
    -j N             run ablation-engine circuit jobs across N worker domains
-   --sweep-jobs N   worker domains inside each SAT sweep (Scorr options.jobs) *)
+   --sweep-jobs N   worker domains inside each SAT sweep (Scorr options.jobs)
+   --deadline S     wall-clock budget per measured run (Scorr deadline;
+                    0 = none); timed-out rows report verdict "unknown" and
+                    the exhausted reason *)
 
 let impl_seed = 11
 let line = String.make 100 '-'
@@ -51,6 +54,7 @@ let seed_flag = ref Scorr.default_options.Scorr.Verify.seed
    cores and are only comparable within the same -j. *)
 let jobs = ref (Domain.recommended_domain_count ())
 let sweep_jobs = ref 1
+let deadline_flag = ref 0.0
 
 let name_matches name =
   match !filter_re with
@@ -82,11 +86,15 @@ let record ~circuit ~engine verdict seconds =
        \"iterations\": %d, \"retime_rounds\": %d, \"pool_lanes\": %d, \
        \"resim_splits\": %d, \"batched_solves\": %d, \"cache_hits\": %d, \
        \"jobs\": %d, \"domains\": %d, \"steals\": %d, \"sched_wait\": %.3f, \
-       \"eq_pct\": %.1f}"
+       \"deadline\": %.3f, \"exhausted\": %s, \"eq_pct\": %.1f}"
       (json_escape circuit) (json_escape engine) name seconds
       s.Scorr.Verify.sat_calls s.peak_bdd_nodes s.iterations s.retime_rounds
       s.pool_lanes s.resim_splits s.batched_solves s.cache_hits
-      !sweep_jobs s.domains s.steals s.sched_wait_seconds s.eq_pct
+      !sweep_jobs s.domains s.steals s.sched_wait_seconds !deadline_flag
+      (match s.exhausted with
+      | Some why -> Printf.sprintf "\"%s\"" (json_escape why)
+      | None -> "null")
+      s.eq_pct
     :: !json_rows
 
 let write_json () =
@@ -104,14 +112,15 @@ let write_json () =
 let traversal_budget =
   { Reach.Traversal.max_iterations = 100_000; max_live_nodes = 1_500_000; max_seconds = 30.0 }
 
-(* A function, not a constant: --seed and --sweep-jobs are parsed after
-   module initialisation. *)
+(* A function, not a constant: --seed, --sweep-jobs and --deadline are
+   parsed after module initialisation. *)
 let scorr_options () =
   {
     Scorr.default_options with
     Scorr.Verify.node_limit = 1_500_000;
     seed = !seed_flag;
     jobs = !sweep_jobs;
+    deadline_seconds = !deadline_flag;
   }
 
 let suite_pairs recipe =
@@ -557,6 +566,13 @@ let () =
       parse_flags rest
     | "--sweep-jobs" :: n :: rest ->
       sweep_jobs := int_arg "--sweep-jobs" n;
+      parse_flags rest
+    | "--deadline" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some s when s >= 0.0 -> deadline_flag := s
+      | _ ->
+        Printf.eprintf "bench: --deadline expects a non-negative float, got %s\n" v;
+        exit 1);
       parse_flags rest
     | rest -> rest
   in

@@ -73,7 +73,7 @@ let pp_stats (s : Scorr.stats) =
    — and results are collected and printed in suite order, so the
    output (and the exit code, the max of the per-pair codes) is
    deterministic for every [-j]. *)
-let run_verify_suite engine jobs quiet =
+let run_verify_suite engine jobs deadline quiet =
   let jobs = if jobs <= 0 then Domain.recommended_domain_count () else jobs in
   let options =
     {
@@ -81,6 +81,7 @@ let run_verify_suite engine jobs quiet =
       Scorr.Verify.engine =
         (match engine with "sat" -> Scorr.Verify.Sat_engine | _ -> Scorr.Verify.Bdd_engine);
       jobs = 1; (* parallelism lives at the job level here *)
+      deadline_seconds = deadline; (* per pair, not per suite *)
     }
   in
   let entries = Array.of_list Circuits.Suite.suite in
@@ -104,7 +105,7 @@ let run_verify_suite engine jobs quiet =
         match verdict with
         | Scorr.Equivalent _ -> ("equivalent", 0)
         | Scorr.Not_equivalent _ -> ("NOT EQUIVALENT", 1)
-        | Scorr.Unknown _ -> ("unknown", 2)
+        | Scorr.Unknown _ -> ("unknown", 3)
       in
       code := max !code c;
       if not quiet then
@@ -116,8 +117,9 @@ let run_verify_suite engine jobs quiet =
   !code
 
 let run_verify spec_path impl_path meth engine no_sim_seed no_fundep no_retime dontcare
-    node_limit unroll seconds show_classes emit_cert emit_witness jobs suite quiet =
-  if suite then run_verify_suite engine jobs quiet
+    node_limit unroll seconds deadline checkpoint checkpoint_every resume show_classes
+    emit_cert emit_witness jobs suite quiet =
+  if suite then run_verify_suite engine jobs deadline quiet
   else
   match (spec_path, impl_path) with
   | None, _ | _, None ->
@@ -137,6 +139,18 @@ let run_verify spec_path impl_path meth engine no_sim_seed no_fundep no_retime d
     exit 2
   end;
   let spec = read_circuit spec_path and impl = read_circuit impl_path in
+  let resume =
+    match resume with
+    | None -> None
+    | Some path -> (
+      try Some (Scorr.Checkpoint.parse_file path) with
+      | Scorr.Checkpoint.Parse_error msg ->
+        Printf.eprintf "%s: %s\n" path msg;
+        exit 2
+      | Sys_error msg ->
+        Printf.eprintf "seqver verify: %s\n" msg;
+        exit 2)
+  in
   let options =
     {
       Scorr.default_options with
@@ -149,6 +163,10 @@ let run_verify spec_path impl_path meth engine no_sim_seed no_fundep no_retime d
       node_limit;
       sat_unroll = unroll;
       jobs = (if jobs > 0 then jobs else Scorr.default_options.Scorr.Verify.jobs);
+      deadline_seconds = deadline;
+      checkpoint_path = checkpoint;
+      checkpoint_every;
+      resume;
     }
   in
   let exit_of = function
@@ -176,11 +194,17 @@ let run_verify spec_path impl_path meth engine no_sim_seed no_fundep no_retime d
       1
     | Scorr.Unknown stats ->
       if not quiet then begin
-        print_endline "UNKNOWN (the method is sound but incomplete)";
+        (match stats.Scorr.Verify.exhausted with
+        | Some why -> Printf.printf "UNKNOWN (budget exhausted: %s)\n" why
+        | None -> print_endline "UNKNOWN (the method is sound but incomplete)");
+        (match (options.Scorr.Verify.checkpoint_path, stats.Scorr.Verify.exhausted) with
+        | Some path, Some _ -> Printf.printf "  checkpoint:      %s\n" path
+        | _ -> ());
         pp_stats stats
       end;
-      2
+      3
   in
+  let dispatch () =
   match meth with
   | M_auto -> exit_of (Scorr.portfolio ~options spec impl)
   | M_scorr ->
@@ -252,7 +276,47 @@ let run_verify spec_path impl_path meth engine no_sim_seed no_fundep no_retime d
     | Reach.Traversal.Property_violation d ->
       report (Printf.sprintf "NOT EQUIVALENT (violation at depth %d)" d) 1
     | Reach.Traversal.Budget_exceeded what ->
-      report (Printf.sprintf "UNKNOWN (budget exceeded: %s)" what) 2)
+      report (Printf.sprintf "UNKNOWN (budget exceeded: %s)" what) 3)
+  in
+  try dispatch () with
+  | Scorr.Checkpoint.Incompatible msg ->
+    Printf.eprintf "seqver verify: checkpoint rejected: %s\n" msg;
+    exit 2
+
+(* --- checkpoint ------------------------------------------------------------------ *)
+
+(* Inspect a checkpoint file: exit 0 when well-formed, 2 otherwise. *)
+let run_checkpoint path =
+  match Scorr.Checkpoint.parse_file path with
+  | exception Scorr.Checkpoint.Parse_error msg ->
+    Printf.eprintf "%s: %s\n" path msg;
+    2
+  | exception Sys_error msg ->
+    Printf.eprintf "seqver checkpoint: %s\n" msg;
+    2
+  | cp ->
+    Printf.printf
+      "checkpoint: %s\n\
+      \  spec md5:        %s\n\
+      \  impl md5:        %s\n\
+      \  engine:          %s\n\
+      \  candidates:      %s\n\
+      \  induction:       %d\n\
+      \  seed:            %d\n\
+      \  retime rounds:   %d\n\
+      \  product nodes:   %d\n\
+      \  iterations:      %d\n\
+      \  classes:         %d (%d constraints)\n\
+      \  pool patterns:   %d\n"
+      path cp.Scorr.Checkpoint.spec_digest cp.Scorr.Checkpoint.impl_digest
+      cp.Scorr.Checkpoint.engine cp.Scorr.Checkpoint.candidates
+      cp.Scorr.Checkpoint.induction cp.Scorr.Checkpoint.seed
+      cp.Scorr.Checkpoint.retime_rounds cp.Scorr.Checkpoint.product_nodes
+      cp.Scorr.Checkpoint.iterations
+      (Scorr.Checkpoint.n_classes cp)
+      (Scorr.Checkpoint.n_constraints cp)
+      (Scorr.Checkpoint.n_patterns cp);
+    0
 
 (* --- gen ---------------------------------------------------------------------- *)
 
@@ -558,6 +622,31 @@ let verify_cmd =
   let seconds =
     Arg.(value & opt float 60.0 & info [ "time-limit" ] ~doc:"Traversal time budget (s).")
   in
+  let deadline =
+    Arg.(value & opt float 0.0
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:"Wall-clock budget for the run (0 = none).  On expiry the fixed point \
+                   aborts within one class solve, the verdict is UNKNOWN (exit 3), and \
+                   the partial partition is checkpointed when $(b,--checkpoint) is set.")
+  in
+  let checkpoint =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"Write the partial partition here when a budget or deadline aborts the \
+                   fixed point (resumable with $(b,--resume)).")
+  in
+  let checkpoint_every =
+    Arg.(value & opt int 0
+         & info [ "checkpoint-every" ] ~docv:"N"
+             ~doc:"Also checkpoint every N refinement iterations (0 = aborts only).")
+  in
+  let resume =
+    Arg.(value & opt (some file) None
+         & info [ "resume" ] ~docv:"FILE"
+             ~doc:"Resume the fixed point from a checkpoint.  The checkpoint must match \
+                   the circuits and options (fingerprints, candidate set, seed, induction \
+                   depth); an incompatible one is rejected with exit 2.")
+  in
   let show_classes =
     Arg.(value & flag & info [ "show-classes" ] ~doc:"Print the correspondence relation.")
   in
@@ -586,11 +675,13 @@ let verify_cmd =
   in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only set the exit code.") in
   Cmd.v
-    (Cmd.info "verify" ~doc:"Check sequential equivalence of two circuits")
+    (Cmd.info "verify"
+       ~doc:"Check sequential equivalence of two circuits \
+             (exit 0 equivalent, 1 not equivalent, 3 unknown, 2 usage/parse error)")
     Term.(
       const run_verify $ spec $ impl $ meth $ engine $ no_sim_seed $ no_fundep $ no_retime
-      $ dontcare $ node_limit $ unroll $ seconds $ show_classes $ emit_cert $ emit_witness
-      $ jobs $ suite $ quiet)
+      $ dontcare $ node_limit $ unroll $ seconds $ deadline $ checkpoint $ checkpoint_every
+      $ resume $ show_classes $ emit_cert $ emit_witness $ jobs $ suite $ quiet)
 
 let gen_cmd =
   let circuit_name = Arg.(value & pos 0 string "" & info [] ~docv:"NAME") in
@@ -674,6 +765,13 @@ let stats_cmd =
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT") in
   Cmd.v (Cmd.info "stats" ~doc:"Print circuit statistics") Term.(const run_stats $ input)
 
+let checkpoint_cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"CHECKPOINT") in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:"Inspect a fixed-point checkpoint (exit 0 well-formed, 2 malformed)")
+    Term.(const run_checkpoint $ input)
+
 let lint_cmd =
   let files = Arg.(value & pos_all file [] & info [] ~docv:"FILE") in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
@@ -695,5 +793,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ verify_cmd; bmc_cmd; check_cert_cmd; replay_cmd; lint_cmd; gen_cmd; opt_cmd;
-            sim_cmd; stats_cmd ]))
+          [ verify_cmd; bmc_cmd; check_cert_cmd; replay_cmd; checkpoint_cmd; lint_cmd;
+            gen_cmd; opt_cmd; sim_cmd; stats_cmd ]))

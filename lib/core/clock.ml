@@ -19,7 +19,16 @@ let rec clamp t =
 let now () = clamp (Unix.gettimeofday ())
 let since t0 = now () -. t0
 
-let timed f =
+(* Exception-safe timing: the elapsed time is delivered through [record]
+   on *every* exit, normal or exceptional.  A phase that raises — a
+   budget or deadline abort, typically — still reports how long it ran,
+   so the aborted phase is never the one missing from the accumulated
+   statistics. *)
+let measure ~record f =
   let t0 = now () in
-  let result = f () in
-  (result, since t0)
+  Fun.protect ~finally:(fun () -> record (since t0)) f
+
+let timed f =
+  let dt = ref 0.0 in
+  let result = measure ~record:(fun d -> dt := d) f in
+  (result, !dt)

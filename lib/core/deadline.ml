@@ -1,0 +1,37 @@
+(* Wall-clock deadline budgets, built on the monotonic-safe {!Clock}.
+
+   A deadline is an absolute expiry instant plus a shared cancellation
+   flag.  The flag is what makes the poll cheap and cooperative across
+   worker domains: the first lane that observes [Clock.now () > at] sets
+   it, and every other lane's next poll sees the flag without touching
+   the wall clock again.  Engines poll inside rounds — once per class
+   solve — so an abort lands within one class-solve of the expiry
+   instead of one whole refinement round.
+
+   Expiry never raises here: callers test {!expired} and raise their own
+   budget exception, so the abort path stays uniform with the call-count
+   and node-count budgets. *)
+
+type t = {
+  at : float; (* absolute Clock time of expiry; [infinity] = no deadline *)
+  cancelled : bool Atomic.t; (* set once by whichever lane sees expiry first *)
+}
+
+let none = { at = infinity; cancelled = Atomic.make false }
+
+(* [make ~seconds] starts the budget now; non-positive means unlimited. *)
+let make ~seconds =
+  if seconds <= 0.0 then none
+  else { at = Clock.now () +. seconds; cancelled = Atomic.make false }
+
+let active t = t.at < infinity
+
+let expired t =
+  Atomic.get t.cancelled
+  || (t.at < infinity
+     && Clock.now () > t.at
+     &&
+     (Atomic.set t.cancelled true;
+      true))
+
+let remaining t = if t.at = infinity then infinity else max 0.0 (t.at -. Clock.now ())

@@ -24,6 +24,7 @@ type ctx = {
   use_fundep : bool;
   care : Bdd.t; (* over s: upper bound of reachable states (or one) *)
   node_limit : int;
+  deadline : Deadline.t; (* wall-clock budget, polled with every [note] *)
   mutable peak_nodes : int;
   pool : Simpool.t; (* accumulated counterexample patterns *)
   support : Support.t Lazy.t; (* structural cones for dirty scheduling *)
@@ -37,6 +38,7 @@ type ctx = {
 }
 
 let note ctx =
+  if Deadline.expired ctx.deadline then raise (Budget_exceeded "deadline");
   let live = Bdd.live_nodes ctx.m in
   if live > ctx.peak_nodes then ctx.peak_nodes <- live;
   if live > ctx.node_limit then raise (Budget_exceeded "bdd nodes");
@@ -48,7 +50,8 @@ let note ctx =
    their state variables should be placed (correspondence candidates
    adjacent); [care_of] may compute a reachable upper bound over the state
    variables once they exist. *)
-let make ?(use_fundep = true) ?latch_order ?care_of ?(node_limit = max_int) p =
+let make ?(use_fundep = true) ?latch_order ?care_of ?(node_limit = max_int)
+    ?(deadline = Deadline.none) p =
   let aig = p.Product.aig in
   let m = Bdd.create () in
   if node_limit < max_int then Bdd.set_node_limit m (2 * node_limit);
@@ -104,7 +107,7 @@ let make ?(use_fundep = true) ?latch_order ?care_of ?(node_limit = max_int) p =
   let care = match care_of with Some f -> f m s | None -> Bdd.one in
   let ctx =
     { p; m; n_pis; n_latches; x1; s; x2; cur; delta; nxt; ini; use_fundep; care;
-      node_limit; peak_nodes = 0; pool = Simpool.create aig;
+      node_limit; deadline; peak_nodes = 0; pool = Simpool.create aig;
       support = lazy (Support.make aig); proved_at = Hashtbl.create 256;
       n_batched = 0; n_cache_hits = 0;
       sched = Parsweep.create ~jobs:1 ~init:(fun _ -> ()) }

@@ -76,8 +76,13 @@ type ctx = {
   eq_sel : (int * int * int, int) Hashtbl.t; (* (frame, la, lb) selectors *)
   diff_sel : (int * int, int) Hashtbl.t; (* last-frame difference selectors *)
   diff_sel0 : (int * int * int, int) Hashtbl.t; (* (frame, la, lb) *)
-  mutable sat_calls : int;
+  sat_calls : int Atomic.t;
+      (* shared across lanes: every solve reserves a slot *before* it is
+         issued, so the call budget is enforced per solve, not per
+         round, and a parallel round overshoots by at most the [jobs]
+         solves already in flight *)
   max_sat_calls : int;
+  deadline : Deadline.t; (* wall-clock budget, polled per class solve *)
   pool : Simpool.t; (* accumulated counterexample patterns *)
   pi_nodes : int array; (* PI node ids by input index *)
   support : Support.t Lazy.t; (* structural cones for dirty scheduling *)
@@ -117,7 +122,7 @@ let unroll solver aig ~n ~first_latch_var =
   done;
   frames
 
-let make ?(max_sat_calls = max_int) ?(k = 1) ?(jobs = 1) p =
+let make ?(max_sat_calls = max_int) ?(k = 1) ?(jobs = 1) ?(deadline = Deadline.none) p =
   if k < 1 then invalid_arg "Engine_sat.make: k must be >= 1";
   let aig = p.Product.aig in
   let solver = Sat.create () in
@@ -166,8 +171,9 @@ let make ?(max_sat_calls = max_int) ?(k = 1) ?(jobs = 1) p =
     eq_sel;
     diff_sel;
     diff_sel0 = Hashtbl.create 256;
-    sat_calls = 0;
+    sat_calls = Atomic.make 0;
     max_sat_calls;
+    deadline;
     pool = Simpool.create aig;
     pi_nodes = Array.of_list (Aig.pis aig);
     support = lazy (Support.make aig);
@@ -209,9 +215,17 @@ let difference_selector solver table key a b =
     Hashtbl.replace table key v;
     sl
 
+(* Reserve one solve against the shared budgets; called from worker
+   lanes as well as the coordinator.  The deadline check reads the
+   shared cancellation flag, so once any lane sees expiry every other
+   lane aborts at its next class solve.  A refused reservation is
+   backed out so [sat_calls] keeps counting solves actually issued. *)
 let check_budget ctx =
-  ctx.sat_calls <- ctx.sat_calls + 1;
-  if ctx.sat_calls > ctx.max_sat_calls then raise (Budget_exceeded "sat calls")
+  if Deadline.expired ctx.deadline then raise (Budget_exceeded "deadline");
+  if Atomic.fetch_and_add ctx.sat_calls 1 >= ctx.max_sat_calls then begin
+    Atomic.decr ctx.sat_calls;
+    raise (Budget_exceeded "sat calls")
+  end
 
 (* Split every class according to a model's valuation of [frame_lit]. *)
 let bulk_split partition frame_lit solver =
@@ -470,6 +484,10 @@ let solve_class ctx w ~version ~pairs task =
   match !dsels with
   | [] -> O_trivial
   | dsels ->
+    (* per-solve budget poll, on the lane: bounds call-count overshoot
+       by the solves in flight and lands deadline aborts within one
+       class solve *)
+    check_budget ctx;
     let q = lane_q ctx w ~version ~pairs in
     let g = Sat.new_var w.w_solver in
     Sat.add_clause w.w_solver (Sat.Lit.neg g :: dsels);
@@ -511,14 +529,20 @@ let solve_class ctx w ~version ~pairs task =
    every worker count converges to the same fixed point.  An UNSAT
    certificate is recorded at the frozen version and re-examined by the
    strict pass whenever the partition moved on, exactly as in the
-   sequential schedule.  The SAT-call budget is enforced between rounds,
-   so a parallel round may overshoot [max_sat_calls] by at most one
-   round's worth of solves. *)
+   sequential schedule.  Budgets are enforced per class solve: every
+   lane reserves a slot on the shared call counter (and polls the
+   shared deadline flag) before issuing a solve, so a parallel round
+   overshoots [max_sat_calls] by at most [jobs] in-flight solves.  The
+   exception of the smallest aborting task index is re-raised by the
+   coordinator once the round's remaining tasks have drained — each of
+   them aborts at its own first poll. *)
 let sweep ctx partition ~trust =
   let splits = ref 0 in
   let flush () = splits := !splits + Simpool.flush ctx.pool partition in
   flush ();
-  if ctx.sat_calls > ctx.max_sat_calls then raise (Budget_exceeded "sat calls");
+  if Deadline.expired ctx.deadline then raise (Budget_exceeded "deadline");
+  if Atomic.get ctx.sat_calls >= ctx.max_sat_calls then
+    raise (Budget_exceeded "sat calls");
   let vq = Partition.version partition in
   let pairs =
     List.map
@@ -562,17 +586,14 @@ let sweep ctx partition ~trust =
       match outcome with
       | O_trivial -> Hashtbl.replace ctx.proved_at cls vq
       | O_stable ->
-        ctx.sat_calls <- ctx.sat_calls + 1;
         ctx.n_batched <- ctx.n_batched + 1;
         Hashtbl.replace ctx.proved_at cls vq
       | O_witness (pi, latch) ->
-        ctx.sat_calls <- ctx.sat_calls + 1;
         ctx.n_batched <- ctx.n_batched + 1;
         if Simpool.is_full ctx.pool then flush ();
         Simpool.add ctx.pool ~pi:(fun i -> pi.(i)) ~latch:(fun i -> latch.(i)))
     outcomes;
   flush ();
-  if ctx.sat_calls > ctx.max_sat_calls then raise (Budget_exceeded "sat calls");
   !splits > 0
 
 (* One refinement iteration: a trusting sweep over suspect classes; when

@@ -3,6 +3,7 @@
 module Product = Product
 module Partition = Partition
 module Clock = Clock
+module Deadline = Deadline
 module Parsweep = Parsweep
 module Simpool = Simpool
 module Support = Support
@@ -11,6 +12,7 @@ module Ternseed = Ternseed
 module Engine_bdd = Engine_bdd
 module Engine_sat = Engine_sat
 module Retime_aug = Retime_aug
+module Checkpoint = Checkpoint
 module Verify = Verify
 
 type options = Verify.options

@@ -100,8 +100,39 @@ module Clock : sig
   val since : float -> float
   (** Seconds elapsed since an earlier {!now} reading (>= 0). *)
 
+  val measure : record:(float -> unit) -> (unit -> 'a) -> 'a
+  (** Run a thunk and deliver its wall time to [record] on {e every} exit,
+      including exceptional ones — a phase that aborts on a blown budget
+      still reports the time it consumed. *)
+
   val timed : (unit -> 'a) -> 'a * float
-  (** Run a thunk and return its result with its wall time. *)
+  (** Run a thunk and return its result with its wall time.  Exception-safe
+      via {!measure}, though the elapsed time is only observable on normal
+      returns. *)
+end
+
+(** Wall-clock deadline budgets: an absolute expiry instant plus a shared
+    cancellation flag, so the first worker lane that observes expiry
+    cancels every other lane's next poll without further clock reads.
+    Expiry never raises here — engines test {!Deadline.expired} and raise
+    their own budget exception, keeping the abort path uniform with the
+    call-count and node-count budgets. *)
+module Deadline : sig
+  type t
+
+  val none : t
+  (** Never expires. *)
+
+  val make : seconds:float -> t
+  (** A deadline [seconds] from now; non-positive yields {!none}. *)
+
+  val active : t -> bool
+  val expired : t -> bool
+  (** Polled by the engines once per class solve, so an abort lands
+      within one class-solve of the expiry. *)
+
+  val remaining : t -> float
+  (** Seconds left ([infinity] for {!none}, clamped at 0). *)
 end
 
 (** Work-stealing domain pool scheduling the engines' sweep rounds.
@@ -167,6 +198,11 @@ module Simpool : sig
   (** Split every class by the members' values on all buffered patterns
       (unused lanes masked out); resets the buffer and returns the number
       of classes created. *)
+
+  val snapshot : t -> (bool array * bool array) list
+  (** The (input, state) valuations of the currently buffered lanes, in
+      insertion order — the patterns a checkpoint must preserve so no
+      witnessed split is lost across an interruption. *)
 end
 
 (** Structural support cones of the product machine, closed through latch
@@ -221,6 +257,7 @@ module Engine_bdd : sig
     use_fundep : bool;
     care : Bdd.t;
     node_limit : int;
+    deadline : Deadline.t;  (** wall-clock budget, polled per class scan *)
     mutable peak_nodes : int;
     pool : Simpool.t;
     support : Support.t Lazy.t;
@@ -238,6 +275,7 @@ module Engine_bdd : sig
     ?latch_order:int array ->
     ?care_of:(Bdd.manager -> int array -> Bdd.t) ->
     ?node_limit:int ->
+    ?deadline:Deadline.t ->
     Product.t ->
     ctx
 
@@ -288,8 +326,11 @@ module Engine_sat : sig
     eq_sel : (int * int * int, int) Hashtbl.t;
     diff_sel : (int * int, int) Hashtbl.t;
     diff_sel0 : (int * int * int, int) Hashtbl.t;
-    mutable sat_calls : int;
+    sat_calls : int Atomic.t;
+        (** shared across worker lanes; every solve reserves a slot before
+            it is issued (see {!refine_once}) *)
     max_sat_calls : int;
+    deadline : Deadline.t;  (** wall-clock budget, polled per class solve *)
     pool : Simpool.t;
     pi_nodes : int array;
     support : Support.t Lazy.t;
@@ -302,7 +343,8 @@ module Engine_sat : sig
     sched : wstate Parsweep.t;
   }
 
-  val make : ?max_sat_calls:int -> ?k:int -> ?jobs:int -> Product.t -> ctx
+  val make :
+    ?max_sat_calls:int -> ?k:int -> ?jobs:int -> ?deadline:Deadline.t -> Product.t -> ctx
   (** [jobs] worker lanes solve the Eq.(3) sweep rounds; each lane > 0
       owns a private copy of the unrolled product CNF built inside its
       own domain.  Default 1 (sequential, no domains spawned). *)
@@ -324,9 +366,11 @@ module Engine_sat : sig
       counterexamples, dirty-class scheduling and the trust/strict
       confirmation protocol as before.  The fixed point reached is
       schedule-independent: the same for every worker count as for the
-      sequential sweep (property-tested).  With [jobs] > 1 the SAT-call
-      budget is enforced between rounds, so it can overshoot by at most
-      one round. *)
+      sequential sweep (property-tested).  Budgets are enforced {e per
+      class solve}: every lane reserves a slot in the shared atomic call
+      counter (and polls the shared deadline flag) before issuing a
+      solve, so a parallel round overshoots [max_sat_calls] by at most
+      the [jobs] solves already in flight. *)
 
   val refine_initial_pairwise : ctx -> Partition.t -> unit
   val refine_once_pairwise : ctx -> Partition.t -> bool
@@ -339,6 +383,83 @@ module Retime_aug : sig
   val augment : Product.t -> int
   (** Add the combinational logic of every applicable lag-1 forward move;
       returns the number of new signals. *)
+end
+
+(** Resumable checkpoints of the greatest fixed-point iteration.
+
+    The refinement is monotone and every split is sound with respect to
+    the greatest fixed point, so a partially refined partition sits
+    between the initial partition and the (unique) fixed point; re-running
+    the iteration from it converges to exactly the same fixed point as an
+    uninterrupted run.  A checkpoint with induction depth [kc] may seed
+    any run with effective depth [k <= kc], since gfp(kc) ⊆ gfp(k).
+
+    The line-oriented text format mirrors {!Cert.Certificate}: versioned
+    header, key/value fields, one [class] line of sorted normalized
+    literals per multi-member class, the pending counterexample pool
+    lanes, an [end] marker. *)
+module Checkpoint : sig
+  type t = {
+    spec_digest : string;  (** MD5 of the canonical AIGER text *)
+    impl_digest : string;
+    engine : string;  (** informational: which engine was interrupted *)
+    candidates : string;  (** ["all"] | ["registers"] *)
+    induction : int;  (** k of the interrupted run; 1 = the paper *)
+    seed : int;  (** polarity-normalization / simulation seed *)
+    retime_rounds : int;  (** augmentation rounds to replay on the product *)
+    product_nodes : int;  (** product size after replay (shape check) *)
+    iterations : int;  (** refinement iterations completed before the cut *)
+    classes : int list list;  (** normalized literals, each class sorted *)
+    patterns : (bool array * bool array) list;
+        (** pending pool lanes: (inputs, state) *)
+  }
+
+  exception Parse_error of string
+
+  exception Incompatible of string
+  (** Raised by resume validation: fingerprint/shape/option mismatch. *)
+
+  val fingerprint : Aig.t -> string
+  (** MD5 hex digest of the circuit's canonical AIGER text. *)
+
+  val n_classes : t -> int
+  val n_constraints : t -> int
+  val n_patterns : t -> int
+
+  val of_partition :
+    spec_digest:string ->
+    impl_digest:string ->
+    engine:string ->
+    candidates:string ->
+    induction:int ->
+    seed:int ->
+    retime_rounds:int ->
+    iterations:int ->
+    patterns:(bool array * bool array) list ->
+    Aig.t ->
+    Partition.t ->
+    t
+  (** Snapshot a partition mid-run; the [Aig.t] is the product machine
+      {e after} [retime_rounds] augmentations. *)
+
+  val validate :
+    spec:Aig.t -> impl:Aig.t -> candidates:string -> induction:int -> seed:int -> t -> unit
+  (** Fingerprint and option validation before any engine work is spent.
+      [induction] is the resuming run's effective depth; a checkpoint of
+      a deeper run is accepted, a shallower one is refused.
+      @raise Incompatible on any mismatch. *)
+
+  val seed_partition : t -> Partition.t -> int
+  (** Refine a freshly seeded partition to the checkpointed classes;
+      returns the number of classes created.
+      @raise Incompatible on polarity or candidacy divergence. *)
+
+  val to_string : t -> string
+  val parse_string : string -> t
+  (** @raise Parse_error on malformed or truncated input. *)
+
+  val to_file : string -> t -> unit
+  val parse_file : string -> t
 end
 
 (** The full verification method (Fig. 4). *)
@@ -377,6 +498,27 @@ module Verify : sig
             fixed point and verdict are identical for every value.
             Default 1, overridable via the SEQVER_JOBS environment
             variable. *)
+    deadline_seconds : float;
+        (** Wall-clock budget for the whole run; engines poll a shared
+            cancellation flag once per class solve, so the abort lands
+            within one class-solve of the expiry.  [<= 0] (the default)
+            means no deadline. *)
+    max_iterations : int;
+        (** Abort (Unknown, ["iterations"]) after this many refinement
+            iterations; 0 (the default) = unlimited.  Deterministic, which
+            the deadline is not — the interruption point the resume
+            property tests use. *)
+    checkpoint_path : string option;
+        (** Write the partial partition here whenever a budget or deadline
+            aborts the fixed point.  Default [None]. *)
+    checkpoint_every : int;
+        (** Additionally checkpoint every N refinement iterations; 0 (the
+            default) writes on aborts only. *)
+    resume : Checkpoint.t option;
+        (** Seed the fixed point from a prior run's checkpoint.  Validated
+            against the circuits and options ({!Checkpoint.validate})
+            before any engine work; the resumed run provably reaches the
+            same verdict and final partition as an uninterrupted one. *)
   }
 
   val default_options : options
@@ -402,6 +544,10 @@ module Verify : sig
     phase_seconds : (string * float) list;
         (** wall time per phase ([refute], [seed], [initial], [fixpoint],
             [outputs]), accumulated across retiming rounds *)
+    exhausted : string option;
+        (** [Some reason] when an [Unknown] verdict came from a blown
+            budget (["deadline"], ["sat calls"], ["bdd nodes"],
+            ["iterations"]) rather than from the method's incompleteness *)
   }
 
   type verdict =
@@ -435,10 +581,28 @@ module Verify : sig
 
   val register_correspondence : ?options:options -> Aig.t -> Aig.t -> verdict
 
+  val checkpoint_of_run :
+    options:options ->
+    spec:Aig.t ->
+    impl:Aig.t ->
+    verdict * Product.t * Partition.t option ->
+    (Checkpoint.t, string) result
+  (** Snapshot a finished or aborted {!run_with_relation} result as an
+      in-memory checkpoint (pending pool lanes are not included), so a
+      later run can resume from its partition. *)
+
   val portfolio : ?options:options -> ?max_unroll:int -> Aig.t -> Aig.t -> verdict
   (** Production mode: BDD engine first, then the SAT engine with
       induction depths 1..[max_unroll]; the first conclusive verdict
-      wins.  All strategies are sound. *)
+      wins.  All strategies are sound.
+
+      With [deadline_seconds] set, the remaining wall clock is split
+      evenly over the remaining rungs (holding one share in reserve);
+      each rung that runs out of time leaves an in-memory checkpoint of
+      its partition, later rungs of compatible induction depth resume
+      from it, and the reserved final rung re-runs the BDD engine from
+      the most refined partition reached instead of returning a bare
+      [Unknown]. *)
 end
 
 (** {1 Convenience} *)

@@ -81,3 +81,13 @@ let flush t partition =
     t.resim_splits <- t.resim_splits + created;
     created
   end
+
+(* Pending lanes as concrete (input, state) valuations, oldest first —
+   the checkpoint image of the buffer.  Re-adding the snapshot to a
+   fresh pool replays exactly the witnesses that had not yet been
+   flushed when the run was interrupted. *)
+let snapshot t =
+  List.init t.lanes (fun lane ->
+      let bit w = Int64.logand (Int64.shift_right_logical w lane) 1L = 1L in
+      ( Array.init t.n_pis (fun i -> bit t.pi_words.(i)),
+        Array.init t.n_latches (fun i -> bit t.latch_words.(i)) ))

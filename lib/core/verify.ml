@@ -38,6 +38,11 @@ type options = {
   bmc_depth : int; (* exhaustive refutation depth before the fixed point *)
   seed : int;
   jobs : int; (* worker domains for Eq.(3) sweeps (SAT engine) *)
+  deadline_seconds : float; (* wall-clock budget; <= 0 means none *)
+  max_iterations : int; (* abort after this many refinement iterations; 0 = none *)
+  checkpoint_path : string option; (* write partial state here on aborts *)
+  checkpoint_every : int; (* also checkpoint every N iterations; 0 = aborts only *)
+  resume : Checkpoint.t option; (* seed the fixed point from a prior run *)
 }
 
 (* The default worker count honours SEQVER_JOBS so whole test suites can
@@ -68,7 +73,24 @@ let default_options =
     bmc_depth = 4;
     seed = 17;
     jobs = default_jobs ();
+    deadline_seconds = 0.0;
+    max_iterations = 0;
+    checkpoint_path = None;
+    checkpoint_every = 0;
+    resume = None;
   }
+
+(* The option projections a checkpoint must reproduce on resume. *)
+let engine_string options =
+  match options.engine with Bdd_engine -> "bdd" | Sat_engine -> "sat"
+
+let candidates_string options =
+  match options.candidates with All_signals -> "all" | Registers_only -> "registers"
+
+(* The induction depth actually driving the fixed point: the BDD engine
+   is the paper's one-frame Equation (3) regardless of [sat_unroll]. *)
+let effective_induction options =
+  match options.engine with Bdd_engine -> 1 | Sat_engine -> max 1 options.sat_unroll
 
 type stats = {
   iterations : int; (* refinement iterations, all rounds *)
@@ -88,6 +110,10 @@ type stats = {
   eq_pct : float; (* % of spec signals with an impl correspondence *)
   seconds : float;
   phase_seconds : (string * float) list; (* wall time per verification phase *)
+  exhausted : string option;
+      (* Some reason when an Unknown came from a blown budget ("deadline",
+         "sat calls", "bdd nodes", "iterations") rather than from the
+         method's incompleteness *)
 }
 
 type verdict =
@@ -110,6 +136,10 @@ type engine_ops = {
   sweep_counters : unit -> int * int * int * int;
       (* (pool lanes, resim splits, batched solves, cache hits) *)
   sched_stats : unit -> Parsweep.stats;
+  pool_patterns : unit -> (bool array * bool array) list;
+      (* pending counterexample lanes, for checkpointing *)
+  pool_add : (bool array * bool array) list -> unit;
+      (* re-seed checkpointed counterexample lanes on resume *)
   shutdown : unit -> unit; (* join the engine's worker domains *)
 }
 
@@ -204,7 +234,13 @@ let latch_order_from_outputs product =
   order := List.rev_append (zip sp im) !order;
   Array.of_list (List.rev !order)
 
-let make_engine (options : options) product pol =
+let make_engine (options : options) deadline product pol =
+  let add_patterns pool ps =
+    List.iter
+      (fun (pi, latch) ->
+        Simpool.add pool ~pi:(fun i -> pi.(i)) ~latch:(fun i -> latch.(i)))
+      ps
+  in
   match options.engine with
   | Bdd_engine ->
     ignore pol;
@@ -227,7 +263,7 @@ let make_engine (options : options) product pol =
     in
     let ctx =
       Engine_bdd.make ~use_fundep:options.use_fundep ~latch_order ?care_of
-        ~node_limit:options.node_limit product
+        ~node_limit:options.node_limit ~deadline product
     in
     let wrap f x =
       try f x with
@@ -250,12 +286,14 @@ let make_engine (options : options) product pol =
             ctx.Engine_bdd.n_batched,
             ctx.Engine_bdd.n_cache_hits ));
       sched_stats = (fun () -> Engine_bdd.sched_stats ctx);
+      pool_patterns = (fun () -> Simpool.snapshot ctx.Engine_bdd.pool);
+      pool_add = (fun ps -> add_patterns ctx.Engine_bdd.pool ps);
       shutdown = (fun () -> Engine_bdd.shutdown ctx);
     }
   | Sat_engine ->
     let ctx =
       Engine_sat.make ~max_sat_calls:options.max_sat_calls ~k:options.sat_unroll
-        ~jobs:options.jobs product
+        ~jobs:options.jobs ~deadline product
     in
     let wrap f x = try f x with Engine_sat.Budget_exceeded msg -> raise (Budget msg) in
     let refine_initial, refine_once =
@@ -267,7 +305,7 @@ let make_engine (options : options) product pol =
       refine_initial = wrap refine_initial;
       refine_once = (fun p -> wrap refine_once p);
       peak_bdd = (fun () -> 0);
-      n_sat_calls = (fun () -> ctx.Engine_sat.sat_calls);
+      n_sat_calls = (fun () -> Atomic.get ctx.Engine_sat.sat_calls);
       sweep_counters =
         (fun () ->
           ( Simpool.total_lanes ctx.Engine_sat.pool,
@@ -275,6 +313,8 @@ let make_engine (options : options) product pol =
             ctx.Engine_sat.n_batched,
             ctx.Engine_sat.n_cache_hits ));
       sched_stats = (fun () -> Engine_sat.sched_stats ctx);
+      pool_patterns = (fun () -> Simpool.snapshot ctx.Engine_sat.pool);
+      pool_add = (fun ps -> add_patterns ctx.Engine_sat.pool ps);
       shutdown = (fun () -> Engine_sat.shutdown ctx);
     }
 
@@ -472,6 +512,16 @@ let run_with_relation ?(options = default_options) spec impl =
     Lint.preflight_aig ~subject:"implementation" impl
   end;
   let start = Clock.now () in
+  let deadline = Deadline.make ~seconds:options.deadline_seconds in
+  (* reject an incompatible checkpoint before spending any effort: the
+     fingerprints, candidate set, seed and induction depth must all allow
+     the resumed run to reach the same greatest fixed point *)
+  (match options.resume with
+  | None -> ()
+  | Some cp ->
+    Checkpoint.validate ~spec ~impl
+      ~candidates:(candidates_string options)
+      ~induction:(effective_induction options) ~seed:options.seed cp);
   let product = Product.make spec impl in
   let iterations = ref 0 in
   let retime_rounds = ref 0 in
@@ -485,19 +535,25 @@ let run_with_relation ?(options = default_options) spec impl =
   let lane_solves = ref [||] in
   let steals = ref 0 in
   let sched_wait = ref 0.0 in
-  (* per-phase wall clock, accumulated across retiming rounds *)
+  (* per-phase wall clock, accumulated across retiming rounds; the
+     exception-safe [Clock.measure] keeps the elapsed time of phases that
+     abort on a blown budget *)
   let phases = ref [] in
   let phase name f =
-    let t0 = Clock.now () in
-    Fun.protect
-      ~finally:(fun () ->
-        let dt = Clock.since t0 in
+    Clock.measure
+      ~record:(fun dt ->
         phases :=
           match List.assoc_opt name !phases with
           | Some acc -> (name, acc +. dt) :: List.remove_assoc name !phases
           | None -> !phases @ [ (name, dt) ])
       f
   in
+  let exhausted = ref None in
+  (* pending counterexample lanes of the aborted engine, captured by the
+     per-round finalizer so budget aborts can checkpoint them *)
+  let pool_pending = ref [] in
+  let spec_digest = lazy (Checkpoint.fingerprint spec) in
+  let impl_digest = lazy (Checkpoint.fingerprint impl) in
   let mk_stats partition =
     {
       iterations = !iterations;
@@ -524,7 +580,20 @@ let run_with_relation ?(options = default_options) spec impl =
       eq_pct = (match partition with Some p -> equivalence_percentage product p | None -> 0.0);
       seconds = Clock.since start;
       phase_seconds = !phases;
+      exhausted = !exhausted;
     }
+  in
+  let checkpoint_of ~round ~patterns partition =
+    Checkpoint.of_partition ~spec_digest:(Lazy.force spec_digest)
+      ~impl_digest:(Lazy.force impl_digest) ~engine:(engine_string options)
+      ~candidates:(candidates_string options)
+      ~induction:(effective_induction options) ~seed:options.seed ~retime_rounds:round
+      ~iterations:!iterations ~patterns product.Product.aig partition
+  in
+  let write_checkpoint ~round ~patterns partition =
+    match options.checkpoint_path with
+    | None -> ()
+    | Some path -> Checkpoint.to_file path (checkpoint_of ~round ~patterns partition)
   in
   let relation = ref None in
   let finish verdict = (verdict, product, !relation) in
@@ -551,6 +620,35 @@ let run_with_relation ?(options = default_options) spec impl =
         stats = mk_stats None;
       }
   | Reach.Bmc.No_counterexample _ | Reach.Bmc.Budget _ ->
+    let start_round =
+      (* resume: replay the checkpointed retiming augmentations (they are
+         deterministic functions of the product machine) and pick the
+         iteration up at the round that was interrupted *)
+      match options.resume with
+      | None -> 0
+      | Some cp ->
+        for _ = 1 to cp.Checkpoint.retime_rounds do
+          ignore (Retime_aug.augment product)
+        done;
+        if Aig.num_nodes product.Product.aig <> cp.Checkpoint.product_nodes then
+          raise
+            (Checkpoint.Incompatible
+               (Printf.sprintf
+                  "product-machine shape mismatch: checkpoint has %d nodes, rebuilt \
+                   product has %d"
+                  cp.Checkpoint.product_nodes
+                  (Aig.num_nodes product.Product.aig)));
+        List.iter
+          (fun (pi, latch) ->
+            if
+              Array.length pi <> Aig.num_pis product.Product.aig
+              || Array.length latch <> Aig.num_latches product.Product.aig
+            then raise (Checkpoint.Incompatible "pattern width mismatch"))
+          cp.Checkpoint.patterns;
+        retime_rounds := cp.Checkpoint.retime_rounds;
+        iterations := cp.Checkpoint.iterations;
+        cp.Checkpoint.retime_rounds
+    in
     let rec round n =
       let pol = Product.reference_values ~seed:options.seed product in
       let partition =
@@ -567,7 +665,7 @@ let run_with_relation ?(options = default_options) spec impl =
       let outcome =
         try
           let engine =
-            try make_engine options product pol with
+            try make_engine options deadline product pol with
             | Engine_bdd.Budget_exceeded msg | Engine_sat.Budget_exceeded msg ->
               raise (Budget msg)
             | Bdd.Limit_exceeded -> raise (Budget "bdd nodes")
@@ -598,7 +696,8 @@ let run_with_relation ?(options = default_options) spec impl =
                 Array.blit !lane_solves 0 grown 0 (Array.length !lane_solves);
                 lane_solves := grown
               end;
-              Array.iteri (fun i n -> !lane_solves.(i) <- !lane_solves.(i) + n) tasks
+              Array.iteri (fun i n -> !lane_solves.(i) <- !lane_solves.(i) + n) tasks;
+              pool_pending := engine.pool_patterns ()
             end
           in
           Fun.protect
@@ -626,9 +725,35 @@ let run_with_relation ?(options = default_options) spec impl =
                    point, never distort the initial-frame refutation *)
                 if options.use_ternary_seed then
                   phase "seed" (fun () -> ignore (Ternseed.refine product partition));
+                (* resume: fast-forward the partition to the checkpointed
+                   classes and replay the buffered counterexample lanes.
+                   Placed after the deterministic seeding phases (which the
+                   original run went through too) and after the conclusive
+                   initial-frame check above, so a checkpoint can sharpen
+                   the fixed point but never fabricate a refutation. *)
+                (match options.resume with
+                | Some cp when n = start_round ->
+                  phase "seed" (fun () ->
+                      ignore (Checkpoint.seed_partition cp partition);
+                      engine.pool_add cp.Checkpoint.patterns)
+                | Some _ | None -> ());
+                let poll () =
+                  if Deadline.expired deadline then raise (Budget "deadline");
+                  if options.max_iterations > 0 && !iterations >= options.max_iterations
+                  then raise (Budget "iterations")
+                in
                 phase "fixpoint" (fun () ->
+                    poll ();
                     while engine.refine_once partition do
-                      incr iterations
+                      incr iterations;
+                      poll ();
+                      if
+                        options.checkpoint_every > 0
+                        && !iterations mod options.checkpoint_every = 0
+                      then
+                        write_checkpoint ~round:n
+                          ~patterns:(engine.pool_patterns ())
+                          partition
                     done);
                 incr iterations;
                 record_stats ();
@@ -642,18 +767,37 @@ let run_with_relation ?(options = default_options) spec impl =
                 end
                 else `Done (Unknown (mk_stats (Some partition)))
               end)
-        with Budget _ -> `Done (Unknown (mk_stats (Some partition)))
+        with Budget why ->
+          exhausted := Some why;
+          write_checkpoint ~round:n ~patterns:!pool_pending partition;
+          `Done (Unknown (mk_stats (Some partition)))
       in
       (* the retiming extension restarts with a fresh engine; recursing
          outside the finalizer keeps at most one engine's worker domains
          alive at a time *)
       match outcome with `Done verdict -> verdict | `Retime -> round (n + 1)
     in
-    round 0
+    round start_round
 
 let run ?options spec impl =
   let verdict, _, _ = run_with_relation ?options spec impl in
   verdict
+
+(* Snapshot a finished (or aborted) run as an in-memory checkpoint, so a
+   later run — possibly a cheaper engine, see {!portfolio} — can pick the
+   refinement up where this one left off. *)
+let checkpoint_of_run ~(options : options) ~spec ~impl (verdict, product, relation) =
+  match relation with
+  | None -> Error "the run produced no correspondence relation to checkpoint"
+  | Some partition ->
+    let stats = verdict_stats verdict in
+    Ok
+      (Checkpoint.of_partition ~spec_digest:(Checkpoint.fingerprint spec)
+         ~impl_digest:(Checkpoint.fingerprint impl) ~engine:(engine_string options)
+         ~candidates:(candidates_string options)
+         ~induction:(effective_induction options) ~seed:options.seed
+         ~retime_rounds:stats.retime_rounds ~iterations:stats.iterations ~patterns:[]
+         product.Product.aig partition)
 
 (* Register correspondence only ([5], [9]): the special case whose
    generalization to all signals is the paper's contribution. *)
@@ -694,7 +838,15 @@ let pp_relation ppf (product, partition) =
    tried in increasing cost order until one returns a conclusive verdict;
    every strategy is sound, so the first conclusive answer stands.  The
    budget-limited BDD engine comes first (the paper), then the SAT engine,
-   then its k-inductive strengthenings. *)
+   then its k-inductive strengthenings.
+
+   With a deadline set, the portfolio degrades gracefully instead of
+   returning a bare Unknown: the remaining wall clock is split evenly over
+   the remaining rungs (one extra rung is held in reserve), each rung that
+   runs out of time leaves an in-memory checkpoint of its partition, later
+   rungs whose induction depth the checkpoint can soundly seed resume from
+   it, and the reserved final rung re-runs the paper's BDD engine from the
+   most refined partition any strategy reached. *)
 let portfolio ?(options = default_options) ?(max_unroll = 3) spec impl =
   let strategies =
     { options with engine = Bdd_engine }
@@ -702,11 +854,64 @@ let portfolio ?(options = default_options) ?(max_unroll = 3) spec impl =
          (fun k -> [ { options with engine = Sat_engine; sat_unroll = k } ])
          (List.init max_unroll (fun i -> i + 1))
   in
-  let rec try_all last = function
-    | [] -> (match last with Some v -> v | None -> assert false)
-    | opts :: rest -> (
-      match run ~options:opts spec impl with
-      | (Equivalent _ | Not_equivalent _) as verdict -> verdict
-      | Unknown _ as verdict -> try_all (Some verdict) rest)
-  in
-  try_all None strategies
+  if options.deadline_seconds <= 0.0 then
+    let rec try_all last = function
+      | [] -> (match last with Some v -> v | None -> assert false)
+      | opts :: rest -> (
+        match run ~options:opts spec impl with
+        | (Equivalent _ | Not_equivalent _) as verdict -> verdict
+        | Unknown _ as verdict -> try_all (Some verdict) rest)
+    in
+    try_all None strategies
+  else begin
+    let t0 = Clock.now () in
+    let remaining () = options.deadline_seconds -. Clock.since t0 in
+    let ckpt = ref options.resume in
+    let budget_hit = ref false in
+    (* a checkpoint of induction depth kc soundly seeds runs of effective
+       depth k <= kc only (gfp(kc) is a subset of gfp(k)) *)
+    let seedable opts =
+      match !ckpt with
+      | Some cp when cp.Checkpoint.induction >= effective_induction opts -> Some cp
+      | Some _ | None -> None
+    in
+    let run_rung ~slice opts =
+      let opts = { opts with deadline_seconds = slice; resume = seedable opts } in
+      let ((verdict, _, _) as result) = run_with_relation ~options:opts spec impl in
+      (match verdict with
+      | Unknown stats ->
+        if stats.exhausted <> None then budget_hit := true;
+        (match checkpoint_of_run ~options:opts ~spec ~impl result with
+        | Ok cp -> ckpt := Some cp
+        | Error _ -> ())
+      | Equivalent _ | Not_equivalent _ -> ());
+      verdict
+    in
+    let n = List.length strategies in
+    let rec try_all i last = function
+      | [] -> (
+        (* degradation rung: nothing was conclusive, so spend whatever
+           time is left re-running the BDD engine seeded from the most
+           refined partition instead of reporting a bare Unknown *)
+        let fallback = { options with engine = Bdd_engine; sat_unroll = 1 } in
+        let finished = match last with Some v -> v | None -> assert false in
+        if (not !budget_hit) || remaining () <= 0.001 || seedable fallback = None then
+          finished
+        else
+          match run_rung ~slice:(remaining ()) fallback with
+          | (Equivalent _ | Not_equivalent _) as verdict -> verdict
+          | Unknown _ as verdict -> verdict)
+      | opts :: rest ->
+        let rem = remaining () in
+        if i > 0 && rem <= 0.001 then try_all (i + 1) last rest
+        else begin
+          (* an equal share of what is left, keeping one share in reserve
+             for the degradation rung *)
+          let slice = max 0.001 (rem /. float_of_int (n + 1 - i)) in
+          match run_rung ~slice opts with
+          | (Equivalent _ | Not_equivalent _) as verdict -> verdict
+          | Unknown _ as verdict -> try_all (i + 1) (Some verdict) rest
+        end
+    in
+    try_all 0 None strategies
+  end

@@ -1,0 +1,62 @@
+Deadline budgets and checkpoints: a run that blows its wall-clock budget
+exits 3 (unknown) and leaves a resumable snapshot of the partial
+partition when --checkpoint is set:
+
+  $ seqver gen ctr8 -o spec.blif
+  $ seqver opt spec.blif impl.aag --recipe retime+opt --seed 3 > /dev/null
+  $ seqver verify spec.blif impl.aag --deadline 0.0001 --checkpoint cp.txt -q
+  [3]
+
+The checkpoint records the circuit fingerprints, the options that shape
+the fixed point, and one line per multi-member class:
+
+  $ head -9 cp.txt
+  seqver-checkpoint 1
+  spec-md5 6d97f2e50f16f2f6d4094192c6966496
+  impl-md5 a0042957c5ab6bbedeaebee6f55ff60e
+  engine bdd
+  candidates all
+  induction 1
+  seed 17
+  retime-rounds 0
+  product-nodes 271
+
+  $ seqver checkpoint cp.txt
+  checkpoint: cp.txt
+    spec md5:        6d97f2e50f16f2f6d4094192c6966496
+    impl md5:        a0042957c5ab6bbedeaebee6f55ff60e
+    engine:          bdd
+    candidates:      all
+    induction:       1
+    seed:            17
+    retime rounds:   0
+    product nodes:   271
+    iterations:      0
+    classes:         26 (212 constraints)
+    pool patterns:   0
+
+Resuming from the checkpoint completes the proof (exit 0):
+
+  $ seqver verify spec.blif impl.aag --resume cp.txt -q
+
+A checkpoint never seeds a run on different circuits — the fingerprint
+check refuses it before any engine work (exit 2):
+
+  $ seqver opt spec.blif other.aag --recipe retime+opt --seed 4 > /dev/null
+  $ seqver verify spec.blif other.aag --resume cp.txt -q
+  seqver verify: checkpoint rejected: implementation fingerprint mismatch: checkpoint has a0042957c5ab6bbedeaebee6f55ff60e, circuit is bbeb8a77c10251aec1670f9b6f99ae75
+  [2]
+
+Nor a run whose induction depth exceeds the checkpointed one (its splits
+are only sound at the shallower depth):
+
+  $ seqver verify spec.blif impl.aag -e sat -k 2 --resume cp.txt -q
+  seqver verify: checkpoint rejected: induction mismatch: a depth-1 checkpoint cannot seed a depth-2 run (its splits are only sound at depth <= 1)
+  [2]
+
+A truncated checkpoint is rejected by the inspector (exit 2):
+
+  $ head -5 cp.txt > broken.txt
+  $ seqver checkpoint broken.txt
+  broken.txt: unexpected end of checkpoint (expected induction)
+  [2]

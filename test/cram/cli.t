@@ -25,10 +25,10 @@ Without positional arguments the verify command needs --suite:
   [2]
 
 Register correspondence alone cannot handle the retimed circuit
-(exit code 2 = unknown):
+(exit code 3 = unknown; 2 is reserved for usage and parse errors):
 
   $ seqver verify spec.blif impl.aag -m regcorr --no-retime -q
-  [2]
+  [3]
 
 A broken implementation is refuted (exit code 1):
 
