@@ -73,23 +73,51 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* Static-shape columns: one [Analysis] pass over the (spec, impl) pair,
+   shared by every engine row of that circuit.  [strash_merges] counts
+   the and nodes the structural-reduction pass would eliminate (two-level
+   rewrites plus SAT-proven FRAIG merges) across both sides. *)
+let shape_fragment spec impl =
+  let ms = Analysis.Metrics.summary spec and mi = Analysis.Metrics.summary impl in
+  let merges aig =
+    let _, s = Analysis.Reduce.run aig in
+    s.Analysis.Reduce.rewrites + s.Analysis.Reduce.fraig_merges
+  in
+  Printf.sprintf
+    "\"ands\": %d, \"latches\": %d, \"levels\": %d, \"max_cone\": %d, \
+     \"strash_merges\": %d"
+    (ms.Analysis.Metrics.ands + mi.Analysis.Metrics.ands)
+    (ms.Analysis.Metrics.latches + mi.Analysis.Metrics.latches)
+    (max ms.Analysis.Metrics.levels mi.Analysis.Metrics.levels)
+    (max ms.Analysis.Metrics.max_cone mi.Analysis.Metrics.max_cone)
+    (merges spec + merges impl)
+
 (* Record one measured verification run; also the smoke-mode verdict gate. *)
-let record ~circuit ~engine verdict seconds =
+let record ~circuit ~engine ~shape verdict seconds =
   let s = Scorr.verdict_stats verdict in
   let name = verdict_name verdict in
   if !smoke && name <> "proved" then
     smoke_failures := Printf.sprintf "%s/%s: %s" circuit engine name :: !smoke_failures;
+  (* peak_nodes is a BDD measurement: a row whose run never built a BDD
+     reports null, not a real-looking 0 *)
+  let peak =
+    if engine = "bdd" || s.Scorr.Verify.peak_bdd_nodes > 0 then
+      string_of_int s.Scorr.Verify.peak_bdd_nodes
+    else "null"
+  in
   json_rows :=
     Printf.sprintf
       "{\"circuit\": \"%s\", \"engine\": \"%s\", \"verdict\": \"%s\", \
-       \"seconds\": %.3f, \"sat_calls\": %d, \"peak_nodes\": %d, \
+       \"seconds\": %.3f, \"sat_calls\": %d, \"peak_nodes\": %s, \
        \"iterations\": %d, \"retime_rounds\": %d, \"pool_lanes\": %d, \
        \"resim_splits\": %d, \"batched_solves\": %d, \"cache_hits\": %d, \
+       \"static_splits\": %d, %s, \
        \"jobs\": %d, \"domains\": %d, \"steals\": %d, \"sched_wait\": %.3f, \
        \"deadline\": %.3f, \"exhausted\": %s, \"eq_pct\": %.1f}"
       (json_escape circuit) (json_escape engine) name seconds
-      s.Scorr.Verify.sat_calls s.peak_bdd_nodes s.iterations s.retime_rounds
+      s.Scorr.Verify.sat_calls peak s.iterations s.retime_rounds
       s.pool_lanes s.resim_splits s.batched_solves s.cache_hits
+      s.static_splits shape
       !sweep_jobs s.domains s.steals s.sched_wait_seconds !deadline_flag
       (match s.exhausted with
       | Some why -> Printf.sprintf "\"%s\"" (json_escape why)
@@ -296,10 +324,11 @@ let smoke_circuits = [ "ctr8"; "gray12"; "traffic"; "mod10"; "arb4" ]
 let ablation_engine () =
   Printf.printf
     "A3: BDD refinement (the paper) vs SAT refinement (the paper's future work),\n\
-     and the batched sweeps + counterexample pool vs the legacy pairwise scans\n\n";
-  Printf.printf "%-9s | %-8s %7s %8s | %-8s %7s %7s %5s %5s %5s | %-8s %7s %7s\n" "circuit"
-    "bdd" "time" "nodes" "sat" "time" "calls" "pool" "resim" "hits" "sat-pair" "time"
-    "calls";
+     the batched sweeps + counterexample pool vs the legacy pairwise scans,\n\
+     and the analysis-steered portfolio (pre-reduction + engine-rung plan)\n\n";
+  Printf.printf "%-9s | %-8s %7s %8s | %-8s %7s %7s %5s %5s %5s | %-8s %7s %7s | %-8s %7s %7s\n"
+    "circuit" "bdd" "time" "nodes" "sat" "time" "calls" "pool" "resim" "hits" "sat-pair"
+    "time" "calls" "auto" "time" "solves";
   print_endline line;
   let pairs =
     Array.of_list
@@ -310,14 +339,12 @@ let ablation_engine () =
          (suite_pairs Circuits.Suite.Retime_opt))
   in
   let job () (_, spec, impl) =
-    let run options =
-      let options =
-        if !smoke then
-          { options with Scorr.Verify.max_sat_calls = 50_000; node_limit = 500_000 }
-        else options
-      in
-      timed (fun () -> Scorr.check ~options spec impl)
+    let budgeted options =
+      if !smoke then
+        { options with Scorr.Verify.max_sat_calls = 50_000; node_limit = 500_000 }
+      else options
     in
+    let run options = timed (fun () -> Scorr.check ~options:(budgeted options) spec impl) in
     let bdd = run (scorr_options ()) in
     let sat =
       run { (scorr_options ()) with Scorr.Verify.engine = Scorr.Verify.Sat_engine }
@@ -330,24 +357,35 @@ let ablation_engine () =
           use_batched_sweeps = false;
         }
     in
-    (bdd, sat, pairwise)
+    let auto =
+      let options = budgeted { (scorr_options ()) with Scorr.Verify.use_analysis = true } in
+      timed (fun () -> Scorr.portfolio ~options spec impl)
+    in
+    (bdd, sat, pairwise, auto)
   in
   let pool = Scorr.Parsweep.create ~jobs:!jobs ~init:(fun _ -> ()) in
   let results = Scorr.Parsweep.map pool ~f:job pairs in
   Scorr.Parsweep.shutdown pool;
   Array.iteri
-    (fun i ((vb, tb), (vs, ts), (vp, tp)) ->
-      let e, _, _ = pairs.(i) in
+    (fun i ((vb, tb), (vs, ts), (vp, tp), (va, ta)) ->
+      let e, spec, impl = pairs.(i) in
       let name = e.Circuits.Suite.name in
-      record ~circuit:name ~engine:"bdd" vb tb;
-      record ~circuit:name ~engine:"sat" vs ts;
-      record ~circuit:name ~engine:"sat-pairwise" vp tp;
-      let sb = Scorr.verdict_stats vs and sp = Scorr.verdict_stats vp in
+      let shape = shape_fragment spec impl in
+      record ~circuit:name ~engine:"bdd" ~shape vb tb;
+      record ~circuit:name ~engine:"sat" ~shape vs ts;
+      record ~circuit:name ~engine:"sat-pairwise" ~shape vp tp;
+      record ~circuit:name ~engine:"auto" ~shape va ta;
+      let sb = Scorr.verdict_stats vs
+      and sp = Scorr.verdict_stats vp
+      and sa = Scorr.verdict_stats va in
       Printf.printf
-        "%-9s | %-8s %7.2f %8d | %-8s %7.2f %7d %5d %5d %5d | %-8s %7.2f %7d\n%!" name
-        (verdict_name vb) tb (Scorr.verdict_stats vb).Scorr.Verify.peak_bdd_nodes
+        "%-9s | %-8s %7.2f %8d | %-8s %7.2f %7d %5d %5d %5d | %-8s %7.2f %7d | %-8s %7.2f \
+         %7d\n\
+         %!"
+        name (verdict_name vb) tb (Scorr.verdict_stats vb).Scorr.Verify.peak_bdd_nodes
         (verdict_name vs) ts sb.Scorr.Verify.sat_calls sb.pool_lanes sb.resim_splits
-        sb.cache_hits (verdict_name vp) tp sp.Scorr.Verify.sat_calls)
+        sb.cache_hits (verdict_name vp) tp sp.Scorr.Verify.sat_calls (verdict_name va) ta
+        sa.Scorr.Verify.batched_solves)
     results
 
 (* --- A4: reachable don't-cares -------------------------------------------------------- *)

@@ -4,8 +4,9 @@
    special case, or the traversal baseline), bmc (bounded refutation),
    check-cert (independently re-validate an equivalence certificate),
    replay (re-simulate a counterexample witness), lint (static analysis),
-   gen (emit suite circuits), opt (apply the synthesis pipeline), sim
-   (random simulation), stats. *)
+   analyze (structural shape metrics, reduction opportunities and
+   diagnostics), gen (emit suite circuits), opt (apply the synthesis
+   pipeline), sim (random simulation), stats. *)
 
 (* Every input path is preflight-linted — including .aag files, which used
    to bypass validation entirely; a rejection prints the full
@@ -117,8 +118,8 @@ let run_verify_suite engine jobs deadline quiet =
   !code
 
 let run_verify spec_path impl_path meth engine no_sim_seed no_fundep no_retime dontcare
-    node_limit unroll seconds deadline checkpoint checkpoint_every resume show_classes
-    emit_cert emit_witness jobs suite quiet =
+    analysis node_limit unroll seconds deadline checkpoint checkpoint_every resume
+    show_classes emit_cert emit_witness jobs suite quiet =
   if suite then run_verify_suite engine jobs deadline quiet
   else
   match (spec_path, impl_path) with
@@ -160,6 +161,9 @@ let run_verify spec_path impl_path meth engine no_sim_seed no_fundep no_retime d
       use_fundep = not no_fundep;
       use_retime = not no_retime;
       use_reach_dontcare = dontcare;
+      (* the portfolio is analysis-steered by default; the flag opts the
+         direct methods into the static support prefilter *)
+      use_analysis = analysis || meth = M_auto;
       node_limit;
       sat_unroll = unroll;
       jobs = (if jobs > 0 then jobs else Scorr.default_options.Scorr.Verify.jobs);
@@ -538,7 +542,7 @@ let lint_subjects files suite =
   in
   List.map of_file files @ from_suite
 
-let run_lint files suite json strict =
+let run_lint files suite json strict analysis =
   let subjects =
     try lint_subjects files suite with
     | Netlist.Blif.Parse_error msg | Netlist.Bench.Parse_error msg ->
@@ -557,7 +561,7 @@ let run_lint files suite json strict =
         let diags =
           match c with
           | `Netlist n -> Lint.check_netlist n
-          | `Aig a -> Lint.check_aig a
+          | `Aig a -> Lint.check_aig ~analysis a
         in
         (subject, diags))
       subjects
@@ -569,6 +573,41 @@ let run_lint files suite json strict =
   else
     List.iter (fun (subject, diags) -> print_string (Lint.render ~subject diags)) results;
   List.fold_left (fun code (_, diags) -> max code (Lint.exit_code ~strict diags)) 0 results
+
+(* --- analyze -------------------------------------------------------------------- *)
+
+(* Static structural analysis over AIGs: per-circuit shape metrics, the
+   reduction the structural pass would apply (with its SAT-discharged
+   proof-obligation count), and the static diagnostics.  Exit codes: 0
+   analyzed (all diagnostics clean, or [--strict] unset), 1 a diagnostic
+   fired under [--strict], 2 parse/usage trouble. *)
+let run_analyze files suite json strict no_reduce =
+  let subjects =
+    List.map (fun path -> (path, read_circuit path)) files
+    @
+    if not suite then []
+    else
+      List.map
+        (fun e ->
+          ( "suite:" ^ e.Circuits.Suite.name,
+            fst (Aig.of_netlist (e.Circuits.Suite.build ())) ))
+        Circuits.Suite.suite
+  in
+  if subjects = [] then begin
+    prerr_endline "seqver analyze: expected FILE arguments or --suite";
+    exit 2
+  end;
+  let reports =
+    List.map (fun (name, aig) -> Analysis.report ~reduce:(not no_reduce) ~name aig) subjects
+  in
+  if json then
+    Printf.printf "[%s]\n" (String.concat "," (List.map Analysis.to_json reports))
+  else List.iter (fun r -> print_string (Analysis.render r)) reports;
+  if
+    strict
+    && List.exists (fun r -> not (Analysis.Diag.clean r.Analysis.diag)) reports
+  then 1
+  else 0
 
 (* --- stats ---------------------------------------------------------------------- *)
 
@@ -611,6 +650,13 @@ let verify_cmd =
   let no_retime = Arg.(value & flag & info [ "no-retime" ] ~doc:"Disable retiming extension.") in
   let dontcare =
     Arg.(value & flag & info [ "dontcare" ] ~doc:"Strengthen Q with approximate reachability.")
+  in
+  let analysis =
+    Arg.(value & flag
+         & info [ "analysis" ]
+             ~doc:"Enable the static-analysis layer: the input-support candidate \
+                   prefilter inside the fixed point (and, with -m auto, reduction and \
+                   engine steering — the default there).")
   in
   let node_limit =
     Arg.(value & opt int 2_000_000 & info [ "node-limit" ] ~doc:"BDD node budget.")
@@ -680,8 +726,9 @@ let verify_cmd =
              (exit 0 equivalent, 1 not equivalent, 3 unknown, 2 usage/parse error)")
     Term.(
       const run_verify $ spec $ impl $ meth $ engine $ no_sim_seed $ no_fundep $ no_retime
-      $ dontcare $ node_limit $ unroll $ seconds $ deadline $ checkpoint $ checkpoint_every
-      $ resume $ show_classes $ emit_cert $ emit_witness $ jobs $ suite $ quiet)
+      $ dontcare $ analysis $ node_limit $ unroll $ seconds $ deadline $ checkpoint
+      $ checkpoint_every $ resume $ show_classes $ emit_cert $ emit_witness $ jobs $ suite
+      $ quiet)
 
 let gen_cmd =
   let circuit_name = Arg.(value & pos 0 string "" & info [] ~docv:"NAME") in
@@ -783,9 +830,35 @@ let lint_cmd =
   let suite =
     Arg.(value & flag & info [ "suite" ] ~doc:"Also lint every built-in suite circuit.")
   in
+  let analysis =
+    Arg.(value & flag
+         & info [ "analysis" ]
+             ~doc:"Also run the analysis-backed rules on AIG subjects \
+                   (unobservable-latch, reducible-logic).")
+  in
   Cmd.v
     (Cmd.info "lint" ~doc:"Run the static-analysis rules over circuits")
-    Term.(const run_lint $ files $ suite $ json $ strict)
+    Term.(const run_lint $ files $ suite $ json $ strict $ analysis)
+
+let analyze_cmd =
+  let files = Arg.(value & pos_all file [] & info [] ~docv:"FILE") in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
+  let strict =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Exit 1 when any static diagnostic fired.")
+  in
+  let suite =
+    Arg.(value & flag & info [ "suite" ] ~doc:"Also analyze every built-in suite circuit.")
+  in
+  let no_reduce =
+    Arg.(value & flag
+         & info [ "no-reduce" ]
+             ~doc:"Skip the structural-reduction pass (metrics and diagnostics only).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Report structural shape metrics, reduction opportunities and static \
+             diagnostics (exit 0 clean, 1 findings under $(b,--strict), 2 parse error)")
+    Term.(const run_analyze $ files $ suite $ json $ strict $ no_reduce)
 
 let () =
   let doc = "sequential equivalence checking without state space traversal" in
@@ -794,4 +867,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ verify_cmd; bmc_cmd; check_cert_cmd; replay_cmd; checkpoint_cmd; lint_cmd;
-            gen_cmd; opt_cmd; sim_cmd; stats_cmd ]))
+            analyze_cmd; gen_cmd; opt_cmd; sim_cmd; stats_cmd ]))

@@ -1,0 +1,91 @@
+(* Static structural diagnostics over an AIG.
+
+   Facts only — the lint layer decides severities and wording.  The
+   acyclicity fact deserves a note: AIG construction makes combinational
+   cycles unrepresentable (AND fanins must reference earlier nodes), so
+   [combinational_cycle] can only report a violation on a graph whose
+   internal invariants were corrupted by construction-time mutation — the
+   product machine after retiming augmentation is the interesting client,
+   since it is grown in place. *)
+
+type t = {
+  acyclic : bool;  (* topological invariant intact; no combinational cycle *)
+  structure_error : string option;  (* [Aig.validate] failure, if any *)
+  undriven_latches : int list;  (* latch indices with no next-state function *)
+  dead_nodes : int list;  (* AND node ids unreachable from every PO *)
+  unobservable_latches : int list;  (* latch indices no PO depends on *)
+  constant_pos : (string * bool) list;  (* outputs stuck at a constant literal *)
+}
+
+let run aig =
+  let n = Aig.num_nodes aig in
+  let structure_error =
+    match Aig.validate aig with Ok () -> None | Error msg -> Some msg
+  in
+  let undriven_latches =
+    (* [validate] reports the first offender; the per-latch list lets lint
+       name every one *)
+    List.filter_map
+      (fun id ->
+        let i = Aig.latch_index aig id in
+        if Aig.latch_next aig i < 0 then Some i else None)
+      (Aig.latch_ids aig)
+  in
+  (* acyclicity = the topological-order invariant of the representation:
+     every AND reads strictly earlier nodes, every latch next is a valid
+     literal of the graph *)
+  let acyclic =
+    let ok = ref true in
+    for id = 1 to n - 1 do
+      match Aig.node aig id with
+      | Aig.And (a, b) ->
+        if Aig.node_of_lit a >= id || Aig.node_of_lit b >= id then ok := false
+      | Aig.Const | Aig.Pi _ | Aig.Latch _ -> ()
+    done;
+    !ok && undriven_latches = []
+  in
+  (* observability: mark the cone of the POs, pulling each reached latch's
+     next-state cone in (the same closure [Aig.cleanup] removes against) *)
+  let observable = Array.make n false in
+  observable.(0) <- true;
+  let rec mark id =
+    if id < n && not observable.(id) then begin
+      observable.(id) <- true;
+      match Aig.node aig id with
+      | Aig.And (a, b) ->
+        mark (Aig.node_of_lit a);
+        mark (Aig.node_of_lit b)
+      | Aig.Latch i ->
+        let nx = Aig.latch_next aig i in
+        if nx >= 0 then mark (Aig.node_of_lit nx)
+      | Aig.Const | Aig.Pi _ -> ()
+    end
+  in
+  List.iter (fun (_, l) -> mark (Aig.node_of_lit l)) (Aig.pos aig);
+  let dead_nodes = ref [] and unobservable_latches = ref [] in
+  for id = n - 1 downto 1 do
+    if not observable.(id) then begin
+      match Aig.node aig id with
+      | Aig.And _ -> dead_nodes := id :: !dead_nodes
+      | Aig.Latch i -> unobservable_latches := i :: !unobservable_latches
+      | Aig.Const | Aig.Pi _ -> ()
+    end
+  done;
+  let constant_pos =
+    List.filter_map
+      (fun (name, l) ->
+        if Aig.node_of_lit l = 0 then Some (name, Aig.lit_is_compl l) else None)
+      (Aig.pos aig)
+  in
+  {
+    acyclic;
+    structure_error;
+    undriven_latches;
+    dead_nodes = !dead_nodes;
+    unobservable_latches = !unobservable_latches;
+    constant_pos;
+  }
+
+let clean d =
+  d.acyclic && d.structure_error = None && d.undriven_latches = [] && d.dead_nodes = []
+  && d.unobservable_latches = [] && d.constant_pos = []

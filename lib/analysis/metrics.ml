@@ -1,0 +1,166 @@
+(* Per-node structural metrics of an AIG.
+
+   Everything here is a fact about the graph, not about its semantics:
+   logic level (combinational depth), fanout, latch distance (the minimum
+   number of register crossings separating a node from the primary
+   inputs), combinational cone size, and a structural-hash signature per
+   node.  The metrics feed three consumers: the `seqver analyze` report,
+   the shape columns of `bench --json`, and the engine-steering policy of
+   [Verify.portfolio] (see [Steer]). *)
+
+type t = {
+  n : int;
+  level : int array;  (* combinational depth; inputs/latches/const = 0 *)
+  latch_dist : int array;  (* min register crossings back to a PI; max_int = autonomous *)
+  fanout : int array;  (* references as AND fanin, latch next or PO *)
+  cone : int array;  (* nodes in the combinational transitive fanin, inclusive *)
+  signature : int64 array;  (* structural hash, polarity-normalized fanins *)
+}
+
+let infinity_dist = max_int
+
+(* 64-bit mixer (splitmix64 finalizer); good avalanche for cheap cost. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let combine a b = mix64 (Int64.add (mix64 a) (Int64.mul 0x9e3779b97f4a7c15L b))
+
+let make aig =
+  let n = Aig.num_nodes aig in
+  let level = Array.make n 0 in
+  let latch_dist = Array.make n infinity_dist in
+  let fanout = Array.make n 0 in
+  let cone = Array.make n 1 in
+  let signature = Array.make n 0L in
+  let words = (n + 63) / 64 in
+  (* combinational cone membership as one bitset row per node; rows of
+     PIs/latches/const contain just the node itself *)
+  let rows = Array.make (n * words) 0L in
+  let set_bit row id =
+    let idx = (row * words) + (id lsr 6) in
+    rows.(idx) <- Int64.logor rows.(idx) (Int64.shift_left 1L (id land 63))
+  in
+  let union_into dst src =
+    let db = dst * words and sb = src * words in
+    for w = 0 to words - 1 do
+      rows.(db + w) <- Int64.logor rows.(db + w) rows.(sb + w)
+    done
+  in
+  let popcount w =
+    (* SWAR: parallel bit count in four steps *)
+    let open Int64 in
+    let w = sub w (logand (shift_right_logical w 1) 0x5555555555555555L) in
+    let w =
+      add (logand w 0x3333333333333333L) (logand (shift_right_logical w 2) 0x3333333333333333L)
+    in
+    let w = logand (add w (shift_right_logical w 4)) 0x0f0f0f0f0f0f0f0fL in
+    to_int (shift_right_logical (mul w 0x0101010101010101L) 56)
+  in
+  let popcount_row row =
+    let acc = ref 0 in
+    let base = row * words in
+    for w = 0 to words - 1 do
+      acc := !acc + popcount rows.(base + w)
+    done;
+    !acc
+  in
+  let sig_lit l =
+    let s = signature.(Aig.node_of_lit l) in
+    if Aig.lit_is_compl l then Int64.lognot s else s
+  in
+  (* ascending ids are a topological order of the combinational structure,
+     so one forward pass settles level, cone and signature *)
+  for id = 0 to n - 1 do
+    set_bit id id;
+    match Aig.node aig id with
+    | Aig.Const -> signature.(id) <- mix64 0x1L
+    | Aig.Pi i -> signature.(id) <- combine 0x50L (Int64.of_int i)
+    | Aig.Latch i -> signature.(id) <- combine 0x4cL (Int64.of_int i)
+    | Aig.And (a, b) ->
+      let na = Aig.node_of_lit a and nb = Aig.node_of_lit b in
+      level.(id) <- 1 + max level.(na) level.(nb);
+      fanout.(na) <- fanout.(na) + 1;
+      fanout.(nb) <- fanout.(nb) + 1;
+      union_into id na;
+      union_into id nb;
+      cone.(id) <- popcount_row id;
+      (* fanins are sorted by [mk_and], so the hash is commutation-stable *)
+      signature.(id) <- combine (sig_lit a) (sig_lit b)
+  done;
+  for i = 0 to Aig.num_latches aig - 1 do
+    let nx = Aig.node_of_lit (Aig.latch_next aig i) in
+    fanout.(nx) <- fanout.(nx) + 1
+  done;
+  List.iter
+    (fun (_, l) ->
+      let nl = Aig.node_of_lit l in
+      fanout.(nl) <- fanout.(nl) + 1)
+    (Aig.pos aig);
+  (* latch distance: shortest register path from the inputs, through the
+     latch feedback arcs — Bellman-Ford style to a fixed point, since the
+     latch graph is cyclic *)
+  List.iter (fun id -> latch_dist.(id) <- 0) (Aig.pis aig);
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for id = 0 to n - 1 do
+      let improve d = if d < latch_dist.(id) then (latch_dist.(id) <- d; changed := true) in
+      match Aig.node aig id with
+      | Aig.Const | Aig.Pi _ -> ()
+      | Aig.And (a, b) ->
+        improve (min latch_dist.(Aig.node_of_lit a) latch_dist.(Aig.node_of_lit b))
+      | Aig.Latch i ->
+        let d = latch_dist.(Aig.node_of_lit (Aig.latch_next aig i)) in
+        if d < infinity_dist then improve (d + 1)
+    done
+  done;
+  { n; level; latch_dist; fanout; cone; signature }
+
+(* --- aggregate shape -------------------------------------------------------- *)
+
+type summary = {
+  pis : int;
+  latches : int;
+  ands : int;
+  pos : int;
+  levels : int;  (* max combinational depth of any node *)
+  max_cone : int;  (* largest combinational transitive fanin *)
+  max_fanout : int;
+  max_latch_dist : int;  (* deepest finite register distance *)
+  autonomous : int;  (* nodes with no structural path from any PI *)
+  distinct_signatures : int;
+}
+
+let summarize aig m =
+  let levels = Array.fold_left max 0 m.level in
+  let max_cone = Array.fold_left max 0 m.cone in
+  let max_fanout = Array.fold_left max 0 m.fanout in
+  let max_latch_dist =
+    Array.fold_left (fun acc d -> if d < infinity_dist then max acc d else acc) 0 m.latch_dist
+  in
+  let autonomous =
+    (* exclude the constant node: it is trivially input-free *)
+    let c = ref 0 in
+    for id = 1 to m.n - 1 do
+      if m.latch_dist.(id) = infinity_dist then incr c
+    done;
+    !c
+  in
+  let seen = Hashtbl.create (2 * m.n) in
+  Array.iter (fun s -> Hashtbl.replace seen s ()) m.signature;
+  {
+    pis = Aig.num_pis aig;
+    latches = Aig.num_latches aig;
+    ands = Aig.num_ands aig;
+    pos = List.length (Aig.pos aig);
+    levels;
+    max_cone;
+    max_fanout;
+    max_latch_dist;
+    autonomous;
+    distinct_signatures = Hashtbl.length seen;
+  }
+
+let summary aig = summarize aig (make aig)

@@ -1,0 +1,95 @@
+(* Primary-input support, closed through the latch next-state functions.
+
+   supp(v) is the set of PIs with a structural path to v, where a path may
+   pass through any number of registers (each latch contributes its
+   next-state cone).  Structural support over-approximates semantic
+   support, which gives the static candidate-equivalence prefilter its
+   contract: two signals with DISJOINT non-empty structural supports can
+   only be sequentially equivalent if both are semantically input-free —
+   so splitting such a pair out of a candidate class costs zero solver
+   calls and is almost always right.  The "almost" is why the split is a
+   heuristic refinement: it preserves soundness of the verdict (splits
+   never fabricate an equivalence) but can in principle lose a proof that
+   hinges on an input-vacuous pair whose vacuity is not structural.
+   Signals with EMPTY structural support (autonomous counters, stuck
+   constants) are never split from anything: they are exactly the
+   candidates whose equivalences live beyond the inputs' reach. *)
+
+type t = {
+  n : int;
+  n_pis : int;
+  words : int;  (* words per row: ceil(n_pis / 64) *)
+  rows : int64 array;  (* n rows of [words] int64s *)
+}
+
+let make aig =
+  let n = Aig.num_nodes aig in
+  let n_pis = Aig.num_pis aig in
+  let words = max 1 ((n_pis + 63) / 64) in
+  let t = { n; n_pis; words; rows = Array.make (n * words) 0L } in
+  List.iter
+    (fun id ->
+      let i = Aig.pi_index aig id in
+      let idx = (id * t.words) + (i lsr 6) in
+      t.rows.(idx) <- Int64.logor t.rows.(idx) (Int64.shift_left 1L (i land 63)))
+    (Aig.pis aig);
+  let union_into dst src =
+    if dst = src then false
+    else begin
+      let changed = ref false in
+      let db = dst * t.words and sb = src * t.words in
+      for w = 0 to t.words - 1 do
+        let v = Int64.logor t.rows.(db + w) t.rows.(sb + w) in
+        if v <> t.rows.(db + w) then begin
+          t.rows.(db + w) <- v;
+          changed := true
+        end
+      done;
+      !changed
+    end
+  in
+  (* iterate to a fixed point: the latch feedback arcs make the support
+     relation recursive *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for id = 0 to n - 1 do
+      match Aig.node aig id with
+      | Aig.Const | Aig.Pi _ -> ()
+      | Aig.And (a, b) ->
+        if union_into id (Aig.node_of_lit a) then changed := true;
+        if union_into id (Aig.node_of_lit b) then changed := true
+      | Aig.Latch i ->
+        if union_into id (Aig.node_of_lit (Aig.latch_next aig i)) then changed := true
+    done
+  done;
+  t
+
+let empty t id =
+  let base = id * t.words in
+  let rec go w = w >= t.words || (t.rows.(base + w) = 0L && go (w + 1)) in
+  go 0
+
+let intersects t a b =
+  let ab = a * t.words and bb = b * t.words in
+  let rec go w =
+    w < t.words && (Int64.logand t.rows.(ab + w) t.rows.(bb + w) <> 0L || go (w + 1))
+  in
+  go 0
+
+(* The prefilter predicate: may [a] and [b] stay candidates for
+   equivalence?  Yes unless both supports are non-empty and disjoint. *)
+let compatible t a b =
+  a >= t.n || b >= t.n || empty t a || empty t b || intersects t a b
+
+let support_size t id =
+  let acc = ref 0 in
+  let base = id * t.words in
+  for w = 0 to t.words - 1 do
+    let x = ref t.rows.(base + w) in
+    while !x <> 0L do
+      acc := !acc + Int64.(to_int (logand !x 1L));
+      x := Int64.shift_right_logical !x 1
+    done
+  done;
+  !acc

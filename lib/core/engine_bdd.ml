@@ -31,6 +31,8 @@ type ctx = {
   proved_at : (int, int) Hashtbl.t; (* class -> version proven stable *)
   mutable n_batched : int; (* batched class scans performed *)
   mutable n_cache_hits : int; (* classes skipped by the stability cache *)
+  static_filter : bool; (* split PI-support-incompatible candidates for free *)
+  mutable n_static : int; (* classes split by the static prefilter *)
   sched : unit Parsweep.t;
       (* single-lane scheduler: BDD hash-consing is shared-mutable, so
          class scans stay serial, but the sweep runs through the same
@@ -51,7 +53,7 @@ let note ctx =
    adjacent); [care_of] may compute a reachable upper bound over the state
    variables once they exist. *)
 let make ?(use_fundep = true) ?latch_order ?care_of ?(node_limit = max_int)
-    ?(deadline = Deadline.none) p =
+    ?(deadline = Deadline.none) ?(static_filter = false) p =
   let aig = p.Product.aig in
   let m = Bdd.create () in
   if node_limit < max_int then Bdd.set_node_limit m (2 * node_limit);
@@ -109,7 +111,7 @@ let make ?(use_fundep = true) ?latch_order ?care_of ?(node_limit = max_int)
     { p; m; n_pis; n_latches; x1; s; x2; cur; delta; nxt; ini; use_fundep; care;
       node_limit; deadline; peak_nodes = 0; pool = Simpool.create aig;
       support = lazy (Support.make aig); proved_at = Hashtbl.create 256;
-      n_batched = 0; n_cache_hits = 0;
+      n_batched = 0; n_cache_hits = 0; static_filter; n_static = 0;
       sched = Parsweep.create ~jobs:1 ~init:(fun _ -> ()) }
   in
   note ctx;
@@ -117,6 +119,27 @@ let make ?(use_fundep = true) ?latch_order ?care_of ?(node_limit = max_int)
 
 let shutdown ctx = Parsweep.shutdown ctx.sched
 let sched_stats ctx = Parsweep.stats ctx.sched
+
+(* Zero-cost static refinement: split candidates whose structural PI
+   supports are non-empty and disjoint — such pairs can only be equivalent
+   if semantically input-free, which their structure contradicts.  Runs
+   before each pass so pairs arising from earlier splits are caught;
+   [Partition.refine_class] bumps the version and records moves, so the
+   suspect/strict protocol covers these splits like any other. *)
+let static_prefilter ctx partition =
+  if not ctx.static_filter then 0
+  else begin
+    let support = Lazy.force ctx.support in
+    List.fold_left
+      (fun acc cls ->
+        if Support.prefilter_class support partition cls then begin
+          ctx.n_static <- ctx.n_static + 1;
+          acc + 1
+        end
+        else acc)
+      0
+      (Partition.multi_member_classes partition)
+  end
 
 let norm ctx f pol = if pol then Bdd.mk_not ctx.m f else f
 
@@ -129,6 +152,7 @@ let norm_ini ctx partition id = norm ctx (ctx.ini (Aig.lit_of_node id)) (Partiti
    BDD of the normalized function at s0 — hash-consing makes equality a
    key comparison. *)
 let refine_initial ctx partition =
+  ignore (static_prefilter ctx partition);
   ignore (Partition.refine_by_key partition (fun id -> Bdd.id (norm_ini ctx partition id)));
   note ctx
 
@@ -264,6 +288,8 @@ let nu_builder ~clamp_size ctx partition q subst =
    class split.  Legacy pairwise comparison within each class; kept for
    benchmarking and the equal-fixed-point cross-check. *)
 let refine_once_pairwise ?(clamp_size = 2_000) ctx partition =
+  if static_prefilter ctx partition > 0 then true
+  else
   let m = ctx.m in
   let subst = if ctx.use_fundep then fundep_subst ctx partition else None in
   let q = correspondence_condition ctx partition subst in
@@ -336,6 +362,9 @@ type outcome =
    version. *)
 let sweep ~clamp_size ctx partition ~trust =
   let splits = ref (Simpool.flush ctx.pool partition > 0) in
+  (* zero-cost splits first, so the frozen Q and the task list already see
+     the statically refined partition *)
+  if static_prefilter ctx partition > 0 then splits := true;
   let vq = Partition.version partition in
   let subst = if ctx.use_fundep then fundep_subst ctx partition else None in
   let q = correspondence_condition ctx partition subst in

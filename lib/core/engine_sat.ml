@@ -93,6 +93,8 @@ type ctx = {
   mutable n_cache_hits : int; (* classes skipped by the UNSAT cache *)
   jobs : int; (* worker lanes for Eq.(3) sweeps *)
   sched : wstate Parsweep.t; (* persistent pool; lane 0 = primary solver *)
+  static_filter : bool; (* split support-disjoint members before solving *)
+  mutable n_static : int; (* classes split by the static prefilter *)
 }
 
 (* Chain [n] frames of [aig] inside [solver].  [first_latch_var] supplies
@@ -122,7 +124,8 @@ let unroll solver aig ~n ~first_latch_var =
   done;
   frames
 
-let make ?(max_sat_calls = max_int) ?(k = 1) ?(jobs = 1) ?(deadline = Deadline.none) p =
+let make ?(max_sat_calls = max_int) ?(k = 1) ?(jobs = 1) ?(deadline = Deadline.none)
+    ?(static_filter = false) p =
   if k < 1 then invalid_arg "Engine_sat.make: k must be >= 1";
   let aig = p.Product.aig in
   let solver = Sat.create () in
@@ -184,6 +187,8 @@ let make ?(max_sat_calls = max_int) ?(k = 1) ?(jobs = 1) ?(deadline = Deadline.n
     n_cache_hits = 0;
     jobs = max 1 jobs;
     sched;
+    static_filter;
+    n_static = 0;
   }
 
 let shutdown ctx = Parsweep.shutdown ctx.sched
@@ -242,11 +247,33 @@ let pool_model ctx solver lit_of =
     ~latch:(fun i ->
       Sat.value_lit solver (lit_of (Aig.lit_of_node (Aig.latch_node aig i))))
 
+(* Static candidate prefilter: split members whose PI support (closed
+   through latches) is non-empty and disjoint from their subgroup
+   representative's — zero solver calls.  Run once per pass so splits by
+   other means re-expose new disjoint representative pairs.  Applied by
+   the batched AND the pairwise scans, so both compute the same fixed
+   point whatever the [static_filter] setting. *)
+let static_prefilter ctx partition =
+  if not ctx.static_filter then 0
+  else begin
+    let support = Lazy.force ctx.support in
+    List.fold_left
+      (fun acc cls ->
+        if Support.prefilter_class support partition cls then begin
+          ctx.n_static <- ctx.n_static + 1;
+          acc + 1
+        end
+        else acc)
+      0
+      (Partition.multi_member_classes partition)
+  end
+
 (* --- legacy pairwise scans (kept for benchmarking and cross-checks) -------- *)
 
 (* Initial-state refinement: classes must agree on every input in each of
    the first k frames from s0 (Equation 2 for k = 1). *)
 let refine_initial_pairwise ctx partition =
+  ignore (static_prefilter ctx partition);
   let rec clean_pass () =
     let violated =
       List.find_map
@@ -325,6 +352,8 @@ let q_of ctx partition =
    frames; split all classes with the witness.  Returns false when a full
    scan finds no violation. *)
 let refine_once_pairwise ctx partition =
+  if static_prefilter ctx partition > 0 then true
+  else
   let q = q_of ctx partition in
   let last = ctx.frames.(ctx.k) in
   let violated =
@@ -369,6 +398,7 @@ let refine_initial ctx partition =
   let progress = ref true in
   while !progress do
     progress := false;
+    if static_prefilter ctx partition > 0 then progress := true;
     List.iter
       (fun cls ->
         let clean =
@@ -543,6 +573,9 @@ let sweep ctx partition ~trust =
   if Deadline.expired ctx.deadline then raise (Budget_exceeded "deadline");
   if Atomic.get ctx.sat_calls >= ctx.max_sat_calls then
     raise (Budget_exceeded "sat calls");
+  (* zero-cost splits first, so the frozen Q and the round's tasks see the
+     statically refined partition *)
+  splits := !splits + static_prefilter ctx partition;
   let vq = Partition.version partition in
   let pairs =
     List.map

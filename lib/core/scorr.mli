@@ -206,12 +206,28 @@ module Simpool : sig
 end
 
 (** Structural support cones of the product machine, closed through latch
-    next-state functions; drives the engines' dirty-class scheduling. *)
+    next-state functions; drives the engines' dirty-class scheduling and
+    the static candidate prefilter. *)
 module Support : sig
   type t
 
   val make : Aig.t -> t
   val in_cone : t -> node:int -> of_:int -> bool
+
+  val cone_size : t -> int -> int
+  (** Number of nodes the signal structurally depends on (closed through
+      latches), itself included. *)
+
+  val max_cone_size : t -> int
+
+  val pi_compatible : t -> int -> int -> bool
+  (** May the two nodes be equivalent, judged by structural PI support?
+      [false] exactly when both supports are non-empty and disjoint. *)
+
+  val prefilter_class : t -> Partition.t -> int -> bool
+  (** Split one class by PI-support compatibility with each subgroup's
+      representative; [true] when the class split.  Costs no solver or
+      BDD work and never fabricates an equivalence. *)
 
   val suspect : t -> Partition.t -> int -> proved_at:int -> bool
   (** Must the class be re-examined after being proven stable at partition
@@ -264,6 +280,10 @@ module Engine_bdd : sig
     proved_at : (int, int) Hashtbl.t;
     mutable n_batched : int;  (** batched class scans performed *)
     mutable n_cache_hits : int;  (** classes skipped by the stability cache *)
+    static_filter : bool;
+        (** split PI-support-incompatible candidates for free before every
+            pass (see {!Support.prefilter_class}) *)
+    mutable n_static : int;  (** classes split by the static prefilter *)
     sched : unit Parsweep.t;
         (** single-lane scheduler: hash-consing is shared-mutable, so
             class scans stay serial but follow the same
@@ -276,6 +296,7 @@ module Engine_bdd : sig
     ?care_of:(Bdd.manager -> int array -> Bdd.t) ->
     ?node_limit:int ->
     ?deadline:Deadline.t ->
+    ?static_filter:bool ->
     Product.t ->
     ctx
 
@@ -341,10 +362,20 @@ module Engine_sat : sig
     mutable n_cache_hits : int;  (** classes skipped by the UNSAT cache *)
     jobs : int;  (** worker lanes for Eq.(3) sweeps *)
     sched : wstate Parsweep.t;
+    static_filter : bool;
+        (** split PI-support-incompatible candidates for free before every
+            pass (see {!Support.prefilter_class}) *)
+    mutable n_static : int;  (** classes split by the static prefilter *)
   }
 
   val make :
-    ?max_sat_calls:int -> ?k:int -> ?jobs:int -> ?deadline:Deadline.t -> Product.t -> ctx
+    ?max_sat_calls:int ->
+    ?k:int ->
+    ?jobs:int ->
+    ?deadline:Deadline.t ->
+    ?static_filter:bool ->
+    Product.t ->
+    ctx
   (** [jobs] worker lanes solve the Eq.(3) sweep rounds; each lane > 0
       owns a private copy of the unrolled product CNF built inside its
       own domain.  Default 1 (sequential, no domains spawned). *)
@@ -481,6 +512,12 @@ module Verify : sig
         (** Use the batched class solves, counterexample pattern pool and
             dirty-class scheduling (default true); [false] selects the
             legacy pairwise scans, which compute the same fixed point. *)
+    use_analysis : bool;
+        (** Static-analysis steering (default false): the engines run the
+            zero-cost PI-support prefilter before every pass, the BDD
+            variable order is seeded from combinational levels, and
+            {!portfolio} pre-reduces the circuits and orders its rung
+            ladder by the shape metrics (see {!Analysis}). *)
     use_fundep : bool;
     use_retime : bool;
     max_retime_rounds : int;
@@ -534,6 +571,8 @@ module Verify : sig
     resim_splits : int;  (** classes created by bit-parallel pattern replay *)
     batched_solves : int;  (** one-per-class disjunctive solves / key scans *)
     cache_hits : int;  (** classes skipped by the stability (UNSAT) cache *)
+    static_splits : int;
+        (** classes split by the PI-support prefilter at zero solver cost *)
     domains : int;  (** worker lanes of the sweep scheduler *)
     lane_solves : int list;  (** sweep tasks completed per lane *)
     steals : int;  (** tasks claimed from another lane's segment *)
@@ -566,9 +605,11 @@ module Verify : sig
   val verdict_stats : verdict -> stats
   val run : ?options:options -> Aig.t -> Aig.t -> verdict
 
-  val latch_order_from_outputs : Product.t -> int array
+  val latch_order_from_outputs : ?levels:int array -> Product.t -> int array
   (** Structural state-variable order interleaving the two sides along the
-      output-pair cones (exposed for instrumentation and tests). *)
+      output-pair cones (exposed for instrumentation and tests).
+      [levels], when given (per-node combinational depths of the product),
+      sorts each cone's latches by the depth of their next-state logic. *)
 
   val run_with_relation :
     ?options:options -> Aig.t -> Aig.t -> verdict * Product.t * Partition.t option
@@ -602,7 +643,15 @@ module Verify : sig
       its partition, later rungs of compatible induction depth resume
       from it, and the reserved final rung re-runs the BDD engine from
       the most refined partition reached instead of returning a bare
-      [Unknown]. *)
+      [Unknown].
+
+      With [use_analysis] set, both circuits are first reduced by
+      {!Analysis.Reduce.run} (semantics-preserving, so verdicts and
+      traces carry back to the originals; skipped when resuming), the
+      rung order follows {!Analysis.Steer.plan}, rungs whose induction
+      depth an already completed fixed point covers are skipped, and
+      after a BDD rung exhausts its node budget no further BDD rung
+      runs. *)
 end
 
 (** {1 Convenience} *)

@@ -14,6 +14,7 @@ type t = {
   n : int;
   words : int; (* words per row *)
   table : int64 array; (* n rows of [words] int64s *)
+  pis : int array; (* PI node ids, for the input-support projections *)
 }
 
 let set_bit t row id =
@@ -43,7 +44,9 @@ let union_into t dst src =
 let make aig =
   let n = Aig.num_nodes aig in
   let words = (n + 63) / 64 in
-  let t = { n; words; table = Array.make (n * words) 0L } in
+  let t =
+    { n; words; table = Array.make (n * words) 0L; pis = Array.of_list (Aig.pis aig) }
+  in
   for id = 0 to n - 1 do
     set_bit t id id
   done;
@@ -63,6 +66,56 @@ let make aig =
   t
 
 let in_cone t ~node ~of_ = node < t.n && of_ < t.n && test_bit t of_ node
+
+(* Cone cardinality: the number of nodes a signal structurally depends on
+   (closed through latches), i.e. the population count of its row. *)
+let cone_size t row =
+  let popcount w =
+    let open Int64 in
+    let w = sub w (logand (shift_right_logical w 1) 0x5555555555555555L) in
+    let w =
+      add (logand w 0x3333333333333333L) (logand (shift_right_logical w 2) 0x3333333333333333L)
+    in
+    let w = logand (add w (shift_right_logical w 4)) 0x0f0f0f0f0f0f0f0fL in
+    to_int (shift_right_logical (mul w 0x0101010101010101L) 56)
+  in
+  let acc = ref 0 in
+  let base = row * t.words in
+  for w = 0 to t.words - 1 do
+    acc := !acc + popcount t.table.(base + w)
+  done;
+  !acc
+
+let max_cone_size t =
+  let m = ref 0 in
+  for row = 0 to t.n - 1 do
+    m := max !m (cone_size t row)
+  done;
+  !m
+
+(* --- static candidate prefilter ------------------------------------------------ *)
+
+(* Projection of a cone onto the primary inputs.  Structural PI support
+   over-approximates semantic support, so two signals with disjoint
+   non-empty PI supports can only be equivalent if both are semantically
+   input-free; splitting such a pair from a candidate class costs zero
+   solver calls and preserves verdict soundness (splits never fabricate an
+   equivalence).  Signals with EMPTY structural support — autonomous
+   counters, stuck constants — are never split from anything: they are
+   exactly the candidates whose equivalences live beyond the inputs'
+   reach. *)
+let pi_nonempty t row = Array.exists (fun pi -> test_bit t row pi) t.pis
+
+let pi_compatible t a b =
+  a >= t.n || b >= t.n
+  || (not (pi_nonempty t a))
+  || (not (pi_nonempty t b))
+  || Array.exists (fun pi -> test_bit t a pi && test_bit t b pi) t.pis
+
+(* Split one class by PI-support compatibility with each subgroup's
+   representative; [true] when the class split. *)
+let prefilter_class t partition cls =
+  Partition.refine_class partition cls ~equal:(fun rep id -> pi_compatible t rep id)
 
 (* Must class [cls], proven stable at partition version [proved_at], be
    re-examined?  Yes when its own membership changed since, or when any

@@ -26,6 +26,11 @@ type options = {
   sim_frames : int;
   use_ternary_seed : bool; (* split the partition by ternary signatures *)
   use_batched_sweeps : bool; (* batched class solves + pool + dirty cache *)
+  use_analysis : bool;
+      (* static-analysis steering: semantics-preserving pre-reduction (in
+         {!portfolio}, when not resuming), the zero-cost PI-support
+         prefilter inside both engines, a level-seeded BDD variable order,
+         and the analysis-ordered portfolio ladder with its skip rules *)
   use_fundep : bool;
   use_retime : bool;
   max_retime_rounds : int;
@@ -61,6 +66,7 @@ let default_options =
     sim_frames = 16;
     use_ternary_seed = true;
     use_batched_sweeps = true;
+    use_analysis = false;
     use_fundep = true;
     use_retime = true;
     max_retime_rounds = 4;
@@ -103,6 +109,7 @@ type stats = {
   resim_splits : int; (* classes created by bit-parallel pattern replay *)
   batched_solves : int; (* one-per-class disjunctive solves / key scans *)
   cache_hits : int; (* classes skipped by the stability (UNSAT) cache *)
+  static_splits : int; (* classes split by the PI-support prefilter, no solver *)
   domains : int; (* worker lanes of the sweep scheduler *)
   lane_solves : int list; (* sweep tasks completed per lane *)
   steals : int; (* tasks claimed from another lane's segment *)
@@ -133,8 +140,9 @@ type engine_ops = {
   refine_once : Partition.t -> bool;
   peak_bdd : unit -> int;
   n_sat_calls : unit -> int;
-  sweep_counters : unit -> int * int * int * int;
-      (* (pool lanes, resim splits, batched solves, cache hits) *)
+  sweep_counters : unit -> int * int * int * int * int;
+      (* (pool lanes, resim splits, batched solves, cache hits,
+         static prefilter splits) *)
   sched_stats : unit -> Parsweep.stats;
   pool_patterns : unit -> (bool array * bool array) list;
       (* pending counterexample lanes, for checkpointing *)
@@ -186,10 +194,21 @@ let latch_order_from_sim ~seed product pol =
    simulation order above) fails when corresponding state lives in a GATE
    of the other circuit — e.g. after backward retiming — while the output
    miters always connect both sides. *)
-let latch_order_from_outputs product =
+let latch_order_from_outputs ?levels product =
   let aig = product.Product.aig in
   let n = Aig.num_latches aig in
   let n_spec = product.Product.spec.Product.n_latches in
+  (* [levels], when given (static analysis on), sorts each cone's latches
+     by the combinational depth of their next-state functions: latches fed
+     by shallow logic sit earlier in the order, which groups the "close to
+     the inputs" state bits both circuits agree on before the deep ones *)
+  let sort_latches ls =
+    match levels with
+    | None -> List.sort compare ls
+    | Some lv ->
+      let key i = (lv.(Aig.node_of_lit (Aig.latch_next aig i)), i) in
+      List.sort (fun a b -> compare (key a) (key b)) ls
+  in
   let cone_latches lit =
     let seen = Hashtbl.create 64 in
     let acc = ref [] in
@@ -207,7 +226,7 @@ let latch_order_from_outputs product =
       end
     in
     go (Aig.node_of_lit lit);
-    List.sort compare !acc
+    sort_latches !acc
   in
   let placed = Array.make n false in
   let order = ref [] in
@@ -244,6 +263,13 @@ let make_engine (options : options) deadline product pol =
   match options.engine with
   | Bdd_engine ->
     ignore pol;
+    (* The variable order stays the structural output-cone interleave even
+       in analysis mode: keying each cone's latches by next-state level or
+       cone size (the [?levels] variant below) was measured on the suite
+       and blows the lfsr16 peak up 10x — depth-sorted sides lose the
+       cross-side adjacency the interleave provides.  Analysis still
+       shapes the BDD run through the pre-reduced circuits and the static
+       prefilter. *)
     let latch_order = latch_order_from_outputs product in
     let care_of =
       if not options.use_reach_dontcare then None
@@ -263,7 +289,8 @@ let make_engine (options : options) deadline product pol =
     in
     let ctx =
       Engine_bdd.make ~use_fundep:options.use_fundep ~latch_order ?care_of
-        ~node_limit:options.node_limit ~deadline product
+        ~node_limit:options.node_limit ~deadline ~static_filter:options.use_analysis
+        product
     in
     let wrap f x =
       try f x with
@@ -284,7 +311,8 @@ let make_engine (options : options) deadline product pol =
           ( Simpool.total_lanes ctx.Engine_bdd.pool,
             Simpool.resim_splits ctx.Engine_bdd.pool,
             ctx.Engine_bdd.n_batched,
-            ctx.Engine_bdd.n_cache_hits ));
+            ctx.Engine_bdd.n_cache_hits,
+            ctx.Engine_bdd.n_static ));
       sched_stats = (fun () -> Engine_bdd.sched_stats ctx);
       pool_patterns = (fun () -> Simpool.snapshot ctx.Engine_bdd.pool);
       pool_add = (fun ps -> add_patterns ctx.Engine_bdd.pool ps);
@@ -293,7 +321,7 @@ let make_engine (options : options) deadline product pol =
   | Sat_engine ->
     let ctx =
       Engine_sat.make ~max_sat_calls:options.max_sat_calls ~k:options.sat_unroll
-        ~jobs:options.jobs ~deadline product
+        ~jobs:options.jobs ~deadline ~static_filter:options.use_analysis product
     in
     let wrap f x = try f x with Engine_sat.Budget_exceeded msg -> raise (Budget msg) in
     let refine_initial, refine_once =
@@ -311,7 +339,8 @@ let make_engine (options : options) deadline product pol =
           ( Simpool.total_lanes ctx.Engine_sat.pool,
             Simpool.resim_splits ctx.Engine_sat.pool,
             ctx.Engine_sat.n_batched,
-            ctx.Engine_sat.n_cache_hits ));
+            ctx.Engine_sat.n_cache_hits,
+            ctx.Engine_sat.n_static ));
       sched_stats = (fun () -> Engine_sat.sched_stats ctx);
       pool_patterns = (fun () -> Simpool.snapshot ctx.Engine_sat.pool);
       pool_add = (fun ps -> add_patterns ctx.Engine_sat.pool ps);
@@ -531,6 +560,7 @@ let run_with_relation ?(options = default_options) spec impl =
   let resim_splits = ref 0 in
   let batched_solves = ref 0 in
   let cache_hits = ref 0 in
+  let static_splits = ref 0 in
   let domains = ref 1 in
   let lane_solves = ref [||] in
   let steals = ref 0 in
@@ -573,6 +603,7 @@ let run_with_relation ?(options = default_options) spec impl =
       resim_splits = !resim_splits;
       batched_solves = !batched_solves;
       cache_hits = !cache_hits;
+      static_splits = !static_splits;
       domains = !domains;
       lane_solves = Array.to_list !lane_solves;
       steals = !steals;
@@ -681,11 +712,12 @@ let run_with_relation ?(options = default_options) spec impl =
               recorded := true;
               peak_bdd := max !peak_bdd (engine.peak_bdd ());
               sat_calls := !sat_calls + engine.n_sat_calls ();
-              let lanes, resim, batched, hits = engine.sweep_counters () in
+              let lanes, resim, batched, hits, statics = engine.sweep_counters () in
               pool_lanes := !pool_lanes + lanes;
               resim_splits := !resim_splits + resim;
               batched_solves := !batched_solves + batched;
               cache_hits := !cache_hits + hits;
+              static_splits := !static_splits + statics;
               let st = engine.sched_stats () in
               domains := max !domains st.Parsweep.domains;
               steals := !steals + st.Parsweep.steals;
@@ -846,21 +878,82 @@ let pp_relation ppf (product, partition) =
    runs out of time leaves an in-memory checkpoint of its partition, later
    rungs whose induction depth the checkpoint can soundly seed resume from
    it, and the reserved final rung re-runs the paper's BDD engine from the
-   most refined partition any strategy reached. *)
+   most refined partition any strategy reached.
+
+   With [use_analysis] set, the ladder is steered statically and
+   dynamically (see {!Analysis.Steer}): both circuits are pre-reduced once
+   (semantics-preserving, so verdicts and traces carry back to the
+   originals; skipped when resuming, because checkpoint fingerprints bind
+   to the circuits as given), the rung order follows the shape metrics,
+   rungs whose induction depth an already COMPLETED fixed point covers are
+   skipped (the gfp at a given depth is engine-independent), and once a
+   BDD rung blows its node budget no further BDD rung runs. *)
 let portfolio ?(options = default_options) ?(max_unroll = 3) spec impl =
+  let spec, impl, plan =
+    if not options.use_analysis then (spec, impl, None)
+    else begin
+      let spec, impl =
+        match options.resume with
+        | Some _ -> (spec, impl)
+        | None ->
+          let spec', _ = Analysis.Reduce.run ~seed:options.seed spec in
+          let impl', _ = Analysis.Reduce.run ~seed:options.seed impl in
+          (spec', impl')
+      in
+      let ms = Analysis.Metrics.summary spec and mi = Analysis.Metrics.summary impl in
+      let plan =
+        Analysis.Steer.plan ~max_unroll
+          ~product_latches:(ms.Analysis.Metrics.latches + mi.Analysis.Metrics.latches)
+          ~levels:(max ms.Analysis.Metrics.levels mi.Analysis.Metrics.levels)
+          ()
+      in
+      (spec, impl, Some plan)
+    end
+  in
   let strategies =
-    { options with engine = Bdd_engine }
-    :: List.concat_map
-         (fun k -> [ { options with engine = Sat_engine; sat_unroll = k } ])
-         (List.init max_unroll (fun i -> i + 1))
+    match plan with
+    | None ->
+      { options with engine = Bdd_engine }
+      :: List.concat_map
+           (fun k -> [ { options with engine = Sat_engine; sat_unroll = k } ])
+           (List.init max_unroll (fun i -> i + 1))
+    | Some plan ->
+      List.map
+        (fun r ->
+          match r.Analysis.Steer.engine with
+          | Analysis.Steer.Bdd -> { options with engine = Bdd_engine; sat_unroll = 1 }
+          | Analysis.Steer.Sat ->
+            { options with engine = Sat_engine; sat_unroll = r.Analysis.Steer.induction })
+        plan.Analysis.Steer.rungs
+  in
+  (* dynamic skip state (analysis mode only): the deepest induction whose
+     fixed point some rung COMPLETED, and whether a BDD rung aborted on
+     the node budget *)
+  let completed_depth = ref 0 in
+  let bdd_exhausted = ref false in
+  let note_unknown opts (stats : stats) =
+    if plan <> None then
+      match stats.exhausted with
+      | None -> completed_depth := max !completed_depth (effective_induction opts)
+      | Some "bdd nodes" -> if opts.engine = Bdd_engine then bdd_exhausted := true
+      | Some _ -> ()
+  in
+  let skip_rung opts =
+    plan <> None
+    && (effective_induction opts <= !completed_depth
+       || (!bdd_exhausted && opts.engine = Bdd_engine))
   in
   if options.deadline_seconds <= 0.0 then
     let rec try_all last = function
       | [] -> (match last with Some v -> v | None -> assert false)
-      | opts :: rest -> (
-        match run ~options:opts spec impl with
-        | (Equivalent _ | Not_equivalent _) as verdict -> verdict
-        | Unknown _ as verdict -> try_all (Some verdict) rest)
+      | opts :: rest ->
+        if skip_rung opts && last <> None then try_all last rest
+        else (
+          match run ~options:opts spec impl with
+          | (Equivalent _ | Not_equivalent _) as verdict -> verdict
+          | Unknown stats as verdict ->
+            note_unknown opts stats;
+            try_all (Some verdict) rest)
     in
     try_all None strategies
   else begin
@@ -881,6 +974,7 @@ let portfolio ?(options = default_options) ?(max_unroll = 3) spec impl =
       (match verdict with
       | Unknown stats ->
         if stats.exhausted <> None then budget_hit := true;
+        note_unknown opts stats;
         (match checkpoint_of_run ~options:opts ~spec ~impl result with
         | Ok cp -> ckpt := Some cp
         | Error _ -> ())
@@ -895,15 +989,18 @@ let portfolio ?(options = default_options) ?(max_unroll = 3) spec impl =
            refined partition instead of reporting a bare Unknown *)
         let fallback = { options with engine = Bdd_engine; sat_unroll = 1 } in
         let finished = match last with Some v -> v | None -> assert false in
-        if (not !budget_hit) || remaining () <= 0.001 || seedable fallback = None then
-          finished
+        if
+          (not !budget_hit) || remaining () <= 0.001 || seedable fallback = None
+          || skip_rung fallback
+        then finished
         else
           match run_rung ~slice:(remaining ()) fallback with
           | (Equivalent _ | Not_equivalent _) as verdict -> verdict
           | Unknown _ as verdict -> verdict)
       | opts :: rest ->
         let rem = remaining () in
-        if i > 0 && rem <= 0.001 then try_all (i + 1) last rest
+        if (i > 0 && rem <= 0.001) || (skip_rung opts && last <> None) then
+          try_all (i + 1) last rest
         else begin
           (* an equal share of what is left, keeping one share in reserve
              for the degradation rung *)

@@ -146,6 +146,16 @@ let stuck_latches ?max_steps aig acc =
 let errors aig =
   [] |> unclosed_latches aig |> dangling aig |> and_order aig |> Diag.errors
 
+let sort_report diags =
+  List.sort
+    (fun a b ->
+      match
+        compare (Diag.severity_rank b.Diag.severity) (Diag.severity_rank a.Diag.severity)
+      with
+      | 0 -> compare (a.Diag.rule, a.Diag.nets) (b.Diag.rule, b.Diag.nets)
+      | n -> n)
+    diags
+
 let run ?(ternary_steps = 64) aig =
   let diags =
     [] |> unclosed_latches aig |> dangling aig |> and_order aig |> dead_nodes aig
@@ -156,11 +166,4 @@ let run ?(ternary_steps = 64) aig =
       stuck_latches ~max_steps:ternary_steps aig diags
     else diags
   in
-  List.sort
-    (fun a b ->
-      match
-        compare (Diag.severity_rank b.Diag.severity) (Diag.severity_rank a.Diag.severity)
-      with
-      | 0 -> compare (a.Diag.rule, a.Diag.nets) (b.Diag.rule, b.Diag.nets)
-      | n -> n)
-    diags
+  sort_report diags

@@ -1,0 +1,46 @@
+(* Analysis-backed lint rules: findings that need the static-analysis
+   layer (reachability closed through latch next-states, SAT-discharged
+   reduction) rather than the purely local scans in [Aig_check].
+
+   Rule catalog (id, severity):
+     unobservable-latch  Warning  latch no output depends on, even through
+                                  other latches (dead state)
+     reducible-logic     Info     strashing/rewriting/FRAIG merging would
+                                  shrink the and graph
+
+   These run opt-in (`seqver lint --analysis`): reducible-logic discharges
+   SAT obligations, which is too heavy for the always-on rule set, and the
+   pair only makes sense on structurally sound circuits. *)
+
+module Diag = Netlist.Diag
+
+let node_ref id = (id, None)
+
+let unobservable aig d acc =
+  List.fold_left
+    (fun acc i ->
+      Diag.makef
+        ~nets:[ node_ref (Aig.latch_node aig i) ]
+        "unobservable-latch" Diag.Warning
+        "latch %d (node n%d) reaches no output, even through other latches \
+         (unobservable state)"
+        i (Aig.latch_node aig i)
+      :: acc)
+    acc d.Analysis.Diag.unobservable_latches
+
+let reducible aig acc =
+  let _, s = Analysis.Reduce.run aig in
+  let removed = s.Analysis.Reduce.ands_before - s.Analysis.Reduce.ands_after in
+  if removed > 0 then
+    Diag.makef "reducible-logic" Diag.Info
+      "structural reduction removes %d of %d and node(s) (%d rewrites, %d proven merges)"
+      removed s.Analysis.Reduce.ands_before s.Analysis.Reduce.rewrites
+      s.Analysis.Reduce.fraig_merges
+    :: acc
+  else acc
+
+(* Only called on circuits that passed the error-level [Aig_check] rules;
+   both rules assume a structurally sound graph. *)
+let run aig =
+  let d = Analysis.Diag.run aig in
+  [] |> unobservable aig d |> reducible aig

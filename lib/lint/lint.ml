@@ -11,11 +11,21 @@
 module Diag = Netlist.Diag
 module Aig_check = Aig_check
 module Aig_ternary = Aig_ternary
+module Analysis_rules = Analysis_rules
 
 (* --- running the rules ----------------------------------------------------- *)
 
 let check_netlist ?ternary_steps c = Netlist.Check.run ?ternary_steps c
-let check_aig ?ternary_steps aig = Aig_check.run ?ternary_steps aig
+
+(* [analysis] adds the [Analysis_rules] catalog (unobservable-latch,
+   reducible-logic).  Opt-in: reducible-logic runs the SAT-discharged
+   reduction, and both rules assume a structurally sound graph, so they
+   only run when the error-level rules all passed. *)
+let check_aig ?ternary_steps ?(analysis = false) aig =
+  let diags = Aig_check.run ?ternary_steps aig in
+  if analysis && Diag.errors diags = [] then
+    Aig_check.sort_report (Analysis_rules.run aig @ diags)
+  else diags
 
 (* --- human report ----------------------------------------------------------- *)
 
