@@ -23,7 +23,14 @@
    --sweep-jobs N   worker domains inside each SAT sweep (Scorr options.jobs)
    --deadline S     wall-clock budget per measured run (Scorr deadline;
                     0 = none); timed-out rows report verdict "unknown" and
-                    the exhausted reason *)
+                    the exhausted reason
+   --serve SOCK     client mode: submit the suite through a verification
+                    daemon instead of running in-process.  Connects to an
+                    existing daemon on SOCK, or hosts one for the duration
+                    of the run when no socket exists there.  Each pair is
+                    submitted twice — the fresh run and the cache hit —
+                    and the JSON rows carry "cached" / "queue_wait"
+                    columns from the service *)
 
 let impl_seed = 11
 let line = String.make 100 '-'
@@ -55,6 +62,7 @@ let seed_flag = ref Scorr.default_options.Scorr.Verify.seed
 let jobs = ref (Domain.recommended_domain_count ())
 let sweep_jobs = ref 1
 let deadline_flag = ref 0.0
+let serve_socket : string option ref = ref None
 
 let name_matches name =
   match !filter_re with
@@ -92,8 +100,10 @@ let shape_fragment spec impl =
     (max ms.Analysis.Metrics.max_cone mi.Analysis.Metrics.max_cone)
     (merges spec + merges impl)
 
-(* Record one measured verification run; also the smoke-mode verdict gate. *)
-let record ~circuit ~engine ~shape verdict seconds =
+(* Record one measured verification run; also the smoke-mode verdict gate.
+   [cached] / [queue_wait] are service columns: in-process rows report
+   false / 0, serve-mode rows carry what the daemon measured. *)
+let record ?(cached = false) ?(queue_wait = 0.0) ~circuit ~engine ~shape verdict seconds =
   let s = Scorr.verdict_stats verdict in
   let name = verdict_name verdict in
   if !smoke && name <> "proved" then
@@ -113,7 +123,8 @@ let record ~circuit ~engine ~shape verdict seconds =
        \"resim_splits\": %d, \"batched_solves\": %d, \"cache_hits\": %d, \
        \"static_splits\": %d, %s, \
        \"jobs\": %d, \"domains\": %d, \"steals\": %d, \"sched_wait\": %.3f, \
-       \"deadline\": %.3f, \"exhausted\": %s, \"eq_pct\": %.1f}"
+       \"deadline\": %.3f, \"exhausted\": %s, \"eq_pct\": %.1f, \
+       \"cached\": %b, \"queue_wait\": %.3f}"
       (json_escape circuit) (json_escape engine) name seconds
       s.Scorr.Verify.sat_calls peak s.iterations s.retime_rounds
       s.pool_lanes s.resim_splits s.batched_solves s.cache_hits
@@ -122,7 +133,7 @@ let record ~circuit ~engine ~shape verdict seconds =
       (match s.exhausted with
       | Some why -> Printf.sprintf "\"%s\"" (json_escape why)
       | None -> "null")
-      s.eq_pct
+      s.eq_pct cached queue_wait
     :: !json_rows
 
 let write_json () =
@@ -488,6 +499,104 @@ let ablation_induction () =
            [ "ctr8"; "gray12"; "crc16"; "traffic"; "mod10"; "arb4"; "alu4"; "det-bin" ])
        (suite_pairs Circuits.Suite.Retime_opt))
 
+(* --- S1: verification service round-trips ---------------------------------------------- *)
+
+(* A serve-mode row reports what the daemon measured, not in-process
+   engine internals: runtime, queue wait, cache status, and the run
+   counters the protocol carries. *)
+let record_serve ~circuit ~shape (o : Serve.Protocol.outcome) =
+  let name =
+    match o.Serve.Protocol.verdict with
+    | "equivalent" -> "proved"
+    | "not_equivalent" -> "REFUTED"
+    | _ -> "unknown"
+  in
+  if !smoke && name <> "proved" then
+    smoke_failures := Printf.sprintf "%s/serve: %s" circuit name :: !smoke_failures;
+  json_rows :=
+    Printf.sprintf
+      "{\"circuit\": \"%s\", \"engine\": \"serve\", \"verdict\": \"%s\", \
+       \"seconds\": %.3f, \"sat_calls\": %d, \"iterations\": %d, \
+       \"resumed_iterations\": %d, %s, \"deadline\": %.3f, \"eq_pct\": %.1f, \
+       \"cached\": %b, \"queue_wait\": %.3f}"
+      (json_escape circuit) name o.Serve.Protocol.runtime o.Serve.Protocol.sat_calls
+      o.Serve.Protocol.iterations o.Serve.Protocol.resumed_iterations shape !deadline_flag
+      o.Serve.Protocol.eq_pct o.Serve.Protocol.cached o.Serve.Protocol.queue_wait
+    :: !json_rows;
+  name
+
+let serve_bench socket =
+  Printf.printf
+    "S1: verification service round-trips — each pair submitted twice:\n\
+     a fresh run, then an exact resubmission answered from the result cache\n\n";
+  (* reuse a daemon already listening on [socket]; otherwise host one in
+     a domain for the duration of the run *)
+  let own_daemon =
+    if Sys.file_exists socket then None
+    else begin
+      let cache_dir = Filename.temp_file "seqver-bench-cache" "" in
+      Sys.remove cache_dir;
+      let cfg =
+        { Serve.Daemon.default_config with Serve.Daemon.socket_path = socket; cache_dir }
+      in
+      Some (Domain.spawn (fun () -> Serve.Daemon.run cfg))
+    end
+  in
+  let rec connect tries =
+    match Serve.Client.connect ~socket () with
+    | client -> client
+    | exception Serve.Client.Error _ when tries > 0 ->
+      Unix.sleepf 0.05;
+      connect (tries - 1)
+  in
+  let client = connect 100 in
+  Fun.protect
+    ~finally:(fun () ->
+      (match own_daemon with
+      | Some d ->
+        ignore (Serve.Client.request client Serve.Protocol.Shutdown);
+        ignore (Domain.join d)
+      | None -> ());
+      Serve.Client.close client)
+    (fun () ->
+      Printf.printf "%-9s | %-8s %8s %8s | %-8s %8s | %7s\n" "circuit" "fresh" "time"
+        "q-wait" "cached" "time" "speedup";
+      print_endline line;
+      let opts =
+        {
+          Serve.Protocol.default_opts with
+          Serve.Protocol.seed = !seed_flag;
+          deadline = !deadline_flag;
+        }
+      in
+      List.iter
+        (fun (e, spec, impl) ->
+          let name = e.Circuits.Suite.name in
+          let submit () =
+            let aag a = Serve.Protocol.Aag (Aig.Aiger.to_string a) in
+            snd (Serve.Client.submit_and_wait client ~spec:(aag spec) ~impl:(aag impl) ~opts ())
+          in
+          let shape = shape_fragment spec impl in
+          let fresh = submit () in
+          let hit = submit () in
+          let v1 = record_serve ~circuit:name ~shape fresh in
+          let v2 = record_serve ~circuit:name ~shape hit in
+          if not hit.Serve.Protocol.cached then
+            smoke_failures :=
+              Printf.sprintf "%s/serve: resubmission missed the cache" name :: !smoke_failures;
+          let speedup =
+            if hit.Serve.Protocol.runtime > 0.0 then
+              Printf.sprintf "%6.0fx" (fresh.Serve.Protocol.runtime /. hit.Serve.Protocol.runtime)
+            else "   inf"
+          in
+          Printf.printf "%-9s | %-8s %8.3f %8.4f | %-8s %8.3f | %7s\n%!" name v1
+            fresh.Serve.Protocol.runtime fresh.Serve.Protocol.queue_wait v2
+            hit.Serve.Protocol.runtime speedup)
+        (List.filter
+           (fun (e, _, _) ->
+             (not !smoke) || List.mem e.Circuits.Suite.name smoke_circuits)
+           (suite_pairs Circuits.Suite.Retime_opt)))
+
 (* --- B1: microbenchmarks ------------------------------------------------------------------ *)
 
 let micro () =
@@ -612,17 +721,24 @@ let () =
         Printf.eprintf "bench: --deadline expects a non-negative float, got %s\n" v;
         exit 1);
       parse_flags rest
+    | "--serve" :: sock :: rest ->
+      serve_socket := Some sock;
+      parse_flags rest
     | rest -> rest
   in
   let names = parse_flags (List.tl (Array.to_list Sys.argv)) in
-  (match names with
-  | [] | [ "all" ] ->
+  (match (!serve_socket, names) with
+  | Some socket, _ ->
+    (* client mode: the daemon is the engine; targets don't apply *)
+    serve_bench socket;
+    print_newline ()
+  | None, ([] | [ "all" ]) ->
     List.iter
       (fun (_, f) ->
         f ();
         print_newline ())
       targets
-  | names -> List.iter run names);
+  | None, names -> List.iter run names);
   write_json ();
   match !smoke_failures with
   | [] -> ()

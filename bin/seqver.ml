@@ -289,8 +289,12 @@ let run_verify spec_path impl_path meth engine no_sim_seed no_fundep no_retime d
 
 (* --- checkpoint ------------------------------------------------------------------ *)
 
-(* Inspect a checkpoint file: exit 0 when well-formed, 2 otherwise. *)
-let run_checkpoint path =
+(* Inspect a checkpoint file: exit 0 when well-formed, 2 otherwise.  With
+   SPEC and IMPL also given, probe whether the checkpoint could seed a
+   run over those circuits — a fingerprint drift used to surface as a
+   confusing resume-time rejection; here it is a first-class diagnostic
+   naming both MD5s. *)
+let run_checkpoint path spec_path impl_path =
   match Scorr.Checkpoint.parse_file path with
   | exception Scorr.Checkpoint.Parse_error msg ->
     Printf.eprintf "%s: %s\n" path msg;
@@ -320,7 +324,29 @@ let run_checkpoint path =
       (Scorr.Checkpoint.n_classes cp)
       (Scorr.Checkpoint.n_constraints cp)
       (Scorr.Checkpoint.n_patterns cp);
-    0
+    (match (spec_path, impl_path) with
+    | None, None -> 0
+    | Some spec_path, Some impl_path -> (
+      let spec = read_circuit spec_path and impl = read_circuit impl_path in
+      (* probe against the checkpoint's own option pins, so the only
+         thing that can mismatch here is the circuits themselves *)
+      match
+        Scorr.Checkpoint.compatible
+          ~spec_digest:(Scorr.Checkpoint.fingerprint spec)
+          ~impl_digest:(Scorr.Checkpoint.fingerprint impl)
+          ~candidates:cp.Scorr.Checkpoint.candidates ~induction:cp.Scorr.Checkpoint.induction
+          ~seed:cp.Scorr.Checkpoint.seed cp
+      with
+      | Ok () ->
+        Printf.printf "  compatible:      yes (fingerprints match %s %s)\n" spec_path impl_path;
+        0
+      | Error msg ->
+        Printf.printf "  compatible:      no\n";
+        Printf.eprintf "seqver checkpoint: %s\n" msg;
+        2)
+    | _ ->
+      prerr_endline "seqver checkpoint: expected CHECKPOINT, or CHECKPOINT SPEC IMPL";
+      2)
 
 (* --- gen ---------------------------------------------------------------------- *)
 
@@ -616,6 +642,217 @@ let run_stats path =
   Format.printf "%a@." Aig.pp_stats aig;
   0
 
+(* --- serve / submit ------------------------------------------------------------- *)
+
+(* seqver serve: run the verification daemon in the foreground.  Exit 0
+   on a graceful shutdown (SIGTERM/SIGINT or a shutdown request), 2 on
+   setup trouble (socket in use, bad cache dir). *)
+let run_serve socket tcp workers queue cache_dir cache_entries verbose =
+  let cfg =
+    {
+      Serve.Daemon.socket_path = socket;
+      tcp_port = tcp;
+      workers;
+      queue_capacity = queue;
+      cache_dir;
+      cache_capacity = cache_entries;
+      verbose;
+    }
+  in
+  try Serve.Daemon.run cfg with
+  | Unix.Unix_error (e, _, ctx) ->
+    Printf.eprintf "seqver serve: %s (%s)\n" (Unix.error_message e) ctx;
+    2
+  | Failure msg | Sys_error msg ->
+    Printf.eprintf "seqver serve: %s\n" msg;
+    2
+
+let parse_hostport s =
+  match String.rindex_opt s ':' with
+  | Some i -> (
+    let host = String.sub s 0 i and port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | Some p -> (host, p)
+    | None ->
+      Printf.eprintf "seqver submit: bad --tcp %S (expected HOST:PORT)\n" s;
+      exit 2)
+  | None ->
+    Printf.eprintf "seqver submit: bad --tcp %S (expected HOST:PORT)\n" s;
+    exit 2
+
+(* The client ships circuits inline as canonical AIGER text (parsed and
+   preflight-linted locally first), so the daemon needs no access to the
+   client's filesystem and the fingerprint is computed from exactly what
+   the client verified. *)
+let inline_circuit path = Serve.Protocol.Aag (Aig.Aiger.to_string (read_circuit path))
+
+let print_outcome ~json ~quiet job (o : Serve.Protocol.outcome) =
+  if json then
+    print_endline
+      (Serve.Json.to_string
+         (Serve.Json.Obj
+            [ ("job", Serve.Json.String job); ("outcome", Serve.Protocol.outcome_to_json o) ]))
+  else if not quiet then begin
+    (match o.verdict with
+    | "equivalent" -> print_endline "EQUIVALENT"
+    | "not_equivalent" -> Printf.printf "NOT EQUIVALENT (difference at frame %d)\n" o.frame
+    | "cancelled" -> print_endline "CANCELLED"
+    | _ -> (
+      match o.reason with
+      | Some why -> Printf.printf "UNKNOWN (%s)\n" why
+      | None -> print_endline "UNKNOWN"));
+    Printf.printf
+      "  job:             %s\n\
+      \  cached:          %b\n\
+      \  runtime:         %.6f s\n\
+      \  queue wait:      %.6f s\n\
+      \  resumed iters:   %d\n\
+      \  iterations:      %d\n\
+      \  classes:         %d\n\
+      \  SAT calls:       %d\n\
+      \  equivalences:    %.1f%%\n"
+      job o.cached o.runtime o.queue_wait o.resumed_iterations o.iterations o.classes
+      o.sat_calls o.eq_pct;
+    (match o.trace with
+    | [] -> ()
+    | frames -> Printf.printf "  witness:         %s\n" (String.concat " " frames));
+    match o.cert with Some p -> Printf.printf "  certificate:     %s\n" p | None -> ()
+  end;
+  Serve.Protocol.exit_code_of_outcome o
+
+let print_server_stats ~json (s : Serve.Protocol.server_stats) =
+  if json then
+    print_endline (Serve.Protocol.response_to_line (Serve.Protocol.Stats_report s))
+  else begin
+    Printf.printf
+      "uptime:          %.1f s\n\
+       submitted:       %d (done %d, cached %d, cancelled %d)\n\
+       queue:           %d queued, %d running, %d workers\n\
+       cache:           %d entries, %d hits, %d misses, %d evictions\n\
+       warm starts:     %d\n"
+      s.uptime s.jobs_submitted s.jobs_done s.jobs_cached s.jobs_cancelled s.queue_len
+      s.running s.workers s.cache_entries s.cache_hits s.cache_misses s.cache_evictions
+      s.warm_starts;
+    if s.jobs <> [] then begin
+      print_endline "jobs:";
+      List.iter
+        (fun (j : Serve.Protocol.job_stat) ->
+          Printf.printf "  %-8s %-10s sched_wait=%.6fs\n" j.js_job j.js_state j.js_sched_wait)
+        s.jobs
+    end
+  end;
+  0
+
+(* seqver submit: scriptable client for a running daemon.  One of:
+   SPEC IMPL (submit and wait), --status JOB, --result JOB [--wait],
+   --cancel JOB, --stats, --shutdown.  Exit codes follow verify (0
+   equivalent, 1 not equivalent, 3 unknown/cancelled, 2 protocol or
+   usage trouble). *)
+let run_submit spec impl socket tcp meth engine induction seed analysis deadline json quiet
+    progress cancel status result wait stats shutdown =
+  let tcp = Option.map parse_hostport tcp in
+  let with_client k =
+    match Serve.Client.connect ?tcp ~socket () with
+    | exception Serve.Client.Error msg ->
+      Printf.eprintf "seqver submit: %s\n" msg;
+      2
+    | client ->
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close client)
+        (fun () ->
+          try k client
+          with Serve.Client.Error msg ->
+            Printf.eprintf "seqver submit: %s\n" msg;
+            exit 2)
+  in
+  match (spec, impl, cancel, status, result, stats, shutdown) with
+  | Some spec_path, Some impl_path, None, None, None, false, false ->
+    (* parse and lint locally before touching the daemon *)
+    let spec = inline_circuit spec_path and impl = inline_circuit impl_path in
+    with_client (fun client ->
+        let opts =
+          {
+            Serve.Protocol.meth;
+            engine;
+            induction;
+            seed;
+            analysis;
+            deadline;
+          }
+        in
+        let on_progress ~round ~iteration ~classes ~engine =
+          if progress && not quiet then
+            Printf.printf "progress: round=%d iteration=%d classes=%d engine=%s\n%!" round
+              iteration classes engine
+        in
+        let job, outcome = Serve.Client.submit_and_wait ~on_progress client ~spec ~impl ~opts () in
+        print_outcome ~json ~quiet job outcome)
+  | None, None, Some job, None, None, false, false ->
+    with_client (fun client ->
+        match Serve.Client.request client (Serve.Protocol.Cancel job) with
+        | Serve.Protocol.Cancelled { job; state } ->
+          if not quiet then Printf.printf "cancel %s: %s\n" job state;
+          0
+        | Serve.Protocol.Error_resp msg ->
+          Printf.eprintf "seqver submit: %s\n" msg;
+          2
+        | _ ->
+          prerr_endline "seqver submit: unexpected response";
+          2)
+  | None, None, None, Some job, None, false, false ->
+    with_client (fun client ->
+        match Serve.Client.request client (Serve.Protocol.Status job) with
+        | Serve.Protocol.Job_status { job; state; queue_pos } ->
+          if queue_pos >= 0 then Printf.printf "%s: %s (queue position %d)\n" job state queue_pos
+          else Printf.printf "%s: %s\n" job state;
+          0
+        | Serve.Protocol.Error_resp msg ->
+          Printf.eprintf "seqver submit: %s\n" msg;
+          2
+        | _ ->
+          prerr_endline "seqver submit: unexpected response";
+          2)
+  | None, None, None, None, Some job, false, false ->
+    with_client (fun client ->
+        match Serve.Client.request client (Serve.Protocol.Result { job; wait }) with
+        | Serve.Protocol.Job_result { job; outcome } -> print_outcome ~json ~quiet job outcome
+        | Serve.Protocol.Job_status { job; state; _ } ->
+          if not quiet then Printf.printf "%s: %s (no result yet; use --wait)\n" job state;
+          3
+        | Serve.Protocol.Error_resp msg ->
+          Printf.eprintf "seqver submit: %s\n" msg;
+          2
+        | _ ->
+          prerr_endline "seqver submit: unexpected response";
+          2)
+  | None, None, None, None, None, true, false ->
+    with_client (fun client ->
+        match Serve.Client.request client Serve.Protocol.Stats with
+        | Serve.Protocol.Stats_report s -> print_server_stats ~json s
+        | Serve.Protocol.Error_resp msg ->
+          Printf.eprintf "seqver submit: %s\n" msg;
+          2
+        | _ ->
+          prerr_endline "seqver submit: unexpected response";
+          2)
+  | None, None, None, None, None, false, true ->
+    with_client (fun client ->
+        match Serve.Client.request client Serve.Protocol.Shutdown with
+        | Serve.Protocol.Bye ->
+          if not quiet then print_endline "daemon shutting down";
+          0
+        | Serve.Protocol.Error_resp msg ->
+          Printf.eprintf "seqver submit: %s\n" msg;
+          2
+        | _ ->
+          prerr_endline "seqver submit: unexpected response";
+          2)
+  | _ ->
+    prerr_endline
+      "seqver submit: expected SPEC IMPL, or exactly one of --cancel/--status/--result \
+       JOB, --stats, --shutdown";
+    2
+
 (* --- cmdliner wiring ------------------------------------------------------------- *)
 
 open Cmdliner
@@ -814,10 +1051,14 @@ let stats_cmd =
 
 let checkpoint_cmd =
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"CHECKPOINT") in
+  let spec = Arg.(value & pos 1 (some file) None & info [] ~docv:"SPEC") in
+  let impl = Arg.(value & pos 2 (some file) None & info [] ~docv:"IMPL") in
   Cmd.v
     (Cmd.info "checkpoint"
-       ~doc:"Inspect a fixed-point checkpoint (exit 0 well-formed, 2 malformed)")
-    Term.(const run_checkpoint $ input)
+       ~doc:"Inspect a fixed-point checkpoint; with SPEC IMPL also probe whether it can \
+             seed a run over those circuits (exit 0 well-formed/compatible, 2 \
+             malformed/incompatible)")
+    Term.(const run_checkpoint $ input $ spec $ impl)
 
 let lint_cmd =
   let files = Arg.(value & pos_all file [] & info [] ~docv:"FILE") in
@@ -860,11 +1101,105 @@ let analyze_cmd =
              diagnostics (exit 0 clean, 1 findings under $(b,--strict), 2 parse error)")
     Term.(const run_analyze $ files $ suite $ json $ strict $ no_reduce)
 
+let serve_cmd =
+  let socket =
+    Arg.(value & opt string "seqver.sock"
+         & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket to listen on.")
+  in
+  let tcp =
+    Arg.(value & opt (some int) None
+         & info [ "tcp" ] ~docv:"PORT" ~doc:"Also listen on 127.0.0.1:PORT.")
+  in
+  let workers =
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc:"Verification worker domains.")
+  in
+  let queue =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~docv:"N" ~doc:"Job queue capacity (submissions beyond it are refused).")
+  in
+  let cache_dir =
+    Arg.(value & opt string ".seqver-cache"
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"On-disk result store: verdicts, certificates and warm-start checkpoints, \
+                   keyed by circuit fingerprints and option set.")
+  in
+  let cache_entries =
+    Arg.(value & opt int 128
+         & info [ "cache-entries" ] ~docv:"N" ~doc:"In-memory verdict LRU capacity.")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose" ] ~doc:"Log accepted jobs to stderr.") in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the verification daemon: a Unix-socket (and optional TCP) service with a \
+             job queue, worker domains and a fingerprint-keyed result cache \
+             (exit 0 on graceful shutdown, 2 on setup trouble)")
+    Term.(const run_serve $ socket $ tcp $ workers $ queue $ cache_dir $ cache_entries $ verbose)
+
+let submit_cmd =
+  let spec = Arg.(value & pos 0 (some file) None & info [] ~docv:"SPEC") in
+  let impl = Arg.(value & pos 1 (some file) None & info [] ~docv:"IMPL") in
+  let socket =
+    Arg.(value & opt string "seqver.sock"
+         & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon Unix socket.")
+  in
+  let tcp =
+    Arg.(value & opt (some string) None
+         & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Reach the daemon over TCP instead.")
+  in
+  let meth =
+    Arg.(value & opt string "scorr"
+         & info [ "m"; "method" ] ~doc:"Method: scorr or auto (portfolio).")
+  in
+  let engine =
+    Arg.(value & opt string "bdd" & info [ "e"; "engine" ] ~doc:"Refinement engine: bdd or sat.")
+  in
+  let induction =
+    Arg.(value & opt int 1
+         & info [ "k"; "unroll" ] ~doc:"SAT-engine induction depth (1 = the paper).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let analysis =
+    Arg.(value & flag & info [ "analysis" ] ~doc:"Enable the static-analysis layer.")
+  in
+  let deadline =
+    Arg.(value & opt float 0.0
+         & info [ "deadline" ] ~docv:"SECONDS" ~doc:"Per-job wall-clock budget (0 = none).")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Print the result as one JSON line.") in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only set the exit code.") in
+  let progress =
+    Arg.(value & flag & info [ "progress" ] ~doc:"Print streamed fixed-point progress events.")
+  in
+  let cancel =
+    Arg.(value & opt (some string) None & info [ "cancel" ] ~docv:"JOB" ~doc:"Cancel a job.")
+  in
+  let status =
+    Arg.(value & opt (some string) None & info [ "status" ] ~docv:"JOB" ~doc:"Query a job's state.")
+  in
+  let result =
+    Arg.(value & opt (some string) None
+         & info [ "result" ] ~docv:"JOB" ~doc:"Fetch a job's result.")
+  in
+  let wait =
+    Arg.(value & flag
+         & info [ "wait" ] ~doc:"With $(b,--result): block until the job finishes.")
+  in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print daemon statistics.") in
+  let shutdown = Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the daemon to shut down.") in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit a verification job to a running daemon, or manage one \
+             (exit 0 equivalent, 1 not equivalent, 3 unknown/cancelled, 2 protocol error)")
+    Term.(
+      const run_submit $ spec $ impl $ socket $ tcp $ meth $ engine $ induction $ seed
+      $ analysis $ deadline $ json $ quiet $ progress $ cancel $ status $ result $ wait
+      $ stats $ shutdown)
+
 let () =
   let doc = "sequential equivalence checking without state space traversal" in
   let info = Cmd.info "seqver" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ verify_cmd; bmc_cmd; check_cert_cmd; replay_cmd; checkpoint_cmd; lint_cmd;
-            analyze_cmd; gen_cmd; opt_cmd; sim_cmd; stats_cmd ]))
+          [ verify_cmd; bmc_cmd; check_cert_cmd; replay_cmd; checkpoint_cmd; serve_cmd;
+            submit_cmd; lint_cmd; analyze_cmd; gen_cmd; opt_cmd; sim_cmd; stats_cmd ]))

@@ -37,6 +37,12 @@ exception Parse_error of string
 
 let fingerprint aig = Digest.to_hex (Digest.string (Aig.Aiger.to_string aig))
 
+(* Digest-only identity test, for callers (the serve result cache) that
+   hold fingerprints but not the circuits; [check] remains the soundness
+   gate for anything beyond identity. *)
+let matches_digests ~spec_digest ~impl_digest cert =
+  String.equal cert.spec_digest spec_digest && String.equal cert.impl_digest impl_digest
+
 let n_classes cert = List.length cert.classes
 
 let n_constraints cert =

@@ -27,6 +27,10 @@ exception Parse_error of string
 val fingerprint : Aig.t -> string
 (** MD5 hex digest of the circuit's canonical AIGER text. *)
 
+val matches_digests : spec_digest:string -> impl_digest:string -> t -> bool
+(** Was this certificate emitted for exactly these circuit fingerprints?
+    Identity only — {!check} remains the independent soundness gate. *)
+
 val n_classes : t -> int
 val n_constraints : t -> int
 (** Number of pairwise equalities in Q (class sizes minus class count). *)

@@ -89,33 +89,47 @@ let of_partition ~spec_digest ~impl_digest ~engine ~candidates ~induction ~seed
 
 (* --- resume ------------------------------------------------------------------- *)
 
-let refuse fmt = Printf.ksprintf (fun msg -> raise (Incompatible msg)) fmt
-
-(* Fingerprint and option validation, before any engine work is spent.
-   [induction] is the resuming run's effective depth; a checkpoint of a
-   deeper run is accepted (see the module comment), a shallower one is
-   not — its splits need not hold at the deeper fixed point. *)
-let validate ~spec ~impl ~candidates ~induction ~seed cp =
-  let expect subject expected aig =
-    let got = fingerprint aig in
+(* Fingerprint and option compatibility, phrased over digests so callers
+   that already hold fingerprints — the serve daemon's warm-start cache
+   probing many stored checkpoints against one submission — need not
+   re-canonicalize the circuits per probe.  [induction] is the resuming
+   run's effective depth; a checkpoint of a deeper run is accepted (see
+   the module comment), a shallower one is not — its splits need not hold
+   at the deeper fixed point. *)
+let compatible ~spec_digest ~impl_digest ~candidates ~induction ~seed cp =
+  let refuse fmt = Printf.ksprintf (fun msg -> Error msg) fmt in
+  let expect subject expected got k =
     if got <> expected then
       refuse "%s fingerprint mismatch: checkpoint has %s, circuit is %s" subject expected
         got
+    else k ()
   in
-  expect "specification" cp.spec_digest spec;
-  expect "implementation" cp.impl_digest impl;
+  expect "specification" cp.spec_digest spec_digest @@ fun () ->
+  expect "implementation" cp.impl_digest impl_digest @@ fun () ->
   if cp.candidates <> candidates then
     refuse "candidate-set mismatch: checkpoint has %s, run uses %s" cp.candidates
-      candidates;
-  if cp.induction < induction then
+      candidates
+  else if cp.induction < induction then
     refuse
       "induction mismatch: a depth-%d checkpoint cannot seed a depth-%d run (its splits \
        are only sound at depth <= %d)"
-      cp.induction induction cp.induction;
-  if cp.seed <> seed then
-    refuse "seed mismatch: checkpoint normalized with seed %d, run uses %d" cp.seed seed;
-  if cp.retime_rounds < 0 || cp.retime_rounds > 64 then
+      cp.induction induction cp.induction
+  else if cp.seed <> seed then
+    refuse "seed mismatch: checkpoint normalized with seed %d, run uses %d" cp.seed seed
+  else if cp.retime_rounds < 0 || cp.retime_rounds > 64 then
     refuse "implausible retime rounds %d" cp.retime_rounds
+  else Ok ()
+
+(* Raising variant, before any engine work is spent on a resume. *)
+let validate ~spec ~impl ~candidates ~induction ~seed cp =
+  match
+    compatible ~spec_digest:(fingerprint spec) ~impl_digest:(fingerprint impl)
+      ~candidates ~induction ~seed cp
+  with
+  | Ok () -> ()
+  | Error msg -> raise (Incompatible msg)
+
+let refuse fmt = Printf.ksprintf (fun msg -> raise (Incompatible msg)) fmt
 
 (* Refine [partition] to the checkpointed classes.  Nodes sharing a
    checkpoint class stay together; every node the checkpoint left in a

@@ -120,11 +120,28 @@ end
 module Deadline : sig
   type t
 
+  type flag
+  (** An external cancellation flag: a shared atomic owned by someone
+      outside the run (e.g. the serve daemon's per-job cancel).  Kept
+      separate from the deadline's internal expiry latch so a portfolio
+      rung whose time slice expires does not masquerade as a job-level
+      cancel, and one flag can reach every rung a job will ever start. *)
+
+  val flag : unit -> flag
+  val cancel : flag -> unit
+  (** Request cancellation; every deadline carrying the flag reports
+      {!expired} from its next poll on. *)
+
+  val cancelled : flag -> bool
+
   val none : t
   (** Never expires. *)
 
   val make : seconds:float -> t
   (** A deadline [seconds] from now; non-positive yields {!none}. *)
+
+  val with_flag : flag -> t -> t
+  (** Attach an external cancellation flag to a deadline. *)
 
   val active : t -> bool
   val expired : t -> bool
@@ -473,6 +490,20 @@ module Checkpoint : sig
   (** Snapshot a partition mid-run; the [Aig.t] is the product machine
       {e after} [retime_rounds] augmentations. *)
 
+  val compatible :
+    spec_digest:string ->
+    impl_digest:string ->
+    candidates:string ->
+    induction:int ->
+    seed:int ->
+    t ->
+    (unit, string) result
+  (** The non-raising compatibility probe behind {!validate}, keyed on
+      digests so callers holding only fingerprints (the serve cache, the
+      [checkpoint inspect] diagnostic) can test a checkpoint without the
+      circuits in hand.  [Error msg] carries the human-readable mismatch,
+      fingerprint mismatches reporting both MD5s. *)
+
   val validate :
     spec:Aig.t -> impl:Aig.t -> candidates:string -> induction:int -> seed:int -> t -> unit
   (** Fingerprint and option validation before any engine work is spent.
@@ -497,6 +528,17 @@ end
 module Verify : sig
   type engine_kind = Bdd_engine | Sat_engine
   type candidate_set = All_signals | Registers_only
+
+  type progress = {
+    p_round : int;  (** retiming round the iteration belongs to *)
+    p_iteration : int;  (** refinement iterations completed so far *)
+    p_classes : int;  (** equivalence classes remaining *)
+    p_engine : string;  (** engine rung label, e.g. ["bdd"], ["sat-k2"] *)
+  }
+  (** One snapshot of the fixed-point iteration, delivered to
+      [options.progress] after the initial refinement and after every
+      completed iteration — the serve daemon streams these to watching
+      clients. *)
 
   type options = {
     engine : engine_kind;
@@ -556,6 +598,15 @@ module Verify : sig
             against the circuits and options ({!Checkpoint.validate})
             before any engine work; the resumed run provably reaches the
             same verdict and final partition as an uninterrupted one. *)
+    progress : (progress -> unit) option;
+        (** Called (on the verifying domain) after the initial refinement
+            and after every fixed-point iteration.  Default [None]. *)
+    cancel : Deadline.flag option;
+        (** External cancellation: when set, the flag is attached to the
+            run's deadline (even an unlimited one), so {!Deadline.cancel}
+            from another domain aborts the run within one class solve —
+            the verdict is [Unknown] with [exhausted = Some "deadline"].
+            Default [None]. *)
   }
 
   val default_options : options

@@ -18,6 +18,17 @@ type engine_kind = Bdd_engine | Sat_engine
 
 type candidate_set = All_signals | Registers_only
 
+(* One streamed progress observation of a running fixed point: enough for
+   a watcher (the serve daemon's clients, a progress bar) to see the
+   iteration count, the classes still standing, and which portfolio rung
+   is doing the work — without touching the engine's internals. *)
+type progress = {
+  p_round : int; (* retiming rounds completed *)
+  p_iteration : int; (* refinement iterations completed, all rounds *)
+  p_classes : int; (* classes currently in the partition *)
+  p_engine : string; (* rung label: "bdd", "sat-k1", "sat-k2", ... *)
+}
+
 type options = {
   engine : engine_kind;
   candidates : candidate_set;
@@ -48,6 +59,15 @@ type options = {
   checkpoint_path : string option; (* write partial state here on aborts *)
   checkpoint_every : int; (* also checkpoint every N iterations; 0 = aborts only *)
   resume : Checkpoint.t option; (* seed the fixed point from a prior run *)
+  progress : (progress -> unit) option;
+      (* called after the initial refinement and after every fixed-point
+         iteration, from whatever domain runs the verification; None (the
+         default) costs nothing *)
+  cancel : Deadline.flag option;
+      (* external cancellation: when set, the flag is attached to every
+         deadline this run (and every portfolio rung of it) polls, so
+         whoever holds the flag can abort the run within one class solve
+         — the serve daemon's per-job cancel *)
 }
 
 (* The default worker count honours SEQVER_JOBS so whole test suites can
@@ -84,6 +104,8 @@ let default_options =
     checkpoint_path = None;
     checkpoint_every = 0;
     resume = None;
+    progress = None;
+    cancel = None;
   }
 
 (* The option projections a checkpoint must reproduce on resume. *)
@@ -97,6 +119,12 @@ let candidates_string options =
    is the paper's one-frame Equation (3) regardless of [sat_unroll]. *)
 let effective_induction options =
   match options.engine with Bdd_engine -> 1 | Sat_engine -> max 1 options.sat_unroll
+
+(* Rung label for progress streaming and portfolio displays. *)
+let rung_label options =
+  match options.engine with
+  | Bdd_engine -> "bdd"
+  | Sat_engine -> Printf.sprintf "sat-k%d" (max 1 options.sat_unroll)
 
 type stats = {
   iterations : int; (* refinement iterations, all rounds *)
@@ -541,7 +569,10 @@ let run_with_relation ?(options = default_options) spec impl =
     Lint.preflight_aig ~subject:"implementation" impl
   end;
   let start = Clock.now () in
-  let deadline = Deadline.make ~seconds:options.deadline_seconds in
+  let deadline =
+    let d = Deadline.make ~seconds:options.deadline_seconds in
+    match options.cancel with None -> d | Some f -> Deadline.with_flag f d
+  in
   (* reject an incompatible checkpoint before spending any effort: the
      fingerprints, candidate set, seed and induction depth must all allow
      the resumed run to reach the same greatest fixed point *)
@@ -582,6 +613,18 @@ let run_with_relation ?(options = default_options) spec impl =
   (* pending counterexample lanes of the aborted engine, captured by the
      per-round finalizer so budget aborts can checkpoint them *)
   let pool_pending = ref [] in
+  let notify partition =
+    match options.progress with
+    | None -> ()
+    | Some f ->
+      f
+        {
+          p_round = !retime_rounds;
+          p_iteration = !iterations;
+          p_classes = Partition.n_classes partition;
+          p_engine = rung_label options;
+        }
+  in
   let spec_digest = lazy (Checkpoint.fingerprint spec) in
   let impl_digest = lazy (Checkpoint.fingerprint impl) in
   let mk_stats partition =
@@ -738,6 +781,7 @@ let run_with_relation ?(options = default_options) spec impl =
               engine.shutdown ())
             (fun () ->
               phase "initial" (fun () -> engine.refine_initial partition);
+              notify partition;
               (* conclusive check: before any Eq.3 refinement, a split output
                  pair reflects a genuine difference at (or simulated from) the
                  initial state.  Only available when the outputs themselves are
@@ -778,6 +822,7 @@ let run_with_relation ?(options = default_options) spec impl =
                     poll ();
                     while engine.refine_once partition do
                       incr iterations;
+                      notify partition;
                       poll ();
                       if
                         options.checkpoint_every > 0

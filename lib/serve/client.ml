@@ -1,0 +1,93 @@
+(* Client side of the serve protocol: connect, send newline-framed JSON
+   requests, read newline-framed JSON responses.  Used by the [seqver
+   submit] subcommand and the benchmark's [--serve] mode. *)
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Error msg)) fmt
+
+type t = { fd : Unix.file_descr; buf : Buffer.t }
+
+let connect ?tcp ?socket () =
+  let addr =
+    match (tcp, socket) with
+    | Some (host, port), _ ->
+      let ip =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> fail "unknown host %s" host
+      in
+      Unix.ADDR_INET (ip, port)
+    | None, Some path -> Unix.ADDR_UNIX path
+    | None, None -> fail "no daemon address (need a socket path or host:port)"
+  in
+  let fd =
+    Unix.socket (match addr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET)
+      Unix.SOCK_STREAM 0
+  in
+  (try Unix.connect fd addr
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     fail "cannot connect to the daemon: %s" (Unix.error_message e));
+  { fd; buf = Buffer.create 256 }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
+
+let send t req =
+  let line = Protocol.request_to_line req ^ "\n" in
+  try write_all t.fd line 0 (String.length line)
+  with Unix.Unix_error (e, _, _) -> fail "write to daemon failed: %s" (Unix.error_message e)
+
+(* Read the next newline-framed response; blocks until one arrives. *)
+let next t =
+  let rec read_line () =
+    let text = Buffer.contents t.buf in
+    match String.index_opt text '\n' with
+    | Some nl ->
+      Buffer.clear t.buf;
+      Buffer.add_string t.buf (String.sub text (nl + 1) (String.length text - nl - 1));
+      String.sub text 0 nl
+    | None -> (
+      let bytes = Bytes.create 65536 in
+      match Unix.read t.fd bytes 0 (Bytes.length bytes) with
+      | 0 -> fail "daemon closed the connection"
+      | n ->
+        Buffer.add_subbytes t.buf bytes 0 n;
+        read_line ()
+      | exception Unix.Unix_error (e, _, _) ->
+        fail "read from daemon failed: %s" (Unix.error_message e))
+  in
+  let line = read_line () in
+  match Protocol.decode_response line with
+  | Ok resp -> resp
+  | Error msg -> fail "malformed response %S: %s" line msg
+
+let request t req =
+  send t req;
+  next t
+
+(* Submit and follow one job to completion: stream progress to
+   [on_progress], return the final outcome.  Raises {!Error} on protocol
+   trouble (including an [error] response). *)
+let submit_and_wait ?(on_progress = fun ~round:_ ~iteration:_ ~classes:_ ~engine:_ -> ()) t
+    ~spec ~impl ~opts () =
+  send t (Protocol.Submit { spec; impl; opts; watch = true });
+  let job_id = ref "" in
+  let rec loop () =
+    match next t with
+    | Protocol.Submitted { job; cached = _ } ->
+      job_id := job;
+      loop ()
+    | Protocol.Progress { job = _; round; iteration; classes; engine } ->
+      on_progress ~round ~iteration ~classes ~engine;
+      loop ()
+    | Protocol.Job_result { job = _; outcome } -> (!job_id, outcome)
+    | Protocol.Error_resp msg -> fail "%s" msg
+    | _ -> loop ()
+  in
+  loop ()

@@ -1,0 +1,85 @@
+(* Bounded FIFO job queue between the daemon's accept loop and its worker
+   domains.
+
+   [push] never blocks — a full queue refuses the job and the daemon
+   reports the rejection to the client instead of stalling the accept
+   loop.  [pop] blocks the calling worker until a job or [close];
+   [remove] supports cancellation of still-queued jobs.  The list-based
+   representation keeps removal trivial; daemon queues are tens of
+   entries, not thousands. *)
+
+type 'a t = {
+  capacity : int;
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  mutable items : 'a list;  (* FIFO order: head = next to pop *)
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  {
+    capacity = max 1 capacity;
+    mu = Mutex.create ();
+    nonempty = Condition.create ();
+    items = [];
+    closed = false;
+  }
+
+let locked q f =
+  Mutex.lock q.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock q.mu) f
+
+let length q = locked q (fun () -> List.length q.items)
+
+let push q x =
+  locked q (fun () ->
+      if q.closed || List.length q.items >= q.capacity then false
+      else begin
+        q.items <- q.items @ [ x ];
+        Condition.signal q.nonempty;
+        true
+      end)
+
+let pop q =
+  locked q (fun () ->
+      let rec wait () =
+        match q.items with
+        | x :: rest ->
+          q.items <- rest;
+          Some x
+        | [] ->
+          if q.closed then None
+          else begin
+            Condition.wait q.nonempty q.mu;
+            wait ()
+          end
+      in
+      wait ())
+
+(* Remove the first queued item satisfying [pred]; [false] when none does
+   (the job is already running, finished, or unknown). *)
+let remove q pred =
+  locked q (fun () ->
+      let rec go acc = function
+        | [] -> false
+        | x :: rest when pred x ->
+          q.items <- List.rev_append acc rest;
+          true
+        | x :: rest -> go (x :: acc) rest
+      in
+      go [] q.items)
+
+(* Position of the first match among queued items (0 = next to run). *)
+let position q pred =
+  locked q (fun () ->
+      let rec go i = function
+        | [] -> None
+        | x :: _ when pred x -> Some i
+        | _ :: rest -> go (i + 1) rest
+      in
+      go 0 q.items)
+
+let close q =
+  locked q (fun () ->
+      q.closed <- true;
+      Condition.broadcast q.nonempty)

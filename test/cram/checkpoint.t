@@ -60,3 +60,34 @@ A truncated checkpoint is rejected by the inspector (exit 2):
   $ seqver checkpoint broken.txt
   broken.txt: unexpected end of checkpoint (expected induction)
   [2]
+
+With SPEC and IMPL arguments the inspector probes the checkpoint against
+a circuit pair before any engine work.  A match reports both paths (exit
+0); a stale snapshot is diagnosed with both fingerprints so the culprit
+file is obvious (exit 2):
+
+  $ seqver checkpoint cp.txt spec.blif impl.aag | tail -1
+    compatible:      yes (fingerprints match spec.blif impl.aag)
+
+  $ seqver checkpoint cp.txt spec.blif other.aag
+  checkpoint: cp.txt
+    spec md5:        6d97f2e50f16f2f6d4094192c6966496
+    impl md5:        a0042957c5ab6bbedeaebee6f55ff60e
+    engine:          bdd
+    candidates:      all
+    induction:       1
+    seed:            17
+    retime rounds:   0
+    product nodes:   271
+    iterations:      0
+    classes:         26 (212 constraints)
+    pool patterns:   0
+    compatible:      no
+  seqver checkpoint: implementation fingerprint mismatch: checkpoint has a0042957c5ab6bbedeaebee6f55ff60e, circuit is bbeb8a77c10251aec1670f9b6f99ae75
+  [2]
+
+A lone extra argument is a usage error:
+
+  $ seqver checkpoint cp.txt spec.blif > /dev/null
+  seqver checkpoint: expected CHECKPOINT, or CHECKPOINT SPEC IMPL
+  [2]

@@ -1,0 +1,67 @@
+The verification service: a daemon over a Unix socket, newline-framed
+JSON requests, and a fingerprint-keyed result cache.
+
+  $ seqver gen ctr8 -o spec.blif
+  $ seqver opt spec.blif impl.aag --recipe retime+opt --seed 3 > /dev/null
+
+Start a daemon on a private socket and wait for it to come up:
+
+  $ seqver serve --socket d.sock --cache-dir cache > serve.log 2>&1 &
+  $ SERVE_PID=$!
+  $ for i in $(seq 100); do test -S d.sock && break; sleep 0.1; done
+
+A first submission runs the verification, reports a fresh (uncached)
+verdict, and persists a checkable certificate under the cache:
+
+  $ seqver submit spec.blif impl.aag --socket d.sock --json > r1.json
+  $ grep -c '"verdict":"equivalent"' r1.json
+  1
+  $ grep -c '"cached":false' r1.json
+  1
+  $ find cache -name cert | wc -l
+  1
+
+An exact resubmission is answered from the cache — same verdict, zero
+re-verification, strictly less wall time:
+
+  $ seqver submit spec.blif impl.aag --socket d.sock --json > r2.json
+  $ grep -c '"cached":true' r2.json
+  1
+  $ grep -c '"verdict":"equivalent"' r2.json
+  1
+  $ R1=$(sed -n 's/.*"runtime":\([0-9.]*\).*/\1/p' r1.json)
+  $ R2=$(sed -n 's/.*"runtime":\([0-9.]*\).*/\1/p' r2.json)
+  $ awk -v a="$R1" -v b="$R2" 'BEGIN { exit !(b < a) }'
+
+The same pair under modified options misses the cache (the options are
+part of the key) but warm-starts from the stored checkpoint instead of
+refining from scratch:
+
+  $ seqver submit spec.blif impl.aag -e sat --socket d.sock --json > r3.json
+  $ grep -c '"cached":false' r3.json
+  1
+  $ RES=$(sed -n 's/.*"resumed_iterations":\([0-9]*\).*/\1/p' r3.json)
+  $ test "$RES" -gt 0
+
+Unknown job ids are protocol errors, not crashes:
+
+  $ seqver submit --cancel job-99 --socket d.sock
+  seqver submit: unknown job "job-99"
+  [2]
+
+The stats report counts cache traffic and keeps a per-job record of
+scheduler wait:
+
+  $ seqver submit --stats --socket d.sock | grep -E 'submitted|warm starts'
+  submitted:       3 (done 3, cached 1, cancelled 0)
+  warm starts:     1
+  $ seqver submit --stats --socket d.sock | grep -c sched_wait
+  3
+
+Shutdown is graceful: the daemon answers, drains, exits 0, and removes
+its socket:
+
+  $ seqver submit --shutdown --socket d.sock
+  daemon shutting down
+  $ wait $SERVE_PID
+  $ test ! -e d.sock
