@@ -18,6 +18,9 @@
                     nonzero exit when any verdict regresses from "proved"
    --filter RE      only bench suite circuits whose name matches RE
                     (OCaml Str regexp: alternation is backslash-pipe)
+   --no-incremental run every scorr target with throwaway per-class SAT
+                    solvers (the ablation-incremental target always A/Bs
+                    both modes regardless of this flag)
    --seed N         PRNG seed for simulation seeding (Scorr options.seed)
    -j N             run ablation-engine circuit jobs across N worker domains
    --sweep-jobs N   worker domains inside each SAT sweep (Scorr options.jobs)
@@ -62,6 +65,7 @@ let seed_flag = ref Scorr.default_options.Scorr.Verify.seed
 let jobs = ref (Domain.recommended_domain_count ())
 let sweep_jobs = ref 1
 let deadline_flag = ref 0.0
+let no_incremental = ref false
 let serve_socket : string option ref = ref None
 
 let name_matches name =
@@ -121,14 +125,17 @@ let record ?(cached = false) ?(queue_wait = 0.0) ~circuit ~engine ~shape verdict
        \"seconds\": %.3f, \"sat_calls\": %d, \"peak_nodes\": %s, \
        \"iterations\": %d, \"retime_rounds\": %d, \"pool_lanes\": %d, \
        \"resim_splits\": %d, \"batched_solves\": %d, \"cache_hits\": %d, \
-       \"static_splits\": %d, %s, \
+       \"static_splits\": %d, \"conflicts\": %d, \"propagations\": %d, \
+       \"restarts\": %d, \"reused_clauses\": %d, \"shared_clauses\": %d, \
+       \"core_prunes\": %d, %s, \
        \"jobs\": %d, \"domains\": %d, \"steals\": %d, \"sched_wait\": %.3f, \
        \"deadline\": %.3f, \"exhausted\": %s, \"eq_pct\": %.1f, \
        \"cached\": %b, \"queue_wait\": %.3f}"
       (json_escape circuit) (json_escape engine) name seconds
       s.Scorr.Verify.sat_calls peak s.iterations s.retime_rounds
       s.pool_lanes s.resim_splits s.batched_solves s.cache_hits
-      s.static_splits shape
+      s.static_splits s.conflicts s.propagations s.restarts s.reused_clauses
+      s.shared_clauses s.core_prunes shape
       !sweep_jobs s.domains s.steals s.sched_wait_seconds !deadline_flag
       (match s.exhausted with
       | Some why -> Printf.sprintf "\"%s\"" (json_escape why)
@@ -160,6 +167,7 @@ let scorr_options () =
     seed = !seed_flag;
     jobs = !sweep_jobs;
     deadline_seconds = !deadline_flag;
+    use_incremental = not !no_incremental;
   }
 
 let suite_pairs recipe =
@@ -468,6 +476,53 @@ let ablation_unroll () =
            [ "ctr8"; "gray12"; "crc16"; "crc32"; "traffic"; "mod10"; "arb4"; "bus" ])
        (suite_pairs Circuits.Suite.Retime_opt))
 
+(* --- E2: persistent incremental SAT ----------------------------------------------------- *)
+
+(* A/B of the incremental machinery: one persistent activation-guarded
+   solver per sweep lane, learned-clause sharing at merge points and
+   failed-core proof transfer, against a throwaway solver per class
+   obligation.  Verdicts must agree; the point of the table is the
+   reduction in solver work (conflicts, wall time). *)
+let ablation_incremental () =
+  Printf.printf
+    "E2 (extension): persistent incremental SAT across the fixed point vs a\n\
+     throwaway solver per class obligation (identical verdicts by construction)\n\n";
+  Printf.printf "%-9s | %-8s %7s %9s %7s %7s | %-9s %7s %9s | %7s %7s\n" "circuit"
+    "incr" "time" "conflicts" "prunes" "shared" "throwaway" "time" "conflicts" "t-ratio"
+    "c-ratio";
+  print_endline line;
+  let circuits = if !smoke then [ "ctr8"; "lfsr16"; "mod10" ] else [ "ctr16"; "gray12"; "lfsr16" ] in
+  List.iter
+    (fun (e, spec, impl) ->
+      let name = e.Circuits.Suite.name in
+      let run incr =
+        let options =
+          {
+            (scorr_options ()) with
+            Scorr.Verify.engine = Scorr.Verify.Sat_engine;
+            use_incremental = incr;
+          }
+        in
+        let options =
+          if !smoke then { options with Scorr.Verify.max_sat_calls = 50_000 } else options
+        in
+        timed (fun () -> Scorr.check ~options spec impl)
+      in
+      let vi, ti = run true in
+      let vf, tf = run false in
+      let shape = shape_fragment spec impl in
+      record ~circuit:name ~engine:"sat" ~shape vi ti;
+      record ~circuit:name ~engine:"sat-noincr" ~shape vf tf;
+      let si = Scorr.verdict_stats vi and sf = Scorr.verdict_stats vf in
+      let ratio num den = if num > 0.0 then den /. num else Float.nan in
+      Printf.printf "%-9s | %-8s %7.2f %9d %7d %7d | %-9s %7.2f %9d | %6.1fx %6.1fx\n%!"
+        name (verdict_name vi) ti si.Scorr.Verify.conflicts si.core_prunes si.shared_clauses
+        (verdict_name vf) tf sf.Scorr.Verify.conflicts (ratio ti tf)
+        (ratio (float_of_int si.Scorr.Verify.conflicts) (float_of_int sf.Scorr.Verify.conflicts)))
+    (List.filter
+       (fun (e, _, _) -> List.mem e.Circuits.Suite.name circuits)
+       (suite_pairs Circuits.Suite.Retime_opt))
+
 (* --- E3: plain output k-induction baseline ---------------------------------------------- *)
 
 let ablation_induction () =
@@ -673,7 +728,8 @@ let targets =
   [ ("table1", table1); ("eqpct", eqpct); ("ablation-fundep", ablation_fundep);
     ("ablation-sim", ablation_sim); ("ablation-retime", ablation_retime);
     ("ablation-engine", ablation_engine); ("ablation-dontcare", ablation_dontcare);
-    ("ablation-unroll", ablation_unroll); ("ablation-induction", ablation_induction);
+    ("ablation-unroll", ablation_unroll); ("ablation-incremental", ablation_incremental);
+    ("ablation-induction", ablation_induction);
     ("micro", micro) ]
 
 let () =
@@ -713,6 +769,9 @@ let () =
       parse_flags rest
     | "--sweep-jobs" :: n :: rest ->
       sweep_jobs := int_arg "--sweep-jobs" n;
+      parse_flags rest
+    | "--no-incremental" :: rest ->
+      no_incremental := true;
       parse_flags rest
     | "--deadline" :: v :: rest ->
       (match float_of_string_opt v with

@@ -56,6 +56,13 @@ let pp_stats (s : Scorr.stats) =
     s.Scorr.Verify.iterations s.retime_rounds s.candidates s.classes
     s.peak_bdd_nodes s.sat_calls s.batched_solves s.pool_lanes s.resim_splits
     s.cache_hits s.eq_pct s.seconds;
+  if s.conflicts > 0 || s.propagations > 0 then
+    Printf.printf
+      "  SAT conflicts:   %d\n  propagations:    %d\n  restarts:        %d\n\
+      \  encoded vars:    %d\n  reused clauses:  %d\n  shared clauses:  %d\n\
+      \  core prunes:     %d\n"
+      s.conflicts s.propagations s.restarts s.encoded_vars s.reused_clauses
+      s.shared_clauses s.core_prunes;
   if s.domains > 1 then
     Printf.printf "  domains:         %d (lane solves: %s; steals: %d; wait: %.2f s)\n"
       s.domains
@@ -117,9 +124,9 @@ let run_verify_suite engine jobs deadline quiet =
     results;
   !code
 
-let run_verify spec_path impl_path meth engine no_sim_seed no_fundep no_retime dontcare
-    analysis node_limit unroll seconds deadline checkpoint checkpoint_every resume
-    show_classes emit_cert emit_witness jobs suite quiet =
+let run_verify spec_path impl_path meth engine no_sim_seed no_fundep no_retime
+    no_incremental dontcare analysis node_limit unroll seconds deadline checkpoint
+    checkpoint_every resume show_classes emit_cert proof emit_witness jobs suite quiet =
   if suite then run_verify_suite engine jobs deadline quiet
   else
   match (spec_path, impl_path) with
@@ -137,6 +144,10 @@ let run_verify spec_path impl_path meth engine no_sim_seed no_fundep no_retime d
     prerr_endline
       "seqver verify: --emit-cert is incompatible with --dontcare (a relation \
        holding only inside the reachable care set is not self-certifying)";
+    exit 2
+  end;
+  if proof && emit_cert = None then begin
+    prerr_endline "seqver verify: --proof requires --emit-cert";
     exit 2
   end;
   let spec = read_circuit spec_path and impl = read_circuit impl_path in
@@ -160,6 +171,7 @@ let run_verify spec_path impl_path meth engine no_sim_seed no_fundep no_retime d
       use_sim_seed = not no_sim_seed;
       use_fundep = not no_fundep;
       use_retime = not no_retime;
+      use_incremental = not no_incremental;
       use_reach_dontcare = dontcare;
       (* the portfolio is analysis-steered by default; the flag opts the
          direct methods into the static support prefilter *)
@@ -224,12 +236,28 @@ let run_verify spec_path impl_path meth engine no_sim_seed no_fundep no_retime d
       | None -> ()
       | Some path -> (
         match Cert.Certificate.of_run ~options ~spec ~impl run with
-        | Ok cert ->
-          Cert.Certificate.to_file path cert;
-          if not quiet then
-            Printf.printf "certificate: %s (%d classes, %d constraints)\n" path
-              (Cert.Certificate.n_classes cert)
-              (Cert.Certificate.n_constraints cert)
+        | Ok cert -> (
+          let proved =
+            if proof then
+              match Cert.Certificate.prove ~spec ~impl cert with
+              | Ok c -> Some c
+              | Error e ->
+                Printf.eprintf "seqver verify: no certificate emitted: proof trace: %s\n"
+                  (Cert.Certificate.explain_check_error e);
+                None
+            else Some cert
+          in
+          match proved with
+          | None -> ()
+          | Some cert ->
+            Cert.Certificate.to_file path cert;
+            if not quiet then
+              Printf.printf "certificate: %s (%d classes, %d constraints%s)\n" path
+                (Cert.Certificate.n_classes cert)
+                (Cert.Certificate.n_constraints cert)
+                (match cert.Cert.Certificate.proof with
+                | Some segs -> Printf.sprintf ", %d proof segments" (List.length segs)
+                | None -> ""))
         | Error e ->
           Printf.eprintf "seqver verify: no certificate emitted: %s\n"
             (Cert.Certificate.explain_emit_error e)));
@@ -439,10 +467,11 @@ let run_bmc spec_path impl_path depth emit_witness =
 
 (* Exit codes: 0 the certificate (or every suite certificate) validated,
    1 a check rejected it, 2 parse/IO/usage trouble. *)
-let run_check_cert cert_path spec_path impl_path suite quiet =
+let run_check_cert cert_path spec_path impl_path suite proof quiet =
   if suite then begin
     (* self-check: emit and independently re-validate a certificate for
-       every built-in (spec, retimed implementation) pair *)
+       every built-in (spec, retimed implementation) pair; with --proof,
+       also record a DRAT trace and re-validate by replay alone *)
     let failures = ref 0 in
     List.iter
       (fun e ->
@@ -456,12 +485,18 @@ let run_check_cert cert_path spec_path impl_path suite quiet =
           match Cert.Certificate.of_run ~options ~spec ~impl run with
           | Error e -> Error (Cert.Certificate.explain_emit_error e)
           | Ok cert -> (
-            (* round-trip through the text format so the suite also
-               exercises the parser *)
-            let cert = Cert.Certificate.parse_string (Cert.Certificate.to_string cert) in
-            match Cert.Certificate.check ~spec ~impl cert with
-            | Ok () -> Ok (Cert.Certificate.n_constraints cert)
-            | Error e -> Error (Cert.Certificate.explain_check_error e))
+            let proved =
+              if proof then Cert.Certificate.prove ~spec ~impl cert else Ok cert
+            in
+            match proved with
+            | Error e -> Error (Cert.Certificate.explain_check_error e)
+            | Ok cert -> (
+              (* round-trip through the text format so the suite also
+                 exercises the parser *)
+              let cert = Cert.Certificate.parse_string (Cert.Certificate.to_string cert) in
+              match Cert.Certificate.check ~use_proof:proof ~spec ~impl cert with
+              | Ok () -> Ok (Cert.Certificate.n_constraints cert)
+              | Error e -> Error (Cert.Certificate.explain_check_error e)))
         in
         match status with
         | Ok n ->
@@ -486,13 +521,14 @@ let run_check_cert cert_path spec_path impl_path suite quiet =
           exit 2
       in
       let spec = read_circuit spec_path and impl = read_circuit impl_path in
-      match Cert.Certificate.check ~spec ~impl cert with
+      match Cert.Certificate.check ~use_proof:proof ~spec ~impl cert with
       | Ok () ->
         if not quiet then
-          Printf.printf "certificate valid: %d classes, %d constraints (induction %d)\n"
+          Printf.printf "certificate valid: %d classes, %d constraints (induction %d%s)\n"
             (Cert.Certificate.n_classes cert)
             (Cert.Certificate.n_constraints cert)
-            cert.Cert.Certificate.induction;
+            cert.Cert.Certificate.induction
+            (if proof then ", proof replayed" else "");
         0
       | Error e ->
         Printf.printf "certificate REJECTED: %s\n" (Cert.Certificate.explain_check_error e);
@@ -748,8 +784,8 @@ let print_server_stats ~json (s : Serve.Protocol.server_stats) =
    --cancel JOB, --stats, --shutdown.  Exit codes follow verify (0
    equivalent, 1 not equivalent, 3 unknown/cancelled, 2 protocol or
    usage trouble). *)
-let run_submit spec impl socket tcp meth engine induction seed analysis deadline json quiet
-    progress cancel status result wait stats shutdown =
+let run_submit spec impl socket tcp meth engine induction seed analysis no_incremental
+    deadline json quiet progress cancel status result wait stats shutdown =
   let tcp = Option.map parse_hostport tcp in
   let with_client k =
     match Serve.Client.connect ?tcp ~socket () with
@@ -777,6 +813,7 @@ let run_submit spec impl socket tcp meth engine induction seed analysis deadline
             induction;
             seed;
             analysis;
+            incremental = not no_incremental;
             deadline;
           }
         in
@@ -885,6 +922,13 @@ let verify_cmd =
   let no_sim_seed = Arg.(value & flag & info [ "no-sim-seed" ] ~doc:"Disable simulation seeding.") in
   let no_fundep = Arg.(value & flag & info [ "no-fundep" ] ~doc:"Disable functional dependencies.") in
   let no_retime = Arg.(value & flag & info [ "no-retime" ] ~doc:"Disable retiming extension.") in
+  let no_incremental =
+    Arg.(value & flag
+         & info [ "no-incremental" ]
+             ~doc:"Solve every class obligation on a throwaway SAT solver instead of the \
+                   persistent per-lane incremental solvers (baseline for A/B comparison; \
+                   verdicts are identical, only the work differs).")
+  in
   let dontcare =
     Arg.(value & flag & info [ "dontcare" ] ~doc:"Strengthen Q with approximate reachability.")
   in
@@ -938,6 +982,13 @@ let verify_cmd =
          & info [ "emit-cert" ] ~docv:"FILE"
              ~doc:"Write an independently checkable equivalence certificate (scorr only).")
   in
+  let proof =
+    Arg.(value & flag
+         & info [ "proof" ]
+             ~doc:"With $(b,--emit-cert): embed a DRAT trace of every checker obligation \
+                   in the certificate, so $(b,check-cert --proof) can replay it without \
+                   any SAT solving.")
+  in
   let emit_witness =
     Arg.(value & opt (some string) None
          & info [ "emit-witness" ] ~docv:"FILE"
@@ -963,9 +1014,9 @@ let verify_cmd =
              (exit 0 equivalent, 1 not equivalent, 3 unknown, 2 usage/parse error)")
     Term.(
       const run_verify $ spec $ impl $ meth $ engine $ no_sim_seed $ no_fundep $ no_retime
-      $ dontcare $ analysis $ node_limit $ unroll $ seconds $ deadline $ checkpoint
-      $ checkpoint_every $ resume $ show_classes $ emit_cert $ emit_witness $ jobs $ suite
-      $ quiet)
+      $ no_incremental $ dontcare $ analysis $ node_limit $ unroll $ seconds $ deadline
+      $ checkpoint $ checkpoint_every $ resume $ show_classes $ emit_cert $ proof
+      $ emit_witness $ jobs $ suite $ quiet)
 
 let gen_cmd =
   let circuit_name = Arg.(value & pos 0 string "" & info [] ~docv:"NAME") in
@@ -1020,12 +1071,20 @@ let check_cert_cmd =
              ~doc:"Emit and re-validate a certificate for every built-in \
                    (spec, retimed implementation) pair instead.")
   in
+  let proof =
+    Arg.(value & flag
+         & info [ "proof" ]
+             ~doc:"Validate by replaying the certificate's embedded DRAT trace through an \
+                   independent reverse-unit-propagation checker — no SAT solving at all.  \
+                   A certificate without a trace is rejected.  With $(b,--suite), \
+                   certificates are emitted with traces and replay-checked.")
+  in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only set the exit code.") in
   Cmd.v
     (Cmd.info "check-cert"
        ~doc:"Independently re-validate an equivalence certificate \
              (exit 0 valid, 1 rejected, 2 parse/usage error)")
-    Term.(const run_check_cert $ cert $ spec $ impl $ suite $ quiet)
+    Term.(const run_check_cert $ cert $ spec $ impl $ suite $ proof $ quiet)
 
 let replay_cmd =
   let witness = Arg.(required & pos 0 (some file) None & info [] ~docv:"WITNESS") in
@@ -1161,6 +1220,12 @@ let submit_cmd =
   let analysis =
     Arg.(value & flag & info [ "analysis" ] ~doc:"Enable the static-analysis layer.")
   in
+  let no_incremental =
+    Arg.(value & flag
+         & info [ "no-incremental" ]
+             ~doc:"Run the job with throwaway per-class SAT solvers instead of the \
+                   persistent incremental ones (cached separately).")
+  in
   let deadline =
     Arg.(value & opt float 0.0
          & info [ "deadline" ] ~docv:"SECONDS" ~doc:"Per-job wall-clock budget (0 = none).")
@@ -1192,8 +1257,8 @@ let submit_cmd =
              (exit 0 equivalent, 1 not equivalent, 3 unknown/cancelled, 2 protocol error)")
     Term.(
       const run_submit $ spec $ impl $ socket $ tcp $ meth $ engine $ induction $ seed
-      $ analysis $ deadline $ json $ quiet $ progress $ cancel $ status $ result $ wait
-      $ stats $ shutdown)
+      $ analysis $ no_incremental $ deadline $ json $ quiet $ progress $ cancel $ status
+      $ result $ wait $ stats $ shutdown)
 
 let () =
   let doc = "sequential equivalence checking without state space traversal" in

@@ -31,6 +31,11 @@ type t = {
   retime_rounds : int; (* augmentation rounds to replay on the product *)
   product_nodes : int; (* product size after augmentation (shape check) *)
   classes : int list list; (* normalized literals, each class sorted *)
+  proof : Sat.Dimacs.drat_step list list option;
+      (* optional DRAT trace: one segment per non-trivial checker
+         obligation, in the checker's deterministic traversal order, so
+         a proof-mode check can replay the refutations by reverse unit
+         propagation instead of trusting a SAT solver *)
 }
 
 exception Parse_error of string
@@ -94,6 +99,7 @@ let of_run ~(options : Scorr.Verify.options) ~spec ~impl (verdict, product, rela
                      (Scorr.Partition.norm_lit partition)
                      (Scorr.Partition.members partition cls)))
               (Scorr.Partition.multi_member_classes partition);
+          proof = None;
         }
   | Scorr.Not_equivalent _, _ -> Error (Not_proved "Not_equivalent")
   | Scorr.Unknown _, _ -> Error (Not_proved "Unknown")
@@ -109,6 +115,8 @@ type check_error =
   | Not_initial of { lit_a : int; lit_b : int; frame : int }
   | Not_inductive of { lit_a : int; lit_b : int }
   | Output_unproved of string
+  | Proof_missing
+  | Proof_invalid of string
 
 let explain_check_error = function
   | Fingerprint_mismatch { subject; expected; got } ->
@@ -126,6 +134,8 @@ let explain_check_error = function
     Printf.sprintf "class equality %d = %d is not %s" lit_a lit_b "preserved by the relation (induction fails)"
   | Output_unproved name ->
     Printf.sprintf "output pair %s is not proved equal under the relation" name
+  | Proof_missing -> "proof-mode check requested but the certificate carries no proof"
+  | Proof_invalid why -> Printf.sprintf "proof trace rejected: %s" why
 
 exception Check_failed of check_error
 
@@ -156,26 +166,21 @@ let unroll solver aig ~n ~first_latch_var =
   done;
   frames
 
-(* Is [a <-> b] valid under the solver's clauses?  One assumption-guarded
-   query; the selector is retired afterwards so the solver stays clean. *)
-let equality_valid solver a b =
-  a = b
-  ||
-  let s = Sat.new_var solver in
-  let sl = Sat.Lit.pos s and ns = Sat.Lit.neg s in
-  Sat.add_clause solver [ ns; a; b ];
-  Sat.add_clause solver [ ns; Sat.Lit.negate a; Sat.Lit.negate b ];
-  let r = Sat.solve ~assumptions:[ sl ] solver in
-  Sat.add_clause solver [ ns ];
-  r = Sat.Unsat
-
 (* The (representative, member) literal pairs whose equalities form Q. *)
 let constraint_pairs cert =
   List.concat_map
     (function [] | [ _ ] -> [] | rep :: rest -> List.map (fun l -> (rep, l)) rest)
     cert.classes
 
-let check ~spec ~impl cert =
+(* The checker's obligation walk, shared by all three discharge modes.
+   [on_solver] sees each of the two fresh solvers as it is created (to
+   attach proof or input loggers); [discharge solver sl] must decide
+   whether the staged selector literal [sl] — whose two guard clauses
+   [~sl \/ a \/ b] and [~sl \/ ~a \/ ~b] are already installed — is
+   refutable, i.e. whether a <-> b is valid.  The walk is deterministic:
+   a proof produced by one run is replayable by any later run over the
+   same certificate and circuits, obligation by obligation. *)
+let run_check ~spec ~impl ~on_solver ~discharge cert =
   try
     let expect subject expected aig =
       let got = fingerprint aig in
@@ -205,11 +210,26 @@ let check ~spec ~impl cert =
         if l < 0 || Aig.node_of_lit l >= Aig.num_nodes aig then
           raise (Check_failed (Bad_literal l)))
       (List.concat cert.classes);
+    (* Is [a <-> b] valid under the solver's clauses?  One staged
+       obligation; the selector is retired afterwards so the clause set
+       stays clean. *)
+    let equality_valid solver a b =
+      a = b
+      ||
+      let s = Sat.new_var solver in
+      let sl = Sat.Lit.pos s and ns = Sat.Lit.neg s in
+      Sat.add_clause solver [ ns; a; b ];
+      Sat.add_clause solver [ ns; Sat.Lit.negate a; Sat.Lit.negate b ];
+      let r = discharge solver sl in
+      Sat.add_clause solver [ ns ];
+      r
+    in
     let k = cert.induction in
     let pairs = constraint_pairs cert in
     (* (a) base case: every equality holds in the first k frames from the
        initial state, for all input sequences *)
     let solver0 = Sat.create () in
+    on_solver solver0;
     let s0 =
       Array.init (Aig.num_latches aig) (fun i ->
           let v = Sat.new_var solver0 in
@@ -227,6 +247,7 @@ let check ~spec ~impl cert =
     (* (b) induction: from a free state, Q over frames 0..k-1 forces every
        equality in frame k *)
     let solver = Sat.create () in
+    on_solver solver;
     let s =
       Array.init (Aig.num_latches aig) (fun _ -> Sat.new_var solver)
     in
@@ -258,6 +279,80 @@ let check ~spec ~impl cert =
     Ok ()
   with Check_failed e -> Error e
 
+(* Plain mode: each obligation is one assumption-guarded SAT query. *)
+let check_solving ~spec ~impl cert =
+  run_check ~spec ~impl ~on_solver:(fun _ -> ())
+    ~discharge:(fun solver sl -> Sat.solve ~assumptions:[ sl ] solver = Sat.Unsat)
+    cert
+
+let drat_of_step = function
+  | Sat.Step_add lits -> Sat.Dimacs.Add (List.map Sat.Lit.to_int lits)
+  | Sat.Step_delete lits -> Sat.Dimacs.Delete (List.map Sat.Lit.to_int lits)
+
+(* Proof-replay mode: no SAT solving at all.  Each checker solver is
+   shadowed by an independent reverse-unit-propagation engine fed every
+   problem clause through the input logger (the solvers are used purely
+   as deterministic CNF encoders).  Per obligation, the next trace
+   segment is replayed — every addition verified RUP against the
+   accumulated clauses — and the obligation is discharged iff the
+   negated selector is then forced by unit propagation. *)
+let check_replaying ~spec ~impl cert segments =
+  let rups = ref [] in
+  let remaining = ref segments in
+  let on_solver s =
+    let rup = Sat.Dimacs.Rup.create () in
+    rups := (s, rup) :: !rups;
+    Sat.set_input_logger s
+      (Some (fun lits -> Sat.Dimacs.Rup.add_input rup (List.map Sat.Lit.to_int lits)))
+  in
+  let discharge s sl =
+    let rup = List.assq s !rups in
+    match !remaining with
+    | [] -> raise (Check_failed (Proof_invalid "fewer proof segments than obligations"))
+    | seg :: rest ->
+      remaining := rest;
+      (match Sat.Dimacs.Rup.replay rup seg with
+      | Error msg -> raise (Check_failed (Proof_invalid msg))
+      | Ok () -> ());
+      Sat.Dimacs.Rup.holds rup [ -Sat.Lit.to_int sl ]
+  in
+  match run_check ~spec ~impl ~on_solver ~discharge cert with
+  | Error _ as e -> e
+  | Ok () ->
+    if !remaining <> [] then
+      Error (Proof_invalid "more proof segments than obligations")
+    else Ok ()
+
+let check ?(use_proof = false) ~spec ~impl cert =
+  if not use_proof then check_solving ~spec ~impl cert
+  else
+    match cert.proof with
+    | None -> Error Proof_missing
+    | Some segments -> check_replaying ~spec ~impl cert segments
+
+(* Run the solving checker while streaming each solver's DRAT events,
+   cutting one segment per discharged obligation; the returned
+   certificate embeds the trace.  Solvers persist across the obligations
+   of one phase, so a segment's refutation may resolve with learned
+   clauses recorded in earlier segments — replay feeds the segments to
+   the same accumulating engine in the same order, which is exactly why
+   the traversal order is part of the format. *)
+let prove ~spec ~impl cert =
+  let segments = ref [] in
+  let current = ref [] in
+  let on_solver s =
+    Sat.set_proof_logger s (Some (fun step -> current := drat_of_step step :: !current))
+  in
+  let discharge solver sl =
+    current := [];
+    let r = Sat.solve ~assumptions:[ sl ] solver = Sat.Unsat in
+    if r then segments := List.rev !current :: !segments;
+    r
+  in
+  match run_check ~spec ~impl ~on_solver ~discharge cert with
+  | Error _ as e -> e
+  | Ok () -> Ok { cert with proof = Some (List.rev !segments) }
+
 (* --- serialization -------------------------------------------------------------- *)
 
 (* Text format:
@@ -273,6 +368,20 @@ let check ~spec ~impl cert =
      classes 2
      class 4 6 12
      class 9 13
+     end
+
+   A trace-backed certificate inserts, between the class lines and the
+   end marker, a proof section — one [segment] per checker obligation,
+   each followed by its DRAT lines (DIMACS literals, "d"-prefixed
+   deletions):
+
+     proof 2
+     segment 3
+     5 -2 0
+     d 5 -2 0
+     -9 0
+     segment 1
+     -12 0
      end                                                                 *)
 
 let to_string cert =
@@ -292,6 +401,15 @@ let to_string cert =
       List.iter (fun l -> Buffer.add_string buf (Printf.sprintf " %d" l)) cls;
       Buffer.add_char buf '\n')
     cert.classes;
+  (match cert.proof with
+  | None -> ()
+  | Some segments ->
+    Buffer.add_string buf (Printf.sprintf "proof %d\n" (List.length segments));
+    List.iter
+      (fun seg ->
+        Buffer.add_string buf (Printf.sprintf "segment %d\n" (List.length seg));
+        Buffer.add_string buf (Sat.Dimacs.drat_to_string seg))
+      segments);
   Buffer.add_string buf "end\n";
   Buffer.contents buf
 
@@ -350,6 +468,38 @@ let parse_string text =
         else fail "expected a class line, got %S" line
   in
   let classes, lines = read_classes 0 [] lines in
+  (* optional proof section (certificates without one parse as before) *)
+  let proof, lines =
+    match lines with
+    | line :: _ when String.length line >= 6 && String.sub line 0 6 = "proof " ->
+      let nseg, lines = int_field "proof" lines in
+      if nseg < 0 then fail "negative proof segment count %d" nseg;
+      let rec read_steps j acc lines =
+        if j = 0 then (List.rev acc, lines)
+        else
+          match lines with
+          | [] -> fail "unexpected end of certificate (expected %d more proof line(s))" j
+          | line :: rest -> (
+            match Sat.Dimacs.drat_parse_string line with
+            | [ step ] -> read_steps (j - 1) (step :: acc) rest
+            | _ -> fail "expected one DRAT step per line, got %S" line
+            | exception Failure msg -> fail "bad DRAT line %S: %s" line msg)
+      in
+      let rec read_segments i acc lines =
+        if i = 0 then (List.rev acc, lines)
+        else
+          match lines with
+          | [] -> fail "unexpected end of certificate (expected %d more segment(s))" i
+          | _ ->
+            let nsteps, lines = int_field "segment" lines in
+            if nsteps < 0 then fail "negative proof step count %d" nsteps;
+            let steps, lines = read_steps nsteps [] lines in
+            read_segments (i - 1) (steps :: acc) lines
+      in
+      let segments, lines = read_segments nseg [] lines in
+      (Some segments, lines)
+    | _ -> (None, lines)
+  in
   (match lines with
   | [ "end" ] -> ()
   | [] -> fail "missing end marker"
@@ -363,6 +513,7 @@ let parse_string text =
     retime_rounds;
     product_nodes;
     classes;
+    proof;
   }
 
 let to_file path cert =

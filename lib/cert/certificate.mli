@@ -20,6 +20,10 @@ type t = {
   retime_rounds : int;  (** augmentation rounds to replay on the product *)
   product_nodes : int;  (** product size after augmentation (shape check) *)
   classes : int list list;  (** normalized literals, each class sorted *)
+  proof : Sat.Dimacs.drat_step list list option;
+      (** optional DRAT trace: one segment per non-trivial checker
+          obligation, in the checker's deterministic traversal order —
+          produced by {!prove}, consumed by {!check} in proof mode *)
 }
 
 exception Parse_error of string
@@ -64,14 +68,30 @@ type check_error =
   | Not_initial of { lit_a : int; lit_b : int; frame : int }
   | Not_inductive of { lit_a : int; lit_b : int }
   | Output_unproved of string
+  | Proof_missing  (** proof-mode check, but the certificate has no trace *)
+  | Proof_invalid of string  (** a trace step failed RUP verification *)
 
 val explain_check_error : check_error -> string
 
-val check : spec:Aig.t -> impl:Aig.t -> t -> (unit, check_error) result
+val check : ?use_proof:bool -> spec:Aig.t -> impl:Aig.t -> t -> (unit, check_error) result
 (** Re-validate the certificate against the two circuits without trusting
     the fixed-point loop: fingerprints, product shape, the base case in
     the first [induction] frames from the initial state, the k-step
-    induction from a free state, and coverage of every output pair. *)
+    induction from a free state, and coverage of every output pair.
+
+    With [use_proof] (default [false]), no SAT solving happens at all:
+    the certificate must embed a DRAT trace ({!prove}), and every
+    obligation is discharged by replaying its trace segment through an
+    independent reverse-unit-propagation engine
+    ({!Sat.Dimacs.Rup}) against the reconstructed CNF — each traced
+    clause is verified RUP before use, and the obligation passes only if
+    unit propagation then forces the staged selector false.  Mutated or
+    truncated traces are rejected ([Proof_invalid]). *)
+
+val prove : spec:Aig.t -> impl:Aig.t -> t -> (t, check_error) result
+(** Run the solving checker while recording a DRAT trace of every
+    refutation; on success, returns the certificate with [proof] filled
+    (one segment per obligation, in traversal order). *)
 
 (** {1 Serialization (text format)} *)
 

@@ -63,7 +63,23 @@ type wstate = {
   w_frames : (int -> Sat.Lit.t) array;
   w_eq_sel : (int * int * int, int) Hashtbl.t;
   w_diff_sel : (int * int, int) Hashtbl.t;
+  w_sel_pair : (int, int * int) Hashtbl.t;
+      (* selector variable -> the (la, lb) equality it asserts, for
+         mapping failed-assumption cores back to constraint pairs *)
   mutable w_q : (int * Sat.Lit.t list) option; (* per-version Q selectors *)
+}
+
+(* Aggregated solver-work profile of a context: live persistent solvers
+   are harvested on demand, the throwaway solvers of the non-incremental
+   mode accumulate into the context's atomics as they are discarded. *)
+type profile = {
+  pr_conflicts : int;
+  pr_propagations : int;
+  pr_restarts : int;
+  pr_encoded_vars : int; (* SAT variables created, across every solver *)
+  pr_reused_clauses : int; (* clauses already in place when a solve was issued *)
+  pr_shared_clauses : int; (* learned clauses imported across sweep lanes *)
+  pr_core_prunes : int; (* class re-solves skipped by failed-core transfer *)
 }
 
 type ctx = {
@@ -95,6 +111,27 @@ type ctx = {
   sched : wstate Parsweep.t; (* persistent pool; lane 0 = primary solver *)
   static_filter : bool; (* split support-disjoint members before solving *)
   mutable n_static : int; (* classes split by the static prefilter *)
+  incremental : bool;
+      (* true: persistent solvers, activation-released staging, failed-core
+         pruning and cross-lane clause sharing; false: every class solve
+         re-encodes into a throwaway solver (the A/B baseline) *)
+  base_vars : int;
+      (* variables of the shared k+1-frame unrolling — identical in every
+         lane by determinism, and the horizon below which learned clauses
+         are sound to exchange *)
+  acc_conflicts : int Atomic.t; (* counters of discarded throwaway solvers *)
+  acc_propagations : int Atomic.t;
+  acc_restarts : int Atomic.t;
+  acc_vars : int Atomic.t;
+  reused_clauses : int Atomic.t;
+  mutable shared_clauses : int;
+  mutable core_prunes : int;
+  shared_seen : (Sat.Lit.t list, unit) Hashtbl.t;
+      (* canonical forms of clauses already broadcast between lanes *)
+  stable_cores : (int, int array * (int * int) list) Hashtbl.t;
+      (* class -> (member literals at proof time, failed-core pairs): an
+         UNSAT proof transfers to any later version in which the member
+         list is unchanged and every core equality still holds *)
 }
 
 (* Chain [n] frames of [aig] inside [solver].  [first_latch_var] supplies
@@ -125,12 +162,13 @@ let unroll solver aig ~n ~first_latch_var =
   frames
 
 let make ?(max_sat_calls = max_int) ?(k = 1) ?(jobs = 1) ?(deadline = Deadline.none)
-    ?(static_filter = false) p =
+    ?(static_filter = false) ?(incremental = true) p =
   if k < 1 then invalid_arg "Engine_sat.make: k must be >= 1";
   let aig = p.Product.aig in
   let solver = Sat.create () in
   let s_vars = Array.init (Aig.num_latches aig) (fun _ -> Sat.new_var solver) in
   let frames = unroll solver aig ~n:(k + 1) ~first_latch_var:(fun i -> s_vars.(i)) in
+  let base_vars = Sat.num_vars solver in
   let solver0 = Sat.create () in
   let s0_vars =
     Array.init (Aig.num_latches aig) (fun i ->
@@ -144,24 +182,38 @@ let make ?(max_sat_calls = max_int) ?(k = 1) ?(jobs = 1) ?(deadline = Deadline.n
   (* Lane 0 reuses the primary solver (the coordinator works inside its
      own pool); other lanes build a private copy of the unrolling inside
      their own domain.  [unroll] is deterministic, so every lane's frame
-     maps use identical variable numbering. *)
+     maps use identical variable numbering.  The non-incremental baseline
+     never touches lane state — its lanes get an empty placeholder rather
+     than an unrolling nothing would reuse. *)
   let fresh_lane () =
-    let s = Sat.create () in
-    let vars = Array.init (Aig.num_latches aig) (fun _ -> Sat.new_var s) in
-    let fr = unroll s aig ~n:(k + 1) ~first_latch_var:(fun i -> vars.(i)) in
-    {
-      w_solver = s;
-      w_frames = fr;
-      w_eq_sel = Hashtbl.create 256;
-      w_diff_sel = Hashtbl.create 256;
-      w_q = None;
-    }
+    if not incremental then
+      {
+        w_solver = Sat.create ();
+        w_frames = [||];
+        w_eq_sel = Hashtbl.create 1;
+        w_diff_sel = Hashtbl.create 1;
+        w_sel_pair = Hashtbl.create 1;
+        w_q = None;
+      }
+    else begin
+      let s = Sat.create () in
+      let vars = Array.init (Aig.num_latches aig) (fun _ -> Sat.new_var s) in
+      let fr = unroll s aig ~n:(k + 1) ~first_latch_var:(fun i -> vars.(i)) in
+      {
+        w_solver = s;
+        w_frames = fr;
+        w_eq_sel = Hashtbl.create 256;
+        w_diff_sel = Hashtbl.create 256;
+        w_sel_pair = Hashtbl.create 256;
+        w_q = None;
+      }
+    end
   in
   let sched =
     Parsweep.create ~jobs ~init:(fun lane ->
         if lane = 0 then
           { w_solver = solver; w_frames = frames; w_eq_sel = eq_sel;
-            w_diff_sel = diff_sel; w_q = None }
+            w_diff_sel = diff_sel; w_sel_pair = Hashtbl.create 256; w_q = None }
         else fresh_lane ())
   in
   {
@@ -189,10 +241,52 @@ let make ?(max_sat_calls = max_int) ?(k = 1) ?(jobs = 1) ?(deadline = Deadline.n
     sched;
     static_filter;
     n_static = 0;
+    incremental;
+    base_vars;
+    acc_conflicts = Atomic.make 0;
+    acc_propagations = Atomic.make 0;
+    acc_restarts = Atomic.make 0;
+    acc_vars = Atomic.make 0;
+    reused_clauses = Atomic.make 0;
+    shared_clauses = 0;
+    core_prunes = 0;
+    shared_seen = Hashtbl.create 256;
+    stable_cores = Hashtbl.create 256;
   }
 
 let shutdown ctx = Parsweep.shutdown ctx.sched
 let sched_stats ctx = Parsweep.stats ctx.sched
+
+(* The context's solver-work profile.  Persistent solvers are read live —
+   the primary pair plus every initialized worker lane (lane 0 aliases
+   the primary solver and is skipped) — and the discarded throwaway
+   solvers of the non-incremental baseline have already been folded into
+   the accumulators.  Coordinator-only, between rounds. *)
+let profile ctx =
+  let lane_solvers =
+    List.filter_map
+      (fun w -> if w.w_solver == ctx.solver then None else Some w.w_solver)
+      (Parsweep.initialized_states ctx.sched)
+  in
+  let solvers = ctx.solver :: ctx.solver0 :: lane_solvers in
+  let sum f = List.fold_left (fun acc s -> acc + f s) 0 solvers in
+  {
+    pr_conflicts = Atomic.get ctx.acc_conflicts + sum Sat.num_conflicts;
+    pr_propagations = Atomic.get ctx.acc_propagations + sum Sat.num_propagations;
+    pr_restarts = Atomic.get ctx.acc_restarts + sum Sat.num_restarts;
+    pr_encoded_vars = Atomic.get ctx.acc_vars + sum Sat.num_vars;
+    pr_reused_clauses = Atomic.get ctx.reused_clauses;
+    pr_shared_clauses = ctx.shared_clauses;
+    pr_core_prunes = ctx.core_prunes;
+  }
+
+(* Fold a throwaway solver's counters into the accumulators before it is
+   dropped; runs on worker lanes, hence the atomics. *)
+let retire_throwaway ctx s =
+  ignore (Atomic.fetch_and_add ctx.acc_conflicts (Sat.num_conflicts s));
+  ignore (Atomic.fetch_and_add ctx.acc_propagations (Sat.num_propagations s));
+  ignore (Atomic.fetch_and_add ctx.acc_restarts (Sat.num_restarts s));
+  ignore (Atomic.fetch_and_add ctx.acc_vars (Sat.num_vars s))
 
 let norm_key la lb = if la <= lb then (la, lb) else (lb, la)
 
@@ -393,8 +487,14 @@ let refine_once_pairwise ctx partition =
    selectors.  Counterexamples are pooled and applied in bit-parallel
    batches between passes.  An UNSAT answer here is permanent — solver0
    has no removable assumptions and class member sets only shrink — so
-   proven (class, frame) prefixes are cached in [init_clean]. *)
+   proven (class, frame) prefixes are cached in [init_clean].
+
+   Incremental mode stages the OR through an activation-guarded clause on
+   the persistent initialized solver and {!Sat.release}s the guard after
+   the answer; the baseline re-encodes an initialized (frame+1)-frame
+   unrolling into a throwaway solver per obligation. *)
 let refine_initial ctx partition =
+  let aig = ctx.p.Product.aig in
   let progress = ref true in
   while !progress do
     progress := false;
@@ -414,35 +514,79 @@ let refine_initial ctx partition =
                 let lit_of = ctx.init_frames.(frame) in
                 let la = Partition.norm_lit partition rep in
                 let a = lit_of la in
-                let dsels =
+                let diffs =
                   List.filter_map
                     (fun id ->
                       let lb = Partition.norm_lit partition id in
-                      let b = lit_of lb in
-                      if a = b then None
-                      else
-                        let ka, kb = norm_key la lb in
-                        Some
-                          (difference_selector ctx.solver0 ctx.diff_sel0
-                             (frame, ka, kb) a b))
+                      if a = lit_of lb then None else Some lb)
                     rest
                 in
-                (match dsels with
+                (match diffs with
                 | [] ->
                   Hashtbl.replace ctx.init_clean cls (frame + 1);
                   frames (frame + 1)
-                | _ ->
-                  let g = Sat.new_var ctx.solver0 in
-                  Sat.add_clause ctx.solver0 (Sat.Lit.neg g :: dsels);
+                | diffs ->
                   check_budget ctx;
                   ctx.n_batched <- ctx.n_batched + 1;
-                  let answer = Sat.solve ~assumptions:[ Sat.Lit.pos g ] ctx.solver0 in
-                  (* read the model before retiring the staging selector:
-                     adding the unit clause backtracks the trail *)
-                  (match answer with
-                  | Sat.Unsat -> ()
-                  | Sat.Sat -> pool_model ctx ctx.solver0 lit_of);
-                  Sat.add_clause ctx.solver0 [ Sat.Lit.neg g ];
+                  let answer =
+                    if ctx.incremental then begin
+                      ignore
+                        (Atomic.fetch_and_add ctx.reused_clauses
+                           (Sat.num_clauses ctx.solver0));
+                      let dsels =
+                        List.map
+                          (fun lb ->
+                            let ka, kb = norm_key la lb in
+                            difference_selector ctx.solver0 ctx.diff_sel0
+                              (frame, ka, kb) a (lit_of lb))
+                          diffs
+                      in
+                      let g = Sat.new_var ctx.solver0 in
+                      Sat.add_clause ~act:g ctx.solver0 dsels;
+                      let answer =
+                        Sat.solve ~assumptions:[ Sat.Lit.pos g ] ctx.solver0
+                      in
+                      (* read the model before releasing the staging
+                         guard: the release backtracks the trail *)
+                      (match answer with
+                      | Sat.Unsat -> ()
+                      | Sat.Sat -> pool_model ctx ctx.solver0 lit_of);
+                      Sat.release ctx.solver0 g;
+                      answer
+                    end
+                    else begin
+                      let s = Sat.create () in
+                      let svars =
+                        Array.init (Aig.num_latches aig) (fun i ->
+                            let v = Sat.new_var s in
+                            Sat.add_clause s [ Sat.Lit.make v (Aig.latch_init aig i) ];
+                            v)
+                      in
+                      let fr =
+                        unroll s aig ~n:(frame + 1) ~first_latch_var:(fun i -> svars.(i))
+                      in
+                      let lof = fr.(frame) in
+                      let fa = lof la in
+                      let ds =
+                        List.map
+                          (fun lb ->
+                            let fb = lof lb in
+                            let v = Sat.new_var s in
+                            Sat.add_clause s [ Sat.Lit.neg v; fa; fb ];
+                            Sat.add_clause s
+                              [ Sat.Lit.neg v; Sat.Lit.negate fa; Sat.Lit.negate fb ];
+                            Sat.Lit.pos v)
+                          diffs
+                      in
+                      Sat.add_clause s ds;
+                      let answer = Sat.solve s in
+                      (match answer with
+                      | Sat.Unsat -> ()
+                      | Sat.Sat -> pool_model ctx s lof);
+                      retire_throwaway ctx s;
+                      answer
+                    end
+                  in
                   (match answer with
                   | Sat.Unsat ->
                     Hashtbl.replace ctx.init_clean cls (frame + 1);
@@ -469,12 +613,17 @@ type task = { t_cls : int; t_lits : int array }
 
 type outcome =
   | O_trivial (* all members share one frame-k literal: stable for free *)
-  | O_stable (* UNSAT: no Eq.(3) violation under the frozen Q *)
+  | O_stable of (int * int) list
+      (* UNSAT: no Eq.(3) violation under the frozen Q; the payload is
+         the failed-assumption core mapped back to normalized constraint
+         pairs — the only Q equalities the refutation used *)
   | O_witness of bool array * bool array
       (* (inputs, state) valuation of the last frame of a violating run *)
 
 (* Per-lane Q selectors for one partition version, built from the frozen
-   (rep, member) normalized-literal pairs the coordinator captured. *)
+   (rep, member) normalized-literal pairs the coordinator captured.
+   Every selector is remembered in [w_sel_pair] so failed-assumption
+   cores can be mapped back to the pairs they mention. *)
 let lane_q ctx w ~version ~pairs =
   match w.w_q with
   | Some (v, q) when v = version -> q
@@ -487,17 +636,23 @@ let lane_q ctx w ~version ~pairs =
               let lit_of = w.w_frames.(frame) in
               let a = lit_of la and b = lit_of lb in
               if a = b then None
-              else
+              else begin
                 let ka, kb = norm_key la lb in
-                Some (equality_selector w.w_solver w.w_eq_sel (frame, ka, kb) a b))
+                let sl = equality_selector w.w_solver w.w_eq_sel (frame, ka, kb) a b in
+                Hashtbl.replace w.w_sel_pair (Sat.Lit.var sl) (ka, kb);
+                Some sl
+              end)
             (List.init ctx.k (fun i -> i)))
         pairs
     in
     w.w_q <- Some (version, q);
     q
 
-(* One staged-OR class solve on a lane's private solver; read-only with
-   respect to all shared state. *)
+(* One staged-OR class solve on a lane's private persistent solver;
+   read-only with respect to all shared state.  The staging guard is an
+   activation variable released after the answer, so the retired OR
+   clause (and any learned clause mentioning it) is garbage-collected
+   instead of burdening propagation forever. *)
 let solve_class ctx w ~version ~pairs task =
   let last = w.w_frames.(ctx.k) in
   let la = task.t_lits.(0) in
@@ -518,15 +673,22 @@ let solve_class ctx w ~version ~pairs task =
        by the solves in flight and lands deadline aborts within one
        class solve *)
     check_budget ctx;
+    ignore (Atomic.fetch_and_add ctx.reused_clauses (Sat.num_clauses w.w_solver));
     let q = lane_q ctx w ~version ~pairs in
     let g = Sat.new_var w.w_solver in
-    Sat.add_clause w.w_solver (Sat.Lit.neg g :: dsels);
+    Sat.add_clause ~act:g w.w_solver dsels;
     let answer = Sat.solve ~assumptions:(Sat.Lit.pos g :: q) w.w_solver in
-    (* read the model before retiring the staging selector: adding the
-       unit clause backtracks the trail *)
+    (* read the model / failed core before releasing the staging guard:
+       the release backtracks the trail *)
     let out =
       match answer with
-      | Sat.Unsat -> O_stable
+      | Sat.Unsat ->
+        let core =
+          List.filter_map
+            (fun l -> Hashtbl.find_opt w.w_sel_pair (Sat.Lit.var l))
+            (Sat.failed_assumptions w.w_solver)
+        in
+        O_stable core
       | Sat.Sat ->
         let aig = ctx.p.Product.aig in
         let pi =
@@ -540,8 +702,102 @@ let solve_class ctx w ~version ~pairs task =
         in
         O_witness (pi, latch)
     in
-    Sat.add_clause w.w_solver [ Sat.Lit.neg g ];
+    Sat.release w.w_solver g;
     out
+
+(* The non-incremental baseline: the same class obligation re-encoded
+   from scratch into a throwaway solver — a fresh k+1-frame unrolling
+   with the frozen Q as hard equality clauses on frames 0..k-1 and the
+   class's difference OR as a hard clause — solved without assumptions,
+   its counters folded into the accumulators, then dropped.  The trivial
+   exit reads the persistent frame maps (pure lookups), mirroring the
+   incremental path's zero-cost case and its budget accounting. *)
+let solve_class_fresh ctx ~pairs task =
+  let aig = ctx.p.Product.aig in
+  let last0 = ctx.frames.(ctx.k) in
+  let la = task.t_lits.(0) in
+  let a0 = last0 la in
+  let nontrivial = ref false in
+  for i = 1 to Array.length task.t_lits - 1 do
+    if last0 task.t_lits.(i) <> a0 then nontrivial := true
+  done;
+  if not !nontrivial then O_trivial
+  else begin
+    check_budget ctx;
+    let s = Sat.create () in
+    let vars = Array.init (Aig.num_latches aig) (fun _ -> Sat.new_var s) in
+    let fr = unroll s aig ~n:(ctx.k + 1) ~first_latch_var:(fun i -> vars.(i)) in
+    List.iter
+      (fun (pa, pb) ->
+        for frame = 0 to ctx.k - 1 do
+          let lit_of = fr.(frame) in
+          let a = lit_of pa and b = lit_of pb in
+          if a <> b then begin
+            Sat.add_clause s [ Sat.Lit.negate a; b ];
+            Sat.add_clause s [ a; Sat.Lit.negate b ]
+          end
+        done)
+      pairs;
+    let last = fr.(ctx.k) in
+    let a = last la in
+    let ds = ref [] in
+    for i = Array.length task.t_lits - 1 downto 1 do
+      let b = last task.t_lits.(i) in
+      if a <> b then begin
+        let v = Sat.new_var s in
+        Sat.add_clause s [ Sat.Lit.neg v; a; b ];
+        Sat.add_clause s [ Sat.Lit.neg v; Sat.Lit.negate a; Sat.Lit.negate b ];
+        ds := Sat.Lit.pos v :: !ds
+      end
+    done;
+    Sat.add_clause s !ds;
+    let answer = Sat.solve s in
+    let out =
+      match answer with
+      | Sat.Unsat -> O_stable []
+      | Sat.Sat ->
+        let pi =
+          Array.map (fun nd -> Sat.value_lit s (last (Aig.lit_of_node nd))) ctx.pi_nodes
+        in
+        let latch =
+          Array.init (Aig.num_latches aig) (fun i ->
+              Sat.value_lit s (last (Aig.lit_of_node (Aig.latch_node aig i))))
+        in
+        O_witness (pi, latch)
+    in
+    retire_throwaway ctx s;
+    out
+  end
+
+(* Cross-lane learned-clause exchange, run by the coordinator at the
+   sweep merge point (no batch in flight).  Each lane exports its short,
+   low-LBD learned clauses over the shared base encoding — selector and
+   activation variables occur only negatively in problem clauses, so a
+   learned clause confined to base variables was derived from the base
+   encoding alone and holds in every lane — deduplicated against
+   everything already broadcast, and imported into every other lane. *)
+let share_clauses ctx =
+  match Parsweep.initialized_states ctx.sched with
+  | [] | [ _ ] -> ()
+  | lanes ->
+    List.iter
+      (fun src ->
+        List.iter
+          (fun c ->
+            let key = List.sort compare c in
+            if not (Hashtbl.mem ctx.shared_seen key) then begin
+              Hashtbl.replace ctx.shared_seen key ();
+              List.iter
+                (fun dst ->
+                  if dst != src then begin
+                    Sat.import_clause dst.w_solver c;
+                    ctx.shared_clauses <- ctx.shared_clauses + 1
+                  end)
+                lanes
+            end)
+          (Sat.export_learnts src.w_solver ~limit_var:ctx.base_vars ~max_size:8
+             ~max_lbd:4))
+      lanes
 
 (* One batched sweep round of Equation (3).  The partition is frozen
    into tasks, solved across the pool's lanes, and the outcomes applied
@@ -602,25 +858,50 @@ let sweep ctx partition ~trust =
           match Partition.members partition cls with
           | [] | [ _ ] -> None
           | members ->
-            Some
-              {
-                t_cls = cls;
-                t_lits = Array.of_list (List.map (Partition.norm_lit partition) members);
-              })
+            let lits = Array.of_list (List.map (Partition.norm_lit partition) members) in
+            (* Failed-core transfer: an UNSAT proof recorded for exactly
+               these member literals whose core equalities all still hold
+               in the current partition refutes the obligation at this
+               version too — Q entails every equality between co-classed
+               pairs — so the class is re-proved without a solve.  A
+               proof, not a heuristic: valid in strict passes as well. *)
+            let pruned =
+              ctx.incremental
+              && (match Hashtbl.find_opt ctx.stable_cores cls with
+                 | Some (old_lits, core) ->
+                   old_lits = lits
+                   && List.for_all
+                        (fun (la, lb) -> Partition.lits_equal partition la lb)
+                        core
+                 | None -> false)
+            in
+            if pruned then begin
+              ctx.core_prunes <- ctx.core_prunes + 1;
+              Hashtbl.replace ctx.proved_at cls vq;
+              None
+            end
+            else Some { t_cls = cls; t_lits = lits })
       (Partition.multi_member_classes partition)
     |> Array.of_list
   in
   let outcomes =
-    Parsweep.map ctx.sched ~f:(fun w task -> solve_class ctx w ~version:vq ~pairs task) tasks
+    Parsweep.map ctx.sched
+      ~f:(fun w task ->
+        if ctx.incremental then solve_class ctx w ~version:vq ~pairs task
+        else solve_class_fresh ctx ~pairs task)
+      tasks
   in
+  if ctx.incremental then share_clauses ctx;
   Array.iteri
     (fun i outcome ->
       let cls = tasks.(i).t_cls in
       match outcome with
       | O_trivial -> Hashtbl.replace ctx.proved_at cls vq
-      | O_stable ->
+      | O_stable core ->
         ctx.n_batched <- ctx.n_batched + 1;
-        Hashtbl.replace ctx.proved_at cls vq
+        Hashtbl.replace ctx.proved_at cls vq;
+        if ctx.incremental then
+          Hashtbl.replace ctx.stable_cores cls (tasks.(i).t_lits, core)
       | O_witness (pi, latch) ->
         ctx.n_batched <- ctx.n_batched + 1;
         if Simpool.is_full ctx.pool then flush ();

@@ -67,6 +67,10 @@ type 'w t = {
   mutable wait_seconds : float;
   mutable domains : unit Domain.t array;
   mutable shut : bool;
+  states : 'w option array;
+      (* every lane's lazily built state, published at init time; the
+         coordinator may only read these between batches — the work-done
+         hand-off under the mutex gives the happens-before edge *)
 }
 
 let jobs t = t.jobs
@@ -126,6 +130,7 @@ let worker_loop t lane =
     | None ->
       let s = t.init lane in
       state := Some s;
+      t.states.(lane) <- Some s;
       s
   in
   let rec loop seen =
@@ -168,6 +173,7 @@ let create ~jobs ~init =
       wait_seconds = 0.0;
       domains = [||];
       shut = false;
+      states = Array.make jobs None;
     }
   in
   if jobs > 1 then
@@ -181,7 +187,15 @@ let state0 t =
   | None ->
     let s = t.init 0 in
     t.state0 <- Some s;
+    t.states.(0) <- Some s;
     s
+
+(* The states built so far, in lane order.  Only valid between batches:
+   no [map] may be in flight, and the caller must be the coordinator —
+   the batch hand-off under the mutex is what makes the workers' writes
+   visible here. *)
+let initialized_states t =
+  Array.to_list t.states |> List.filter_map (fun s -> s)
 
 let map t ~f tasks =
   if t.shut then invalid_arg "Parsweep.map: pool is shut down";

@@ -184,6 +184,13 @@ module Parsweep : sig
       smallest failing task index is re-raised here after the batch
       completes, and the pool remains usable. *)
 
+  val initialized_states : 'w t -> 'w list
+  (** The lane states built so far, in lane order.  Coordinator-only,
+      and only between batches: the batch hand-off is what makes the
+      workers' lazily built states visible.  The SAT engine walks these
+      at merge points to exchange learned clauses and harvest solver
+      counters. *)
+
   val stats : _ t -> stats
   val shutdown : _ t -> unit
   (** Join the worker domains; idempotent.  Subsequent {!map} calls
@@ -354,6 +361,21 @@ module Engine_sat : sig
       with its own selector tables and Q cache.  Lane 0 aliases the
       context's primary solver. *)
 
+  type profile = {
+    pr_conflicts : int;
+    pr_propagations : int;
+    pr_restarts : int;
+    pr_encoded_vars : int;  (** SAT variables created, across every solver *)
+    pr_reused_clauses : int;
+        (** clauses already in place when a solve was issued (0 in
+            non-incremental mode: throwaway solvers start empty) *)
+    pr_shared_clauses : int;  (** learned clauses imported across sweep lanes *)
+    pr_core_prunes : int;  (** class re-solves skipped by failed-core transfer *)
+  }
+  (** Aggregated solver-work profile of a context: persistent solvers are
+      read live, discarded throwaway solvers of the non-incremental mode
+      have been folded into accumulators as they were dropped. *)
+
   type ctx = {
     p : Product.t;
     k : int;  (** induction depth; 1 = the paper's Equation (3) *)
@@ -383,6 +405,29 @@ module Engine_sat : sig
         (** split PI-support-incompatible candidates for free before every
             pass (see {!Support.prefilter_class}) *)
     mutable n_static : int;  (** classes split by the static prefilter *)
+    incremental : bool;
+        (** [true]: persistent solvers, activation-released staging,
+            failed-core pruning and cross-lane clause sharing; [false]:
+            every class solve re-encodes into a throwaway solver (the A/B
+            baseline) *)
+    base_vars : int;
+        (** variables of the shared k+1-frame unrolling — identical in
+            every lane by determinism, and the horizon below which learned
+            clauses are sound to exchange *)
+    acc_conflicts : int Atomic.t;
+        (** counters harvested from discarded throwaway solvers *)
+    acc_propagations : int Atomic.t;
+    acc_restarts : int Atomic.t;
+    acc_vars : int Atomic.t;
+    reused_clauses : int Atomic.t;
+    mutable shared_clauses : int;
+    mutable core_prunes : int;
+    shared_seen : (Sat.Lit.t list, unit) Hashtbl.t;
+        (** canonical forms of clauses already broadcast between lanes *)
+    stable_cores : (int, int array * (int * int) list) Hashtbl.t;
+        (** class -> (member literals at proof time, failed-core pairs):
+            an UNSAT proof transfers to any later version in which the
+            member list is unchanged and every core equality still holds *)
   }
 
   val make :
@@ -391,16 +436,24 @@ module Engine_sat : sig
     ?jobs:int ->
     ?deadline:Deadline.t ->
     ?static_filter:bool ->
+    ?incremental:bool ->
     Product.t ->
     ctx
   (** [jobs] worker lanes solve the Eq.(3) sweep rounds; each lane > 0
       owns a private copy of the unrolled product CNF built inside its
-      own domain.  Default 1 (sequential, no domains spawned). *)
+      own domain.  Default 1 (sequential, no domains spawned).
+      [incremental] (default [true]) keeps every solver alive across all
+      rounds and iterations; [false] selects the re-encode-per-obligation
+      baseline used for A/B comparison. *)
 
   val shutdown : ctx -> unit
   (** Join the sweep pool's worker domains; idempotent. *)
 
   val sched_stats : ctx -> Parsweep.stats
+
+  val profile : ctx -> profile
+  (** Solver-work counters accumulated so far.  Coordinator-only, between
+      rounds (reads the pool's lane states). *)
 
   val refine_initial : ctx -> Partition.t -> unit
   (** Equation (2) batched: one staged disjunctive solve per (class,
@@ -554,6 +607,14 @@ module Verify : sig
         (** Use the batched class solves, counterexample pattern pool and
             dirty-class scheduling (default true); [false] selects the
             legacy pairwise scans, which compute the same fixed point. *)
+    use_incremental : bool;
+        (** Keep the SAT engine's solvers alive across the whole fixed
+            point — persistent clause databases, activation-released
+            staging, failed-core pruning and cross-lane learned-clause
+            sharing (default true); [false] re-encodes every class
+            obligation into a throwaway solver, the A/B baseline.  The
+            fixed point and verdict are identical either way
+            (property-tested).  The BDD engine ignores it. *)
     use_analysis : bool;
         (** Static-analysis steering (default false): the engines run the
             zero-cost PI-support prefilter before every pass, the BDD
@@ -629,6 +690,16 @@ module Verify : sig
     steals : int;  (** tasks claimed from another lane's segment *)
     sched_wait_seconds : float;
         (** coordinator idle time awaiting worker lanes *)
+    conflicts : int;  (** SAT conflicts, summed over every solver of the run *)
+    propagations : int;  (** SAT propagations, likewise *)
+    restarts : int;  (** SAT restarts, likewise *)
+    encoded_vars : int;  (** SAT variables created, across every solver *)
+    reused_clauses : int;
+        (** clauses already in place when a solve was issued — the work
+            incremental mode did not redo (0 with [use_incremental] off) *)
+    shared_clauses : int;  (** learned clauses imported across sweep lanes *)
+    core_prunes : int;
+        (** class re-solves skipped by failed-assumption-core transfer *)
     eq_pct : float;
     seconds : float;  (** wall-clock time of the whole run *)
     phase_seconds : (string * float) list;

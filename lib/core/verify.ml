@@ -37,6 +37,11 @@ type options = {
   sim_frames : int;
   use_ternary_seed : bool; (* split the partition by ternary signatures *)
   use_batched_sweeps : bool; (* batched class solves + pool + dirty cache *)
+  use_incremental : bool;
+      (* persistent SAT solvers across the whole fixed point, with
+         activation-released staging, failed-core pruning and cross-lane
+         clause sharing; [false] re-encodes every obligation into a
+         throwaway solver (the A/B baseline).  BDD engine: ignored. *)
   use_analysis : bool;
       (* static-analysis steering: semantics-preserving pre-reduction (in
          {!portfolio}, when not resuming), the zero-cost PI-support
@@ -86,6 +91,7 @@ let default_options =
     sim_frames = 16;
     use_ternary_seed = true;
     use_batched_sweeps = true;
+    use_incremental = true;
     use_analysis = false;
     use_fundep = true;
     use_retime = true;
@@ -142,6 +148,16 @@ type stats = {
   lane_solves : int list; (* sweep tasks completed per lane *)
   steals : int; (* tasks claimed from another lane's segment *)
   sched_wait_seconds : float; (* coordinator idle time awaiting workers *)
+  conflicts : int; (* SAT conflicts, summed over every solver of the run *)
+  propagations : int; (* SAT propagations, likewise *)
+  restarts : int; (* SAT restarts, likewise *)
+  encoded_vars : int; (* SAT variables created, across every solver *)
+  reused_clauses : int;
+      (* clauses already in place when a solve was issued — the encoding
+         and learning work the incremental mode did NOT redo (0 when
+         [use_incremental] is off: throwaway solvers start empty) *)
+  shared_clauses : int; (* learned clauses imported across sweep lanes *)
+  core_prunes : int; (* class re-solves skipped by failed-core transfer *)
   eq_pct : float; (* % of spec signals with an impl correspondence *)
   seconds : float;
   phase_seconds : (string * float) list; (* wall time per verification phase *)
@@ -172,6 +188,8 @@ type engine_ops = {
       (* (pool lanes, resim splits, batched solves, cache hits,
          static prefilter splits) *)
   sched_stats : unit -> Parsweep.stats;
+  profile : unit -> Engine_sat.profile;
+      (* solver-work counters; the BDD engine reports zeros *)
   pool_patterns : unit -> (bool array * bool array) list;
       (* pending counterexample lanes, for checkpointing *)
   pool_add : (bool array * bool array) list -> unit;
@@ -342,6 +360,17 @@ let make_engine (options : options) deadline product pol =
             ctx.Engine_bdd.n_cache_hits,
             ctx.Engine_bdd.n_static ));
       sched_stats = (fun () -> Engine_bdd.sched_stats ctx);
+      profile =
+        (fun () ->
+          {
+            Engine_sat.pr_conflicts = 0;
+            pr_propagations = 0;
+            pr_restarts = 0;
+            pr_encoded_vars = 0;
+            pr_reused_clauses = 0;
+            pr_shared_clauses = 0;
+            pr_core_prunes = 0;
+          });
       pool_patterns = (fun () -> Simpool.snapshot ctx.Engine_bdd.pool);
       pool_add = (fun ps -> add_patterns ctx.Engine_bdd.pool ps);
       shutdown = (fun () -> Engine_bdd.shutdown ctx);
@@ -349,7 +378,8 @@ let make_engine (options : options) deadline product pol =
   | Sat_engine ->
     let ctx =
       Engine_sat.make ~max_sat_calls:options.max_sat_calls ~k:options.sat_unroll
-        ~jobs:options.jobs ~deadline ~static_filter:options.use_analysis product
+        ~jobs:options.jobs ~deadline ~static_filter:options.use_analysis
+        ~incremental:options.use_incremental product
     in
     let wrap f x = try f x with Engine_sat.Budget_exceeded msg -> raise (Budget msg) in
     let refine_initial, refine_once =
@@ -370,6 +400,7 @@ let make_engine (options : options) deadline product pol =
             ctx.Engine_sat.n_cache_hits,
             ctx.Engine_sat.n_static ));
       sched_stats = (fun () -> Engine_sat.sched_stats ctx);
+      profile = (fun () -> Engine_sat.profile ctx);
       pool_patterns = (fun () -> Simpool.snapshot ctx.Engine_sat.pool);
       pool_add = (fun ps -> add_patterns ctx.Engine_sat.pool ps);
       shutdown = (fun () -> Engine_sat.shutdown ctx);
@@ -596,6 +627,13 @@ let run_with_relation ?(options = default_options) spec impl =
   let lane_solves = ref [||] in
   let steals = ref 0 in
   let sched_wait = ref 0.0 in
+  let conflicts = ref 0 in
+  let propagations = ref 0 in
+  let restarts = ref 0 in
+  let encoded_vars = ref 0 in
+  let reused_clauses = ref 0 in
+  let shared_clauses = ref 0 in
+  let core_prunes = ref 0 in
   (* per-phase wall clock, accumulated across retiming rounds; the
      exception-safe [Clock.measure] keeps the elapsed time of phases that
      abort on a blown budget *)
@@ -651,6 +689,13 @@ let run_with_relation ?(options = default_options) spec impl =
       lane_solves = Array.to_list !lane_solves;
       steals = !steals;
       sched_wait_seconds = !sched_wait;
+      conflicts = !conflicts;
+      propagations = !propagations;
+      restarts = !restarts;
+      encoded_vars = !encoded_vars;
+      reused_clauses = !reused_clauses;
+      shared_clauses = !shared_clauses;
+      core_prunes = !core_prunes;
       eq_pct = (match partition with Some p -> equivalence_percentage product p | None -> 0.0);
       seconds = Clock.since start;
       phase_seconds = !phases;
@@ -772,6 +817,14 @@ let run_with_relation ?(options = default_options) spec impl =
                 lane_solves := grown
               end;
               Array.iteri (fun i n -> !lane_solves.(i) <- !lane_solves.(i) + n) tasks;
+              let pr = engine.profile () in
+              conflicts := !conflicts + pr.Engine_sat.pr_conflicts;
+              propagations := !propagations + pr.Engine_sat.pr_propagations;
+              restarts := !restarts + pr.Engine_sat.pr_restarts;
+              encoded_vars := !encoded_vars + pr.Engine_sat.pr_encoded_vars;
+              reused_clauses := !reused_clauses + pr.Engine_sat.pr_reused_clauses;
+              shared_clauses := !shared_clauses + pr.Engine_sat.pr_shared_clauses;
+              core_prunes := !core_prunes + pr.Engine_sat.pr_core_prunes;
               pool_pending := engine.pool_patterns ()
             end
           in

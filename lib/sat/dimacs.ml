@@ -50,3 +50,234 @@ let load_into solver { nvars; clauses } =
   List.iter
     (fun clause -> Solver.add_clause solver (List.map Lit.of_int clause))
     clauses
+
+(* --- DRAT traces ---------------------------------------------------------- *)
+
+(* A proof trace in (textual) DRAT format: clause additions, each required
+   to be RUP with respect to the clauses present when it is introduced,
+   and advisory clause deletions.  Literals are DIMACS integers. *)
+
+type drat_step = Add of int list | Delete of int list
+
+let drat_to_string steps =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun step ->
+      let lits =
+        match step with
+        | Add lits -> lits
+        | Delete lits ->
+          Buffer.add_string buf "d ";
+          lits
+      in
+      List.iter (fun l -> Buffer.add_string buf (string_of_int l ^ " ")) lits;
+      Buffer.add_string buf "0\n")
+    steps;
+  Buffer.contents buf
+
+let drat_parse_string text =
+  let steps = ref [] in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else begin
+        let deletion = String.length line >= 1 && line.[0] = 'd' in
+        let body = if deletion then String.sub line 1 (String.length line - 1) else line in
+        let lits =
+          String.split_on_char ' ' body
+          |> List.filter (fun s -> s <> "")
+          |> List.map (fun tok ->
+                 match int_of_string_opt tok with
+                 | Some i -> i
+                 | None -> failwith ("Dimacs.drat_parse: bad literal " ^ tok))
+        in
+        match List.rev lits with
+        | 0 :: rev_lits ->
+          let lits = List.rev rev_lits in
+          steps := (if deletion then Delete lits else Add lits) :: !steps
+        | _ -> failwith "Dimacs.drat_parse: missing 0 terminator"
+      end)
+    (String.split_on_char '\n' text);
+  List.rev !steps
+
+(* --- RUP replay checker --------------------------------------------------- *)
+
+(* An independent unit-propagation engine over DIMACS clauses, sharing no
+   code with the CDCL solver: occurrence lists, a top-level trail, and a
+   scratch mark for reverse-unit-propagation probes.  [replay] verifies
+   every [Add] of a trace against the clauses accumulated so far; [holds]
+   then decides whether a clause is forced by unit propagation — the
+   per-obligation conclusion the certificate checker needs. *)
+module Rup = struct
+  type rclause = { rlits : int array; mutable deleted : bool }
+
+  type t = {
+    mutable nv : int; (* highest variable seen *)
+    mutable assign : int array; (* 1-based var -> 0 unknown / 1 true / -1 false *)
+    mutable occ : rclause list array; (* clauses containing the indexed literal *)
+    mutable trail : int array;
+    mutable trail_size : int;
+    mutable qhead : int;
+    mutable contra : bool; (* top-level conflict: everything is implied *)
+    index : (int list, rclause list ref) Hashtbl.t; (* sorted lits -> clauses *)
+  }
+
+  let create () =
+    {
+      nv = 0;
+      assign = Array.make 4 0;
+      occ = Array.make 8 [];
+      trail = Array.make 4 0;
+      trail_size = 0;
+      qhead = 0;
+      contra = false;
+      index = Hashtbl.create 64;
+    }
+
+  let grow a n dummy =
+    if Array.length a >= n then a
+    else begin
+      let b = Array.make (max n (2 * Array.length a)) dummy in
+      Array.blit a 0 b 0 (Array.length a);
+      b
+    end
+
+  let ensure_var t v =
+    if v > t.nv then begin
+      t.nv <- v;
+      t.assign <- grow t.assign (v + 1) 0;
+      t.occ <- grow t.occ (2 * (v + 1)) [];
+      t.trail <- grow t.trail (v + 1) 0
+    end
+
+  let lidx l = (2 * abs l) + if l < 0 then 1 else 0
+  let value t l = if l > 0 then t.assign.(l) else - t.assign.(-l)
+
+  let assert_lit t l =
+    (* caller has checked [l] is not false *)
+    t.assign.(abs l) <- (if l > 0 then 1 else -1);
+    t.trail.(t.trail_size) <- l;
+    t.trail_size <- t.trail_size + 1
+
+  (* Status of a clause under the current assignment. *)
+  let scan t c =
+    let sat = ref false and n_un = ref 0 and unassigned = ref 0 in
+    Array.iter
+      (fun l ->
+        match value t l with
+        | 1 -> sat := true
+        | 0 ->
+          incr n_un;
+          unassigned := l
+        | _ -> ())
+      c.rlits;
+    if !sat then `Sat else if !n_un = 0 then `Conflict else if !n_un = 1 then `Unit !unassigned else `Open
+
+  (* Propagate to fixpoint; [true] iff a conflict was found. *)
+  let propagate t =
+    let conflict = ref false in
+    while (not !conflict) && t.qhead < t.trail_size do
+      let p = t.trail.(t.qhead) in
+      t.qhead <- t.qhead + 1;
+      (* every clause containing ~p may have become unit or conflicting *)
+      let rec visit = function
+        | [] -> ()
+        | c :: rest ->
+          if not c.deleted then begin
+            match scan t c with
+            | `Conflict -> conflict := true
+            | `Unit l -> assert_lit t l
+            | `Sat | `Open -> ()
+          end;
+          if not !conflict then visit rest
+      in
+      visit t.occ.(lidx (-p))
+    done;
+    !conflict
+
+  let undo_to t mark =
+    for i = t.trail_size - 1 downto mark do
+      t.assign.(abs t.trail.(i)) <- 0
+    done;
+    t.trail_size <- mark;
+    t.qhead <- mark
+
+  (* Is clause [lits] forced by unit propagation from the current set?
+     Assert the negation of every literal and propagate; leaves the
+     top-level state untouched. *)
+  let holds t lits =
+    t.contra
+    ||
+    (* a variable the clause set never mentioned has no occurrences:
+       asserting its negation propagates nothing, so the probe still
+       works — but the arrays must cover it *)
+    (List.iter (fun l -> ensure_var t (abs l)) lits;
+     let mark = t.trail_size in
+    let rec install = function
+      | [] -> false (* no conflict while installing *)
+      | l :: rest -> (
+        match value t l with
+        | 1 -> true (* a literal is already forced true: clause implied *)
+        | -1 -> install rest
+        | _ ->
+          assert_lit t (-l);
+          install rest)
+    in
+    let confl = install lits || propagate t in
+    undo_to t mark;
+    confl)
+
+  (* Install [lits] as a clause of the current set (for inputs, and for
+     trace additions after [holds] has justified them). *)
+  let add t lits =
+    List.iter (fun l -> ensure_var t (abs l)) lits;
+    if not t.contra then begin
+      let lits = List.sort_uniq compare lits in
+      if List.exists (fun l -> List.mem (-l) lits) lits then () (* tautology *)
+      else begin
+        let c = { rlits = Array.of_list lits; deleted = false } in
+        (match Hashtbl.find_opt t.index lits with
+        | Some r -> r := c :: !r
+        | None -> Hashtbl.add t.index lits (ref [ c ]));
+        List.iter (fun l -> t.occ.(lidx l) <- c :: t.occ.(lidx l)) lits;
+        match scan t c with
+        | `Conflict -> t.contra <- true
+        | `Unit l ->
+          assert_lit t l;
+          if propagate t then t.contra <- true
+        | `Sat | `Open -> ()
+      end
+    end
+
+  let delete t lits =
+    let lits = List.sort_uniq compare lits in
+    match Hashtbl.find_opt t.index lits with
+    | Some r -> (
+      match List.find_opt (fun c -> not c.deleted) !r with
+      | Some c -> c.deleted <- true
+      | None -> ())
+    | None -> () (* advisory: deleting an absent clause is a no-op *)
+
+  let add_input t lits = add t lits
+
+  (* Verify and install every step of [trace].  [Error] identifies the
+     first addition that is not RUP. *)
+  let replay t trace =
+    let rec go i = function
+      | [] -> Ok ()
+      | Add lits :: rest ->
+        if holds t lits then begin
+          add t lits;
+          go (i + 1) rest
+        end
+        else
+          Error
+            (Printf.sprintf "trace step %d: clause {%s} is not RUP" i
+               (String.concat " " (List.map string_of_int lits)))
+      | Delete lits :: rest ->
+        delete t lits;
+        go (i + 1) rest
+    in
+    go 0 trace
+end

@@ -17,9 +17,16 @@ type clause = {
   mutable lits : int array;
   learned : bool;
   mutable act : float;
+  mutable lbd : int; (* literal block distance at learn time; 0 for problem clauses *)
+  act_tag : int; (* activation variable guarding this clause, or -1 *)
 }
 
 type result = Sat | Unsat
+
+type proof_step = Step_add of int list | Step_delete of int list
+(* DRAT-style trace events over packed literals: learned-clause additions
+   (including the final clause an assumption-refuted solve implies) and
+   clause deletions (learned-clause reduction, activation release). *)
 
 (* lbool encoding: 0 = false, 1 = true, -1 = unknown *)
 let l_undef = -1
@@ -51,6 +58,17 @@ type t = {
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
+  mutable restarts : int;
+  mutable n_clauses : int; (* |clauses|, maintained so the hot path is O(1) *)
+  mutable failed : int list;
+      (* after an assumption-refuted solve: the failed-assumption core, a
+         subset of the assumptions whose conjunction the clauses refute;
+         [] after a globally unsat or Sat answer *)
+  mutable proof : (proof_step -> unit) option;
+  mutable on_input : (int list -> unit) option;
+      (* observes every problem clause exactly as given to [add_clause]
+         (activation guard included, before normalization) — the proof
+         checker reconstructs the raw CNF through this *)
 }
 
 let create () =
@@ -80,7 +98,17 @@ let create () =
     conflicts = 0;
     decisions = 0;
     propagations = 0;
+    restarts = 0;
+    n_clauses = 0;
+    failed = [];
+    proof = None;
+    on_input = None;
   }
+
+let set_proof_logger s f = s.proof <- f
+let set_input_logger s f = s.on_input <- f
+
+let log_proof s step = match s.proof with Some f -> f step | None -> ()
 
 let grow_array a n dummy =
   if Array.length a >= n then a
@@ -292,8 +320,14 @@ let propagate s =
 
 exception Trivially_sat
 
-let add_clause s lits =
+(* [act >= 0] guards the clause with activation variable [act]: the stored
+   clause is [~act \/ lits] and {!release}[ act] retires it.  Activation
+   variables must only ever be assumed positively (never asserted by a
+   clause), so no level-0 fact can depend on a guarded clause. *)
+let add_clause ?(act = -1) s lits =
   if s.ok then begin
+    let lits = if act >= 0 then Lit.neg act :: lits else lits in
+    (match s.on_input with Some f -> f lits | None -> ());
     if decision_level s > 0 then cancel_until s 0;
     (* normalize: sort, drop duplicates, detect tautology and false lits *)
     let lits = List.sort_uniq compare lits in
@@ -314,8 +348,9 @@ let add_clause s lits =
         enqueue s l None;
         if propagate s <> None then s.ok <- false
       | _ ->
-        let c = { lits = Array.of_list lits; learned = false; act = 0.0 } in
+        let c = { lits = Array.of_list lits; learned = false; act = 0.0; lbd = 0; act_tag = act } in
         s.clauses <- c :: s.clauses;
+        s.n_clauses <- s.n_clauses + 1;
         attach s c
     with Trivially_sat -> ()
   end
@@ -366,7 +401,20 @@ let analyze s confl =
   in
   (Array.of_list learnt, bt_level)
 
+(* Distinct decision levels among the literals — measured before
+   backtracking, while the levels that produced the clause are current. *)
+let compute_lbd s lits =
+  let levels = ref [] in
+  Array.iter
+    (fun q ->
+      let lv = s.level.(Lit.var q) in
+      if lv > 0 && not (List.mem lv !levels) then levels := lv :: !levels)
+    lits;
+  List.length !levels
+
 let record_learnt s lits bt_level =
+  let lbd = compute_lbd s lits in
+  log_proof s (Step_add (Array.to_list lits));
   cancel_until s bt_level;
   if Array.length lits = 1 then begin
     enqueue s lits.(0) None
@@ -380,7 +428,7 @@ let record_learnt s lits bt_level =
     let tmp = lits.(1) in
     lits.(1) <- lits.(!hi);
     lits.(!hi) <- tmp;
-    let c = { lits; learned = true; act = 0.0 } in
+    let c = { lits; learned = true; act = 0.0; lbd; act_tag = -1 } in
     bump_clause s c;
     s.learnts <- c :: s.learnts;
     s.n_learnts <- s.n_learnts + 1;
@@ -411,6 +459,7 @@ let reduce_db s =
       (fun c ->
         if !dropped < to_drop && (not (locked s c)) && Array.length c.lits > 2 then begin
           detach s c;
+          log_proof s (Step_delete (Array.to_list c.lits));
           incr dropped;
           false
         end
@@ -419,6 +468,49 @@ let reduce_db s =
   in
   s.learnts <- keep;
   s.n_learnts <- List.length keep
+
+(* --- activation release -------------------------------------------------- *)
+
+(* Retire activation variable [g]: the guarded problem clauses and every
+   learnt mentioning [~g] are permanently satisfied once [~g] holds, so
+   they are detached and dropped (activation-aware garbage collection)
+   before the retiring unit is asserted. *)
+let release s g =
+  if s.ok then begin
+    cancel_until s 0;
+    let ng = Lit.neg g in
+    let drop c =
+      detach s c;
+      log_proof s (Step_delete (Array.to_list c.lits));
+      (* a dropped clause may linger as the reason of a level-0 fact;
+         level-0 reasons are never dereferenced, but clear it anyway *)
+      if Array.length c.lits > 0 then begin
+        let v = Lit.var c.lits.(0) in
+        match s.reason.(v) with Some r when r == c -> s.reason.(v) <- None | _ -> ()
+      end
+    in
+    s.clauses <-
+      List.filter
+        (fun c ->
+          if c.act_tag = g then begin
+            drop c;
+            s.n_clauses <- s.n_clauses - 1;
+            false
+          end
+          else true)
+        s.clauses;
+    s.learnts <-
+      List.filter
+        (fun c ->
+          if Array.exists (fun l -> l = ng) c.lits then begin
+            drop c;
+            s.n_learnts <- s.n_learnts - 1;
+            false
+          end
+          else true)
+        s.learnts;
+    add_clause s [ ng ]
+  end
 
 (* --- search -------------------------------------------------------------- *)
 
@@ -448,6 +540,32 @@ let pick_branch_var s =
 
 exception Found of result
 
+(* Failed-assumption core: the assumption [a] is falsified by unit
+   propagation from the clauses and the assumptions installed so far.
+   Walk the implication graph backwards from [a]; every decision reached
+   is an assumption (assumptions are installed before any branch
+   decision), and together with [a] they form a subset of the assumptions
+   whose conjunction the clauses already refute. *)
+let analyze_final s a =
+  s.failed <- [ a ];
+  if decision_level s > 0 then begin
+    s.seen.(Lit.var a) <- true;
+    for i = s.trail_size - 1 downto s.trail_lim.(0) do
+      let v = Lit.var s.trail.(i) in
+      if s.seen.(v) then begin
+        (match s.reason.(v) with
+        | None -> s.failed <- s.trail.(i) :: s.failed
+        | Some c ->
+          for j = 1 to Array.length c.lits - 1 do
+            let u = Lit.var c.lits.(j) in
+            if s.level.(u) > 0 then s.seen.(u) <- true
+          done);
+        s.seen.(v) <- false
+      end
+    done;
+    s.seen.(Lit.var a) <- false
+  end
+
 (* Search until a restart is due ([budget] conflicts), Sat, or Unsat.
    [assumptions] are re-installed as the first decisions after every
    restart or deep backjump. *)
@@ -463,6 +581,7 @@ let search s assumptions budget =
           (* a contradiction at level 0 is independent of assumptions and
              decisions: the instance itself is unsatisfiable, permanently *)
           s.ok <- false;
+          s.failed <- [];
           raise (Found Unsat)
         end;
         let learnt, bt = analyze s confl in
@@ -474,12 +593,15 @@ let search s assumptions budget =
           cancel_until s 0;
           raise Exit
         end;
-        if s.n_learnts > 4000 + (2 * List.length s.clauses) then reduce_db s;
+        if s.n_learnts > 4000 + (2 * s.n_clauses) then reduce_db s;
         (* install pending assumptions as decisions *)
         if decision_level s < List.length assumptions then begin
           let a = List.nth assumptions (decision_level s) in
           match value_lit s a with
-          | 0 -> raise (Found Unsat) (* assumption contradicted *)
+          | 0 ->
+            (* assumption contradicted: extract the failed core *)
+            analyze_final s a;
+            raise (Found Unsat)
           | 1 -> new_decision_level s (* dummy level, already true *)
           | _ ->
             new_decision_level s;
@@ -501,17 +623,20 @@ let search s assumptions budget =
   | Found r -> Some r
 
 let solve ?(assumptions = []) s =
+  s.failed <- [];
   if not s.ok then Unsat
   else begin
     cancel_until s 0;
     match propagate s with
     | Some _ ->
       s.ok <- false;
+      log_proof s (Step_add []);
       Unsat
     | None ->
       let restart = ref 0 in
       let rec loop () =
         let budget = int_of_float (100.0 *. luby 2.0 !restart) in
+        if !restart > 0 then s.restarts <- s.restarts + 1;
         incr restart;
         match search s assumptions budget with
         | Some r -> r
@@ -519,9 +644,17 @@ let solve ?(assumptions = []) s =
       in
       let r = loop () in
       (* keep the model readable after Sat; always reusable afterwards *)
-      if r = Unsat then cancel_until s 0;
+      if r = Unsat then begin
+        cancel_until s 0;
+        (* the refutation implies the negation of the failed core (the
+           empty clause when the instance is unsatisfiable outright) *)
+        log_proof s (Step_add (List.map Lit.negate s.failed))
+      end;
       r
   end
+
+let solve_under_assumptions s assumptions = solve ~assumptions s
+let failed_assumptions s = s.failed
 
 let model_value s v =
   match s.assign.(v) with
@@ -533,10 +666,64 @@ let model s = Array.init s.nvars (fun v -> model_value s v)
 
 let after_solve_cleanup s = cancel_until s 0
 
+(* --- learned-clause exchange --------------------------------------------- *)
+
+(* Learnt clauses confined to variables below [limit_var] were derived from
+   clauses over those variables alone: selector and activation variables
+   occur only negatively in the problem clauses, so resolution can never
+   eliminate them — any derivation that touches a guarded clause leaves its
+   guard literal in the resolvent.  Such clauses are consequences of the
+   shared base encoding and are sound to import into any solver holding an
+   identical copy of it. *)
+let export_learnts s ~limit_var ~max_size ~max_lbd =
+  List.filter_map
+    (fun c ->
+      if
+        Array.length c.lits <= max_size
+        && c.lbd <= max_lbd
+        && Array.for_all (fun l -> Lit.var l < limit_var) c.lits
+      then Some (Array.to_list c.lits)
+      else None)
+    s.learnts
+
+(* Install a clause known to be entailed (an import from a sibling solver):
+   stored as a learnt so reduction can drop it again. *)
+let import_clause s lits =
+  if s.ok then begin
+    if decision_level s > 0 then cancel_until s 0;
+    List.iter (fun l -> if Lit.var l >= s.nvars then ensure_vars s (Lit.var l + 1)) lits;
+    let lits = List.sort_uniq compare lits in
+    try
+      let lits =
+        List.filter
+          (fun l ->
+            if List.mem (Lit.negate l) lits then raise Trivially_sat;
+            match value_lit s l with
+            | 1 -> raise Trivially_sat
+            | 0 -> false
+            | _ -> true)
+          lits
+      in
+      match lits with
+      | [] -> s.ok <- false
+      | [ l ] ->
+        log_proof s (Step_add [ l ]);
+        enqueue s l None;
+        if propagate s <> None then s.ok <- false
+      | _ ->
+        log_proof s (Step_add lits);
+        let c = { lits = Array.of_list lits; learned = true; act = 0.0; lbd = List.length lits; act_tag = -1 } in
+        s.learnts <- c :: s.learnts;
+        s.n_learnts <- s.n_learnts + 1;
+        attach s c
+    with Trivially_sat -> ()
+  end
+
 let num_vars s = s.nvars
-let num_clauses s = List.length s.clauses
+let num_clauses s = s.n_clauses
 let num_learnts s = s.n_learnts
 let num_conflicts s = s.conflicts
 let num_decisions s = s.decisions
 let num_propagations s = s.propagations
+let num_restarts s = s.restarts
 let is_consistent s = s.ok

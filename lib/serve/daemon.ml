@@ -175,6 +175,7 @@ let scorr_options d job ~resume =
     sat_unroll = max 1 job.opts.induction;
     seed = job.opts.seed;
     use_analysis = job.opts.analysis || job.opts.meth = "auto";
+    use_incremental = job.opts.incremental;
     deadline_seconds = job.opts.deadline;
     preflight = false;  (* done at submission time *)
     jobs = 1;  (* parallelism lives at the job level here *)
@@ -195,6 +196,11 @@ let base_outcome job =
     iterations = 0;
     classes = 0;
     sat_calls = 0;
+    conflicts = 0;
+    propagations = 0;
+    restarts = 0;
+    reused_clauses = 0;
+    shared_clauses = 0;
     eq_pct = 0.0;
     cert = None;
     reason = None;
@@ -206,6 +212,11 @@ let outcome_of_stats o (s : Scorr.Verify.stats) =
     Protocol.iterations = s.Scorr.Verify.iterations;
     classes = s.classes;
     sat_calls = s.sat_calls;
+    conflicts = s.conflicts;
+    propagations = s.propagations;
+    restarts = s.restarts;
+    reused_clauses = s.reused_clauses;
+    shared_clauses = s.shared_clauses;
     eq_pct = s.eq_pct;
   }
 

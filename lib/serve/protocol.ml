@@ -20,11 +20,20 @@ type verify_opts = {
   induction : int;  (** SAT-engine unrolling depth *)
   seed : int;
   analysis : bool;
+  incremental : bool;  (** persistent per-lane SAT solvers (default) *)
   deadline : float;  (** per-job wall budget, seconds; 0 = none *)
 }
 
 let default_opts =
-  { meth = "scorr"; engine = "bdd"; induction = 1; seed = 1; analysis = false; deadline = 0.0 }
+  {
+    meth = "scorr";
+    engine = "bdd";
+    induction = 1;
+    seed = 1;
+    analysis = false;
+    incremental = true;
+    deadline = 0.0;
+  }
 
 type request =
   | Submit of { spec : circuit; impl : circuit; opts : verify_opts; watch : bool }
@@ -45,6 +54,11 @@ type outcome = {
   iterations : int;
   classes : int;
   sat_calls : int;
+  conflicts : int;  (** SAT conflicts, summed over every solver of the run *)
+  propagations : int;
+  restarts : int;
+  reused_clauses : int;  (** clauses live across incremental re-solves *)
+  shared_clauses : int;  (** learned clauses imported across sweep lanes *)
   eq_pct : float;
   cert : string option;  (** on-disk certificate path, when one exists *)
   reason : string option;  (** unknown/cancel reason *)
@@ -94,6 +108,7 @@ let opts_to_json o =
       ("induction", Json.Int o.induction);
       ("seed", Json.Int o.seed);
       ("analysis", Json.Bool o.analysis);
+      ("incremental", Json.Bool o.incremental);
       ("deadline", Json.Float o.deadline);
     ]
 
@@ -129,6 +144,11 @@ let outcome_to_json o =
       ("iterations", Json.Int o.iterations);
       ("classes", Json.Int o.classes);
       ("sat_calls", Json.Int o.sat_calls);
+      ("conflicts", Json.Int o.conflicts);
+      ("propagations", Json.Int o.propagations);
+      ("restarts", Json.Int o.restarts);
+      ("reused_clauses", Json.Int o.reused_clauses);
+      ("shared_clauses", Json.Int o.shared_clauses);
       ("eq_pct", Json.Float o.eq_pct);
       ("cert", opt_string o.cert);
       ("reason", opt_string o.reason);
@@ -218,6 +238,7 @@ let opts_of_json v =
       induction = Json.to_int ~default:d.induction (Json.member "induction" v);
       seed = Json.to_int ~default:d.seed (Json.member "seed" v);
       analysis = Json.to_bool ~default:d.analysis (Json.member "analysis" v);
+      incremental = Json.to_bool ~default:d.incremental (Json.member "incremental" v);
       deadline = Json.to_float ~default:d.deadline (Json.member "deadline" v);
     }
 
@@ -273,6 +294,11 @@ let outcome_of_json v =
     iterations = Json.to_int ~default:0 (Json.member "iterations" v);
     classes = Json.to_int ~default:0 (Json.member "classes" v);
     sat_calls = Json.to_int ~default:0 (Json.member "sat_calls" v);
+    conflicts = Json.to_int ~default:0 (Json.member "conflicts" v);
+    propagations = Json.to_int ~default:0 (Json.member "propagations" v);
+    restarts = Json.to_int ~default:0 (Json.member "restarts" v);
+    reused_clauses = Json.to_int ~default:0 (Json.member "reused_clauses" v);
+    shared_clauses = Json.to_int ~default:0 (Json.member "shared_clauses" v);
     eq_pct = Json.to_float ~default:0.0 (Json.member "eq_pct" v);
     cert = string_opt_of_json (Json.member "cert" v);
     reason = string_opt_of_json (Json.member "reason" v);

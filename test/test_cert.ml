@@ -33,6 +33,17 @@ let gen_cert =
     int_range 0 3 >>= fun retime_rounds ->
     int_range 1 500 >>= fun product_nodes ->
     list_size (int_range 0 5) (list_size (int_range 0 4) (int_range 0 999)) >>= fun classes ->
+    (* half the certificates carry a DRAT proof section, so the format
+       round-trip covers segments, deletions and the empty clause *)
+    let gen_lit = map (fun n -> if n = 0 then 1 else n) (int_range (-50) 50) in
+    let gen_step =
+      oneof
+        [
+          map (fun ls -> Sat.Dimacs.Add ls) (list_size (int_range 0 4) gen_lit);
+          map (fun ls -> Sat.Dimacs.Delete ls) (list_size (int_range 1 4) gen_lit);
+        ]
+    in
+    opt (list_size (int_range 0 3) (list_size (int_range 0 5) gen_step)) >>= fun proof ->
     return
       {
         Cert.Certificate.spec_digest = Digest.to_hex (Digest.string (string_of_int salt));
@@ -43,6 +54,7 @@ let gen_cert =
         retime_rounds;
         product_nodes;
         classes;
+        proof;
       })
 
 let arb_cert = QCheck.make ~print:Cert.Certificate.to_string gen_cert
@@ -211,6 +223,7 @@ let handcrafted_cert spec impl classes =
       retime_rounds = 0;
       product_nodes = Aig.num_nodes product.Scorr.Product.aig;
       classes;
+      proof = None;
     },
     product )
 
@@ -238,6 +251,75 @@ let test_bogus_equality_fails_induction () =
   | Error (Cert.Certificate.Not_inductive _) -> ()
   | Ok () -> Alcotest.fail "accepted a non-inductive relation"
   | Error e -> Alcotest.fail ("wrong rejection: " ^ Cert.Certificate.explain_check_error e)
+
+(* --- trace-backed (DRAT) certificates ---------------------------------------------- *)
+
+let fig2_proved_cert () =
+  let spec, impl, cert = fig2_cert () in
+  match Cert.Certificate.prove ~spec ~impl cert with
+  | Error e -> Alcotest.fail (Cert.Certificate.explain_check_error e)
+  | Ok proved -> (spec, impl, proved)
+
+let test_proof_roundtrip_and_replay () =
+  let spec, impl, proved = fig2_proved_cert () in
+  (match proved.Cert.Certificate.proof with
+  | Some (_ :: _) -> ()
+  | Some [] | None -> Alcotest.fail "prove produced no trace segments");
+  (* the replay must survive the text format *)
+  let proved = Cert.Certificate.parse_string (Cert.Certificate.to_string proved) in
+  match Cert.Certificate.check ~use_proof:true ~spec ~impl proved with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Cert.Certificate.explain_check_error e)
+
+let test_proof_missing_is_rejected () =
+  let spec, impl, cert = fig2_cert () in
+  match Cert.Certificate.check ~use_proof:true ~spec ~impl cert with
+  | Error Cert.Certificate.Proof_missing -> ()
+  | Ok () -> Alcotest.fail "proof mode accepted a certificate without a trace"
+  | Error e -> Alcotest.fail ("wrong rejection: " ^ Cert.Certificate.explain_check_error e)
+
+let test_mutated_proof_is_rejected () =
+  let spec, impl, proved = fig2_proved_cert () in
+  let segments =
+    match proved.Cert.Certificate.proof with
+    | Some segs -> segs
+    | None -> Alcotest.fail "no proof"
+  in
+  let rejects what cert =
+    match Cert.Certificate.check ~use_proof:true ~spec ~impl cert with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail ("proof mode accepted " ^ what)
+  in
+  (* a non-RUP addition smuggled into the first segment *)
+  let bogus =
+    match segments with
+    | seg :: rest -> (Sat.Dimacs.Add [ 999_999 ] :: seg) :: rest
+    | [] -> Alcotest.fail "no segments"
+  in
+  rejects "a non-RUP clause addition"
+    { proved with Cert.Certificate.proof = Some bogus };
+  (* a truncated trace: the last obligation has no segment left *)
+  let truncated = List.filteri (fun i _ -> i < List.length segments - 1) segments in
+  rejects "a truncated trace" { proved with Cert.Certificate.proof = Some truncated };
+  (* emptied segments: refutations replay to nothing, obligations fail *)
+  let emptied = List.map (fun _ -> []) segments in
+  rejects "an emptied trace" { proved with Cert.Certificate.proof = Some emptied }
+
+let test_sat_k2_proof_replays () =
+  let spec, impl = Circuits.Fig2.pair () in
+  let options =
+    { Scorr.default_options with Scorr.Verify.engine = Scorr.Verify.Sat_engine; sat_unroll = 2 }
+  in
+  let run = Scorr.Verify.run_with_relation ~options spec impl in
+  match Cert.Certificate.of_run ~options ~spec ~impl run with
+  | Error e -> Alcotest.fail (Cert.Certificate.explain_emit_error e)
+  | Ok cert -> (
+    match Cert.Certificate.prove ~spec ~impl cert with
+    | Error e -> Alcotest.fail (Cert.Certificate.explain_check_error e)
+    | Ok proved -> (
+      match Cert.Certificate.check ~use_proof:true ~spec ~impl proved with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Cert.Certificate.explain_check_error e)))
 
 let test_sat_engine_k2_certificate () =
   let spec, impl = Circuits.Fig2.pair () in
@@ -293,6 +375,13 @@ let suite =
       test_bogus_equality_fails_induction;
     Alcotest.test_case "sat-engine k=2 certificate checks" `Quick
       test_sat_engine_k2_certificate;
+    Alcotest.test_case "proved certificate round-trips and replays" `Quick
+      test_proof_roundtrip_and_replay;
+    Alcotest.test_case "proof mode rejects a missing trace" `Quick
+      test_proof_missing_is_rejected;
+    Alcotest.test_case "proof mode rejects mutated traces" `Quick
+      test_mutated_proof_is_rejected;
+    Alcotest.test_case "sat-engine k=2 proof replays" `Quick test_sat_k2_proof_replays;
     Alcotest.test_case "retimed pair certificate checks" `Quick
       test_retimed_certificate_checks;
     prop_witness_roundtrip;

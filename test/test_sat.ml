@@ -192,6 +192,175 @@ let test_large_random_3sat () =
   | Sat.Sat -> ()
   | Sat.Unsat -> Alcotest.fail "low-ratio 3-sat should be satisfiable"
 
+let test_failed_assumption_core () =
+  let s = Sat.create () in
+  Sat.ensure_vars s 4;
+  (* a and b cannot hold together; c, d are free *)
+  Sat.add_clause s [ Sat.Lit.neg 0; Sat.Lit.neg 1 ];
+  let assumptions = [ Sat.Lit.pos 0; Sat.Lit.pos 1; Sat.Lit.pos 2; Sat.Lit.pos 3 ] in
+  Alcotest.(check bool) "unsat under a,b" true (Sat.solve ~assumptions s = Sat.Unsat);
+  let core = Sat.failed_assumptions s in
+  Alcotest.(check bool) "core nonempty" true (core <> []);
+  Alcotest.(check bool)
+    "core within assumptions" true
+    (List.for_all (fun l -> List.mem l assumptions) core);
+  Alcotest.(check bool)
+    "core avoids free vars" true
+    (List.for_all (fun l -> Sat.Lit.var l < 2) core);
+  (* the core really is refuted on its own *)
+  Alcotest.(check bool) "core refutes" true (Sat.solve ~assumptions:core s = Sat.Unsat);
+  (* cores are per-solve: a satisfiable call clears them *)
+  Alcotest.(check bool) "sat without assumptions" true (Sat.solve s = Sat.Sat);
+  Alcotest.(check bool) "core reset" true (Sat.failed_assumptions s = [])
+
+let test_activation_release () =
+  let s = Sat.create () in
+  Sat.ensure_vars s 2;
+  Sat.add_clause s [ Sat.Lit.neg 0; Sat.Lit.neg 1 ];
+  let g = Sat.new_var s in
+  Sat.add_clause ~act:g s [ Sat.Lit.pos 0 ];
+  Sat.add_clause ~act:g s [ Sat.Lit.pos 1 ];
+  let guarded = Sat.num_clauses s in
+  (* the guarded clause only bites while g is assumed *)
+  Alcotest.(check bool) "unsat under g" true (Sat.solve ~assumptions:[ Sat.Lit.pos g ] s = Sat.Unsat);
+  Alcotest.(check bool)
+    "core is g" true
+    (Sat.failed_assumptions s = [ Sat.Lit.pos g ]);
+  Alcotest.(check bool) "sat without g" true (Sat.solve s = Sat.Sat);
+  Sat.release s g;
+  Alcotest.(check bool) "guarded clause dropped" true (Sat.num_clauses s < guarded);
+  Alcotest.(check bool) "still sat" true (Sat.solve s = Sat.Sat);
+  (* a released activation variable is pinned false *)
+  Alcotest.(check bool)
+    "released g refuted" true
+    (Sat.solve ~assumptions:[ Sat.Lit.pos g ] s = Sat.Unsat)
+
+let test_restarts_counted () =
+  let nvars, clauses = pigeonhole 6 in
+  let s, r = solve_clauses nvars clauses in
+  Alcotest.(check bool) "unsat" true (r = Sat.Unsat);
+  Alcotest.(check bool) "restarts happened" true (Sat.num_restarts s > 0)
+
+(* Base encoding: an inconsistent-parity xor chain, split so that the
+   contradiction is only reachable through an activation-guarded clause.
+   Learned clauses exported under [limit_var = base] must be entailed by
+   the base clauses alone. *)
+let test_export_import_soundness () =
+  let n = 10 in
+  let xor_clauses a b value =
+    if value then
+      [ [ Sat.Lit.pos a; Sat.Lit.pos b ]; [ Sat.Lit.neg a; Sat.Lit.neg b ] ]
+    else [ [ Sat.Lit.pos a; Sat.Lit.neg b ]; [ Sat.Lit.neg a; Sat.Lit.pos b ] ]
+  in
+  let base_clauses =
+    List.concat (List.init n (fun i -> xor_clauses i (i + 1) true))
+  in
+  let s = Sat.create () in
+  Sat.ensure_vars s (n + 1);
+  List.iter (Sat.add_clause s) base_clauses;
+  let base = Sat.num_vars s in
+  let g = Sat.new_var s in
+  (* guarded wrong-parity closure makes the instance unsat under g *)
+  List.iter (Sat.add_clause ~act:g s) (xor_clauses 0 n (n mod 2 = 0));
+  Alcotest.(check bool) "unsat under g" true (Sat.solve ~assumptions:[ Sat.Lit.pos g ] s = Sat.Unsat);
+  let shared = Sat.export_learnts s ~limit_var:base ~max_size:8 ~max_lbd:6 in
+  Alcotest.(check bool)
+    "exports stay below limit_var" true
+    (List.for_all (List.for_all (fun l -> Sat.Lit.var l < base)) shared);
+  Alcotest.(check bool)
+    "exports respect max_size" true
+    (List.for_all (fun c -> List.length c <= 8) shared);
+  (* every exported clause is entailed by the base encoding alone *)
+  let entailed c =
+    let fresh = Sat.create () in
+    Sat.ensure_vars fresh (n + 1);
+    List.iter (Sat.add_clause fresh) base_clauses;
+    Sat.solve ~assumptions:(List.map Sat.Lit.negate c) fresh = Sat.Unsat
+  in
+  Alcotest.(check bool) "exports entailed by base" true (List.for_all entailed shared);
+  (* importing them into a sibling must not change its verdicts *)
+  let sibling = Sat.create () in
+  Sat.ensure_vars sibling (n + 1);
+  List.iter (Sat.add_clause sibling) base_clauses;
+  List.iter (Sat.import_clause sibling) shared;
+  Alcotest.(check bool) "sibling still sat" true (Sat.solve sibling = Sat.Sat)
+
+let test_drat_text_roundtrip () =
+  let open Sat.Dimacs in
+  let trace =
+    [ Add [ 1; -2; 3 ]; Delete [ 1; -2; 3 ]; Add [ -4 ]; Delete [ 7; 8 ]; Add [] ]
+  in
+  let text = drat_to_string trace in
+  Alcotest.(check bool) "roundtrip" true (drat_parse_string text = trace);
+  (* whitespace and comments are tolerated *)
+  let trace2 = drat_parse_string "c comment\n1 2 0\nd 1 2 0\n\n0\n" in
+  Alcotest.(check bool)
+    "parsed forms" true
+    (trace2 = [ Add [ 1; 2 ]; Delete [ 1; 2 ]; Add [] ])
+
+let test_rup_checker () =
+  let open Sat.Dimacs in
+  (* (1 or 2) and (1 or -2): resolving gives 1, so Add [1] is RUP *)
+  let r = Rup.create () in
+  Rup.add_input r [ 1; 2 ];
+  Rup.add_input r [ 1; -2 ];
+  Alcotest.(check bool) "unit not yet forced" false (Rup.holds r [ 2 ]);
+  Alcotest.(check bool) "resolvent is RUP" true (Rup.holds r [ 1 ]);
+  Alcotest.(check bool) "replay accepts" true (Rup.replay r [ Add [ 1 ] ] = Ok ());
+  Alcotest.(check bool) "now forced" true (Rup.holds r [ 1 ]);
+  (* a top-level conflict makes everything implied *)
+  let r2 = Rup.create () in
+  Rup.add_input r2 [ 1 ];
+  Rup.add_input r2 [ -1; 2 ];
+  Rup.add_input r2 [ -2 ];
+  Alcotest.(check bool) "contradiction implies empty" true (Rup.holds r2 [])
+
+let test_rup_rejects_non_rup () =
+  let open Sat.Dimacs in
+  let fresh () =
+    let r = Rup.create () in
+    Rup.add_input r [ 1; 2 ];
+    Rup.add_input r [ 1; -2 ];
+    r
+  in
+  (* 2 alone is not implied *)
+  (match Rup.replay (fresh ()) [ Add [ 2 ] ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "non-RUP addition accepted");
+  (* an unconstrained fresh variable is certainly not implied *)
+  (match Rup.replay (fresh ()) [ Add [ 999_999 ] ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unseen variable accepted");
+  (* deleting the clauses breaks a previously valid derivation *)
+  match Rup.replay (fresh ()) [ Delete [ 1; 2 ]; Add [ 1 ] ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "deletion-invalidated addition accepted"
+
+let test_solver_trace_replays () =
+  (* end to end: the solver's own proof log, replayed through the
+     independent checker, re-derives unsatisfiability *)
+  let s = Sat.create () in
+  let rup = Sat.Dimacs.Rup.create () in
+  let trace = ref [] in
+  Sat.set_input_logger s
+    (Some (fun lits -> Sat.Dimacs.Rup.add_input rup (List.map Sat.Lit.to_int lits)));
+  Sat.set_proof_logger s
+    (Some
+       (fun step ->
+         trace :=
+           (match step with
+           | Sat.Step_add lits -> Sat.Dimacs.Add (List.map Sat.Lit.to_int lits)
+           | Sat.Step_delete lits -> Sat.Dimacs.Delete (List.map Sat.Lit.to_int lits))
+           :: !trace));
+  let nvars, clauses = pigeonhole 4 in
+  Sat.ensure_vars s nvars;
+  List.iter (fun c -> Sat.add_clause s (List.map Sat.Lit.of_int c)) clauses;
+  Alcotest.(check bool) "unsat" true (Sat.solve s = Sat.Unsat);
+  (match Sat.Dimacs.Rup.replay rup (List.rev !trace) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("trace rejected: " ^ msg));
+  Alcotest.(check bool) "empty clause derived" true (Sat.Dimacs.Rup.holds rup [])
+
 let qprop name count arb p = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb p)
 
 let suite =
@@ -205,6 +374,14 @@ let suite =
     Alcotest.test_case "dimacs edge cases" `Quick test_dimacs_edge_cases;
     Alcotest.test_case "statistics progress" `Quick test_solver_statistics_progress;
     Alcotest.test_case "random 3-sat" `Quick test_large_random_3sat;
+    Alcotest.test_case "failed-assumption core" `Quick test_failed_assumption_core;
+    Alcotest.test_case "activation release" `Quick test_activation_release;
+    Alcotest.test_case "restarts counted" `Quick test_restarts_counted;
+    Alcotest.test_case "export/import soundness" `Quick test_export_import_soundness;
+    Alcotest.test_case "drat text roundtrip" `Quick test_drat_text_roundtrip;
+    Alcotest.test_case "rup checker" `Quick test_rup_checker;
+    Alcotest.test_case "rup rejects non-rup" `Quick test_rup_rejects_non_rup;
+    Alcotest.test_case "solver trace replays" `Quick test_solver_trace_replays;
     qprop "matches brute force" 500 arbitrary_cnf prop_matches_brute_force;
     qprop "model satisfies" 500 arbitrary_cnf prop_model_satisfies;
     qprop "assumptions sound" 300 arbitrary_cnf prop_assumptions_sound;

@@ -390,6 +390,52 @@ let prop_parallel_matches_sequential =
              && classes r = classes r1)
            [ 2; 4 ]))
 
+let prop_incremental_matches_fresh =
+  (* persistent incremental solving — activation-guarded obligations on one
+     live solver per lane, learned-clause sharing at merge points, failed-core
+     proof transfer — is a pure accelerator: under any worker count, verdict,
+     equivalence score and final partition must match the fresh-solver-per-
+     class baseline exactly *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"incremental sat matches fresh solvers" ~count:10
+       QCheck.(pair (int_range 0 100_000) (int_range 1 2))
+       (fun (seed, k) ->
+         let a = small_aig seed in
+         let a' = Circuits.Suite.implementation ~recipe:Circuits.Suite.Retime_opt ~seed a in
+         let run ~jobs ~incr =
+           Scorr.Verify.run_with_relation
+             ~options:
+               { sat_opts with
+                 Scorr.Verify.jobs;
+                 use_incremental = incr;
+                 sat_unroll = k
+               }
+             a a'
+         in
+         let classes = function
+           | _, _, Some p ->
+             Some
+               (List.sort compare
+                  (List.map
+                     (fun c -> List.sort compare (Scorr.Partition.members p c))
+                     (Scorr.Partition.multi_member_classes p)))
+           | _, _, None -> None
+         in
+         let tag = function
+           | Scorr.Equivalent _ -> 0
+           | Scorr.Not_equivalent _ -> 1
+           | Scorr.Unknown _ -> 2
+         in
+         List.for_all
+           (fun jobs ->
+             let ((vi, _, _) as ri) = run ~jobs ~incr:true
+             and ((vf, _, _) as rf) = run ~jobs ~incr:false in
+             tag vi = tag vf
+             && (Scorr.Verify.verdict_stats vi).Scorr.Verify.eq_pct
+                = (Scorr.Verify.verdict_stats vf).Scorr.Verify.eq_pct
+             && classes ri = classes rf)
+           [ 1; 2; 4 ]))
+
 (* --- register correspondence ----------------------------------------------------- *)
 
 let test_regcorr_proves_comb_opt () =
@@ -494,6 +540,7 @@ let suite =
     prop_engines_compute_same_relation;
     prop_batched_matches_pairwise;
     prop_parallel_matches_sequential;
+    prop_incremental_matches_fresh;
     prop_regcorr_sound;
     prop_k_induction_sound;
     prop_k2_extends_k1;

@@ -89,6 +89,13 @@ let requests =
         opts = { Serve.Protocol.default_opts with engine = "sat"; induction = 2; deadline = 1.5 };
         watch = true;
       };
+    Serve.Protocol.Submit
+      {
+        spec = Serve.Protocol.Path "spec.blif";
+        impl = Serve.Protocol.Path "impl.aag";
+        opts = { Serve.Protocol.default_opts with engine = "sat"; incremental = false };
+        watch = false;
+      };
     Serve.Protocol.Status "job-1";
     Serve.Protocol.Result { job = "job-2"; wait = true };
     Serve.Protocol.Cancel "job-3";
@@ -108,6 +115,11 @@ let sample_outcome =
     iterations = 7;
     classes = 11;
     sat_calls = 13;
+    conflicts = 17;
+    propagations = 19_000;
+    restarts = 2;
+    reused_clauses = 23;
+    shared_clauses = 5;
     eq_pct = 87.5;
     cert = Some "cache/x/cert";
     reason = Some "because";
