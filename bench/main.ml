@@ -7,6 +7,7 @@
      ablation-sim       simulation seeding on/off (A1)
      ablation-retime    retiming extension on/off (A2)
      ablation-engine    BDD vs SAT refinement engine (A3)
+     ablation-speculation  speculative reduction + per-class dispatch on/off (E4)
      ablation-dontcare  reachable don't-cares on re-encoded FSMs (A4)
      micro              Bechamel microbenchmarks of the substrates (B1)
      all                everything above
@@ -21,6 +22,9 @@
    --no-incremental run every scorr target with throwaway per-class SAT
                     solvers (the ablation-incremental target always A/Bs
                     both modes regardless of this flag)
+   --speculate      run every scorr target with speculative reduction and
+                    the per-class dispatcher (the ablation-speculation
+                    target always A/Bs both modes regardless)
    --seed N         PRNG seed for simulation seeding (Scorr options.seed)
    -j N             run ablation-engine circuit jobs across N worker domains
    --sweep-jobs N   worker domains inside each SAT sweep (Scorr options.jobs)
@@ -66,6 +70,7 @@ let jobs = ref (Domain.recommended_domain_count ())
 let sweep_jobs = ref 1
 let deadline_flag = ref 0.0
 let no_incremental = ref false
+let speculate_flag = ref false
 let serve_socket : string option ref = ref None
 
 let name_matches name =
@@ -105,9 +110,13 @@ let shape_fragment spec impl =
     (merges spec + merges impl)
 
 (* Record one measured verification run; also the smoke-mode verdict gate.
-   [cached] / [queue_wait] are service columns: in-process rows report
-   false / 0, serve-mode rows carry what the daemon measured. *)
-let record ?(cached = false) ?(queue_wait = 0.0) ~circuit ~engine ~shape verdict seconds =
+   [run] names the bench target that produced the row: several targets
+   measure the same (circuit, engine) pair under different options, so
+   consumers must key rows on (run, circuit, engine), never on
+   (circuit, engine) alone.  [cached] / [queue_wait] are service
+   columns: in-process rows report false / 0, serve-mode rows carry
+   what the daemon measured. *)
+let record ?(cached = false) ?(queue_wait = 0.0) ~run ~circuit ~engine ~shape verdict seconds =
   let s = Scorr.verdict_stats verdict in
   let name = verdict_name verdict in
   if !smoke && name <> "proved" then
@@ -121,21 +130,24 @@ let record ?(cached = false) ?(queue_wait = 0.0) ~circuit ~engine ~shape verdict
   in
   json_rows :=
     Printf.sprintf
-      "{\"circuit\": \"%s\", \"engine\": \"%s\", \"verdict\": \"%s\", \
+      "{\"run\": \"%s\", \"circuit\": \"%s\", \"engine\": \"%s\", \"verdict\": \"%s\", \
        \"seconds\": %.3f, \"sat_calls\": %d, \"peak_nodes\": %s, \
        \"iterations\": %d, \"retime_rounds\": %d, \"pool_lanes\": %d, \
        \"resim_splits\": %d, \"batched_solves\": %d, \"cache_hits\": %d, \
        \"static_splits\": %d, \"conflicts\": %d, \"propagations\": %d, \
        \"restarts\": %d, \"reused_clauses\": %d, \"shared_clauses\": %d, \
-       \"core_prunes\": %d, %s, \
+       \"core_prunes\": %d, \"spec_rounds\": %d, \"spec_merges\": %d, \
+       \"refuted_assumptions\": %d, \"spec_by_sim\": %d, \"spec_by_bdd\": %d, \
+       \"spec_by_sat\": %d, %s, \
        \"jobs\": %d, \"domains\": %d, \"steals\": %d, \"sched_wait\": %.3f, \
        \"deadline\": %.3f, \"exhausted\": %s, \"eq_pct\": %.1f, \
        \"cached\": %b, \"queue_wait\": %.3f}"
-      (json_escape circuit) (json_escape engine) name seconds
+      (json_escape run) (json_escape circuit) (json_escape engine) name seconds
       s.Scorr.Verify.sat_calls peak s.iterations s.retime_rounds
       s.pool_lanes s.resim_splits s.batched_solves s.cache_hits
       s.static_splits s.conflicts s.propagations s.restarts s.reused_clauses
-      s.shared_clauses s.core_prunes shape
+      s.shared_clauses s.core_prunes s.spec_rounds s.spec_merges
+      s.refuted_assumptions s.spec_by_sim s.spec_by_bdd s.spec_by_sat shape
       !sweep_jobs s.domains s.steals s.sched_wait_seconds !deadline_flag
       (match s.exhausted with
       | Some why -> Printf.sprintf "\"%s\"" (json_escape why)
@@ -168,6 +180,8 @@ let scorr_options () =
     jobs = !sweep_jobs;
     deadline_seconds = !deadline_flag;
     use_incremental = not !no_incremental;
+    use_speculation =
+      !speculate_flag || Scorr.default_options.Scorr.Verify.use_speculation;
   }
 
 let suite_pairs recipe =
@@ -390,10 +404,10 @@ let ablation_engine () =
       let e, spec, impl = pairs.(i) in
       let name = e.Circuits.Suite.name in
       let shape = shape_fragment spec impl in
-      record ~circuit:name ~engine:"bdd" ~shape vb tb;
-      record ~circuit:name ~engine:"sat" ~shape vs ts;
-      record ~circuit:name ~engine:"sat-pairwise" ~shape vp tp;
-      record ~circuit:name ~engine:"auto" ~shape va ta;
+      record ~run:"ablation-engine" ~circuit:name ~engine:"bdd" ~shape vb tb;
+      record ~run:"ablation-engine" ~circuit:name ~engine:"sat" ~shape vs ts;
+      record ~run:"ablation-engine" ~circuit:name ~engine:"sat-pairwise" ~shape vp tp;
+      record ~run:"ablation-engine" ~circuit:name ~engine:"auto" ~shape va ta;
       let sb = Scorr.verdict_stats vs
       and sp = Scorr.verdict_stats vp
       and sa = Scorr.verdict_stats va in
@@ -511,14 +525,85 @@ let ablation_incremental () =
       let vi, ti = run true in
       let vf, tf = run false in
       let shape = shape_fragment spec impl in
-      record ~circuit:name ~engine:"sat" ~shape vi ti;
-      record ~circuit:name ~engine:"sat-noincr" ~shape vf tf;
+      record ~run:"ablation-incremental" ~circuit:name ~engine:"sat" ~shape vi ti;
+      record ~run:"ablation-incremental" ~circuit:name ~engine:"sat-noincr" ~shape vf tf;
       let si = Scorr.verdict_stats vi and sf = Scorr.verdict_stats vf in
       let ratio num den = if num > 0.0 then den /. num else Float.nan in
       Printf.printf "%-9s | %-8s %7.2f %9d %7d %7d | %-9s %7.2f %9d | %6.1fx %6.1fx\n%!"
         name (verdict_name vi) ti si.Scorr.Verify.conflicts si.core_prunes si.shared_clauses
         (verdict_name vf) tf sf.Scorr.Verify.conflicts (ratio ti tf)
         (ratio (float_of_int si.Scorr.Verify.conflicts) (float_of_int sf.Scorr.Verify.conflicts)))
+    (List.filter
+       (fun (e, _, _) -> List.mem e.Circuits.Suite.name circuits)
+       (suite_pairs Circuits.Suite.Retime_opt))
+
+(* --- E4: speculative reduction ----------------------------------------------------------- *)
+
+(* A/B of speculative reduction: merge every candidate class onto its
+   representative, discharge the assumption obligations on the reduced
+   product through the per-class dispatcher (simulation screen, BDD,
+   persistent incremental SAT), refine and rebuild on refutation —
+   against the plain per-class sweep.  Verdicts and final partitions
+   are identical by construction (the refinement loop reaches the same
+   greatest fixed point); the table shows the wall-time and conflict
+   reduction per engine, plus how the dispatcher split the obligations. *)
+let ablation_speculation () =
+  Printf.printf
+    "E4 (extension): speculative reduction + per-class engine dispatch vs the\n\
+     plain per-class sweep (identical verdicts by construction)\n\n";
+  Printf.printf "%-9s %-4s | %-8s %8s %9s | %-8s %8s %9s %7s %11s | %7s %7s\n" "circuit"
+    "eng" "plain" "time" "conflicts" "spec" "time" "conflicts" "merges" "sim/bdd/sat"
+    "t-ratio" "c-ratio";
+  print_endline line;
+  let circuits =
+    if !smoke then [ "ctr8"; "gray12"; "arb4" ] else [ "arb6"; "ctr16"; "gray12"; "bus"; "tx" ]
+  in
+  List.iter
+    (fun (e, spec, impl) ->
+      let name = e.Circuits.Suite.name in
+      let shape = shape_fragment spec impl in
+      List.iter
+        (fun (engine, tag) ->
+          let run use_speculation =
+            (* both arms run the static-analysis layer, so the A/B isolates
+               speculation itself: the plain arm gets the support
+               prefilter, the speculative arm additionally pre-reduces
+               (Verify.prereduces) and dispatches per class.  bus's
+               depth-1 gfp does not imply output equality — depth-2
+               induction closes it, at the same depth in both arms so
+               the comparison stays engine-for-engine fair *)
+            let options =
+              { (scorr_options ()) with Scorr.Verify.engine; use_speculation;
+                use_analysis = true;
+                (* one lane in both arms: the plain sweep gains from solver
+                   partitioning at -j>1 while every dispatcher lane re-encodes
+                   the reduced product, so multi-lane runs on few cores would
+                   skew the A/B without measuring speculation at all *)
+                jobs = 1;
+                sat_unroll = (if name = "bus" then 2 else 1) }
+            in
+            let options =
+              if !smoke then
+                { options with Scorr.Verify.max_sat_calls = 50_000; node_limit = 500_000 }
+              else options
+            in
+            timed (fun () -> Scorr.check ~options spec impl)
+          in
+          let vp, tp = run false in
+          let vs, ts = run true in
+          record ~run:"ablation-speculation" ~circuit:name ~engine:tag ~shape vp tp;
+          record ~run:"ablation-speculation" ~circuit:name ~engine:(tag ^ "-spec") ~shape vs
+            ts;
+          let sp = Scorr.verdict_stats vp and ss = Scorr.verdict_stats vs in
+          let ratio num den = if num > 0.0 then den /. num else Float.nan in
+          Printf.printf
+            "%-9s %-4s | %-8s %8.2f %9d | %-8s %8.2f %9d %7d %3d/%3d/%3d | %6.1fx %6.1fx\n%!"
+            name tag (verdict_name vp) tp sp.Scorr.Verify.conflicts (verdict_name vs) ts
+            ss.Scorr.Verify.conflicts ss.spec_merges ss.spec_by_sim ss.spec_by_bdd
+            ss.spec_by_sat (ratio ts tp)
+            (ratio (float_of_int ss.Scorr.Verify.conflicts)
+               (float_of_int sp.Scorr.Verify.conflicts)))
+        [ (Scorr.Verify.Bdd_engine, "bdd"); (Scorr.Verify.Sat_engine, "sat") ])
     (List.filter
        (fun (e, _, _) -> List.mem e.Circuits.Suite.name circuits)
        (suite_pairs Circuits.Suite.Retime_opt))
@@ -570,7 +655,7 @@ let record_serve ~circuit ~shape (o : Serve.Protocol.outcome) =
     smoke_failures := Printf.sprintf "%s/serve: %s" circuit name :: !smoke_failures;
   json_rows :=
     Printf.sprintf
-      "{\"circuit\": \"%s\", \"engine\": \"serve\", \"verdict\": \"%s\", \
+      "{\"run\": \"serve\", \"circuit\": \"%s\", \"engine\": \"serve\", \"verdict\": \"%s\", \
        \"seconds\": %.3f, \"sat_calls\": %d, \"iterations\": %d, \
        \"resumed_iterations\": %d, %s, \"deadline\": %.3f, \"eq_pct\": %.1f, \
        \"cached\": %b, \"queue_wait\": %.3f}"
@@ -729,6 +814,7 @@ let targets =
     ("ablation-sim", ablation_sim); ("ablation-retime", ablation_retime);
     ("ablation-engine", ablation_engine); ("ablation-dontcare", ablation_dontcare);
     ("ablation-unroll", ablation_unroll); ("ablation-incremental", ablation_incremental);
+    ("ablation-speculation", ablation_speculation);
     ("ablation-induction", ablation_induction);
     ("micro", micro) ]
 
@@ -772,6 +858,9 @@ let () =
       parse_flags rest
     | "--no-incremental" :: rest ->
       no_incremental := true;
+      parse_flags rest
+    | "--speculate" :: rest ->
+      speculate_flag := true;
       parse_flags rest
     | "--deadline" :: v :: rest ->
       (match float_of_string_opt v with

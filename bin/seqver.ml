@@ -63,6 +63,12 @@ let pp_stats (s : Scorr.stats) =
       \  core prunes:     %d\n"
       s.conflicts s.propagations s.restarts s.encoded_vars s.reused_clauses
       s.shared_clauses s.core_prunes;
+  if s.spec_rounds > 0 then
+    Printf.printf
+      "  spec rounds:     %d\n  spec merges:     %d\n  refuted assumps: %d\n\
+      \  classes by sim:  %d\n  classes by BDD:  %d\n  classes by SAT:  %d\n"
+      s.spec_rounds s.spec_merges s.refuted_assumptions s.spec_by_sim s.spec_by_bdd
+      s.spec_by_sat;
   if s.domains > 1 then
     Printf.printf "  domains:         %d (lane solves: %s; steals: %d; wait: %.2f s)\n"
       s.domains
@@ -125,8 +131,9 @@ let run_verify_suite engine jobs deadline quiet =
   !code
 
 let run_verify spec_path impl_path meth engine no_sim_seed no_fundep no_retime
-    no_incremental dontcare analysis node_limit unroll seconds deadline checkpoint
-    checkpoint_every resume show_classes emit_cert proof emit_witness jobs suite quiet =
+    no_incremental speculate no_speculate dontcare analysis node_limit unroll seconds
+    deadline checkpoint checkpoint_every resume show_classes emit_cert proof emit_witness
+    jobs suite quiet =
   if suite then run_verify_suite engine jobs deadline quiet
   else
   match (spec_path, impl_path) with
@@ -172,6 +179,9 @@ let run_verify spec_path impl_path meth engine no_sim_seed no_fundep no_retime
       use_fundep = not no_fundep;
       use_retime = not no_retime;
       use_incremental = not no_incremental;
+      use_speculation =
+        (speculate || Scorr.default_options.Scorr.Verify.use_speculation)
+        && not no_speculate;
       use_reach_dontcare = dontcare;
       (* the portfolio is analysis-steered by default; the flag opts the
          direct methods into the static support prefilter *)
@@ -749,6 +759,12 @@ let print_outcome ~json ~quiet job (o : Serve.Protocol.outcome) =
       \  equivalences:    %.1f%%\n"
       job o.cached o.runtime o.queue_wait o.resumed_iterations o.iterations o.classes
       o.sat_calls o.eq_pct;
+    if o.spec_rounds > 0 then
+      Printf.printf
+        "  spec rounds:     %d\n  spec merges:     %d\n  refuted assumps: %d\n\
+        \  by sim/BDD/SAT:  %d/%d/%d\n"
+        o.spec_rounds o.spec_merges o.refuted_assumptions o.spec_by_sim o.spec_by_bdd
+        o.spec_by_sat;
     (match o.trace with
     | [] -> ()
     | frames -> Printf.printf "  witness:         %s\n" (String.concat " " frames));
@@ -785,7 +801,7 @@ let print_server_stats ~json (s : Serve.Protocol.server_stats) =
    equivalent, 1 not equivalent, 3 unknown/cancelled, 2 protocol or
    usage trouble). *)
 let run_submit spec impl socket tcp meth engine induction seed analysis no_incremental
-    deadline json quiet progress cancel status result wait stats shutdown =
+    speculate deadline json quiet progress cancel status result wait stats shutdown =
   let tcp = Option.map parse_hostport tcp in
   let with_client k =
     match Serve.Client.connect ?tcp ~socket () with
@@ -814,6 +830,7 @@ let run_submit spec impl socket tcp meth engine induction seed analysis no_incre
             seed;
             analysis;
             incremental = not no_incremental;
+            speculate;
             deadline;
           }
         in
@@ -929,6 +946,23 @@ let verify_cmd =
                    persistent per-lane incremental solvers (baseline for A/B comparison; \
                    verdicts are identical, only the work differs).")
   in
+  let speculate =
+    Arg.(value & flag
+         & info [ "speculate" ]
+             ~doc:"Discharge the one-frame induction step on the speculatively reduced \
+                   product: every candidate class is merged onto its representative, \
+                   each merge yields one assumption obligation, and obligations are \
+                   routed per class to simulation, BDD or incremental SAT by an online \
+                   cost model.  Refuted assumptions refine the partition and rebuild \
+                   the reduction.  Verdicts and the final partition are identical to \
+                   the plain sweep; only the work differs.  (Also \\$SEQVER_SPECULATE.)")
+  in
+  let no_speculate =
+    Arg.(value & flag
+         & info [ "no-speculate" ]
+             ~doc:"Force the plain per-class sweep even when \\$SEQVER_SPECULATE or \
+                   $(b,--speculate) would enable speculative reduction.")
+  in
   let dontcare =
     Arg.(value & flag & info [ "dontcare" ] ~doc:"Strengthen Q with approximate reachability.")
   in
@@ -1014,9 +1048,9 @@ let verify_cmd =
              (exit 0 equivalent, 1 not equivalent, 3 unknown, 2 usage/parse error)")
     Term.(
       const run_verify $ spec $ impl $ meth $ engine $ no_sim_seed $ no_fundep $ no_retime
-      $ no_incremental $ dontcare $ analysis $ node_limit $ unroll $ seconds $ deadline
-      $ checkpoint $ checkpoint_every $ resume $ show_classes $ emit_cert $ proof
-      $ emit_witness $ jobs $ suite $ quiet)
+      $ no_incremental $ speculate $ no_speculate $ dontcare $ analysis $ node_limit
+      $ unroll $ seconds $ deadline $ checkpoint $ checkpoint_every $ resume
+      $ show_classes $ emit_cert $ proof $ emit_witness $ jobs $ suite $ quiet)
 
 let gen_cmd =
   let circuit_name = Arg.(value & pos 0 string "" & info [] ~docv:"NAME") in
@@ -1226,6 +1260,12 @@ let submit_cmd =
              ~doc:"Run the job with throwaway per-class SAT solvers instead of the \
                    persistent incremental ones (cached separately).")
   in
+  let speculate =
+    Arg.(value & flag
+         & info [ "speculate" ]
+             ~doc:"Run the job with speculative reduction and the per-class engine \
+                   dispatcher (cached separately).")
+  in
   let deadline =
     Arg.(value & opt float 0.0
          & info [ "deadline" ] ~docv:"SECONDS" ~doc:"Per-job wall-clock budget (0 = none).")
@@ -1257,8 +1297,8 @@ let submit_cmd =
              (exit 0 equivalent, 1 not equivalent, 3 unknown/cancelled, 2 protocol error)")
     Term.(
       const run_submit $ spec $ impl $ socket $ tcp $ meth $ engine $ induction $ seed
-      $ analysis $ no_incremental $ deadline $ json $ quiet $ progress $ cancel $ status
-      $ result $ wait $ stats $ shutdown)
+      $ analysis $ no_incremental $ speculate $ deadline $ json $ quiet $ progress
+      $ cancel $ status $ result $ wait $ stats $ shutdown)
 
 let () =
   let doc = "sequential equivalence checking without state space traversal" in

@@ -105,9 +105,12 @@ end
 (** {1 SAT encoding} *)
 
 module Cnf : sig
-  val encode : Sat.t -> t -> pi_var:(int -> int) -> latch_var:(int -> int) -> int -> Sat.Lit.t
+  val encode :
+    ?act:int -> Sat.t -> t -> pi_var:(int -> int) -> latch_var:(int -> int) -> int -> Sat.Lit.t
   (** Tseitin-encode the combinational logic; PIs/latches use the supplied
-      SAT variables.  Returns AIG-literal → SAT-literal. *)
+      SAT variables.  Returns AIG-literal → SAT-literal.  With [act], every
+      clause is guarded by the activation variable so [Sat.release] retracts
+      the encoding from a persistent solver. *)
 
   val encode_fresh : Sat.t -> t -> int array * int array * (int -> Sat.Lit.t)
   (** Fresh variables for PIs and latches: [(pi_vars, latch_vars, lit_of)]. *)

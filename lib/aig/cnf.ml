@@ -5,14 +5,17 @@
 
 (* Encode the combinational structure of [t].  [pi_var i] / [latch_var i]
    give the SAT variable of input i / latch i (created by the caller, so
-   several unrollings can share or rename them).  Returns a function from
-   AIG literal to SAT literal. *)
-let encode solver t ~pi_var ~latch_var =
+   several unrollings can share or rename them).  When [act] is given, every
+   emitted clause is guarded by that activation variable, so releasing it
+   retracts the whole encoding from a persistent solver.  Returns a function
+   from AIG literal to SAT literal. *)
+let encode ?act solver t ~pi_var ~latch_var =
+  let add cl = Sat.add_clause ?act solver cl in
   let n = Graph.num_nodes t in
   let var_of = Array.make n (-1) in
   (* constant node: a frozen variable forced to false once per solver *)
   let const_var = Sat.new_var solver in
-  Sat.add_clause solver [ Sat.Lit.neg const_var ];
+  add [ Sat.Lit.neg const_var ];
   var_of.(0) <- const_var;
   let sat_lit l =
     let v = var_of.(Graph.node_of_lit l) in
@@ -29,9 +32,9 @@ let encode solver t ~pi_var ~latch_var =
       let la = sat_lit a and lb = sat_lit b in
       let lv = Sat.Lit.pos v in
       (* v <-> a & b *)
-      Sat.add_clause solver [ Sat.Lit.negate lv; la ];
-      Sat.add_clause solver [ Sat.Lit.negate lv; lb ];
-      Sat.add_clause solver [ lv; Sat.Lit.negate la; Sat.Lit.negate lb ]
+      add [ Sat.Lit.negate lv; la ];
+      add [ Sat.Lit.negate lv; lb ];
+      add [ lv; Sat.Lit.negate la; Sat.Lit.negate lb ]
   done;
   sat_lit
 

@@ -29,6 +29,10 @@ type t = {
   candidates : string; (* "all" | "registers" *)
   induction : int; (* k: 1 = the paper's Equation (3) *)
   retime_rounds : int; (* augmentation rounds to replay on the product *)
+  prereduce : int option;
+      (* reduction seed when the relation is over the FRAIG-reduced pair:
+         checking replays the (deterministic) reduction on the originals,
+         re-proving its merge obligations, before rebuilding the product *)
   product_nodes : int; (* product size after augmentation (shape check) *)
   classes : int list list; (* normalized literals, each class sorted *)
   proof : Sat.Dimacs.drat_step list list option;
@@ -90,6 +94,9 @@ let of_run ~(options : Scorr.Verify.options) ~spec ~impl (verdict, product, rela
             | Scorr.Verify.Bdd_engine -> 1
             | Scorr.Verify.Sat_engine -> options.Scorr.Verify.sat_unroll);
           retime_rounds = stats.Scorr.Verify.retime_rounds;
+          prereduce =
+            (if Scorr.Verify.prereduces options then Some options.Scorr.Verify.seed
+             else None);
           product_nodes = Aig.num_nodes product.Scorr.Product.aig;
           classes =
             List.map
@@ -115,6 +122,7 @@ type check_error =
   | Not_initial of { lit_a : int; lit_b : int; frame : int }
   | Not_inductive of { lit_a : int; lit_b : int }
   | Output_unproved of string
+  | Reduction_invalid of { subject : string; failed : int }
   | Proof_missing
   | Proof_invalid of string
 
@@ -134,6 +142,9 @@ let explain_check_error = function
     Printf.sprintf "class equality %d = %d is not %s" lit_a lit_b "preserved by the relation (induction fails)"
   | Output_unproved name ->
     Printf.sprintf "output pair %s is not proved equal under the relation" name
+  | Reduction_invalid { subject; failed } ->
+    Printf.sprintf "pre-reduction replay on the %s left %d merge obligation(s) unproved"
+      subject failed
   | Proof_missing -> "proof-mode check requested but the certificate carries no proof"
   | Proof_invalid why -> Printf.sprintf "proof trace rejected: %s" why
 
@@ -194,6 +205,26 @@ let run_check ~spec ~impl ~on_solver ~discharge cert =
     if cert.retime_rounds < 0 || cert.retime_rounds > 64 then
       raise
         (Check_failed (Bad_header (Printf.sprintf "retime rounds %d" cert.retime_rounds)));
+    (* pre-reduced relations: replay the deterministic reduction on the
+       originals, but do not trust it — every merge it performed is
+       re-proved on the original circuit with a fresh solver *)
+    let spec, impl =
+      match cert.prereduce with
+      | None -> (spec, impl)
+      | Some seed ->
+        let reduce subject aig =
+          let reduced, rstats = Analysis.Reduce.run ~seed aig in
+          (match
+             Analysis.Reduce.check_obligations aig rstats.Analysis.Reduce.obligations
+           with
+          | [] -> ()
+          | bad ->
+            raise
+              (Check_failed (Reduction_invalid { subject; failed = List.length bad })));
+          reduced
+        in
+        (reduce "specification" spec, reduce "implementation" impl)
+    in
     (* rebuild the product the relation was computed on: the construction
        and the augmentation are both deterministic *)
     let product = Scorr.Product.make spec impl in
@@ -364,6 +395,7 @@ let prove ~spec ~impl cert =
      candidates all
      induction 1
      retime-rounds 0
+     prereduced 42        (optional: FRAIG pre-reduction seed)
      product-nodes 420
      classes 2
      class 4 6 12
@@ -393,6 +425,9 @@ let to_string cert =
   Buffer.add_string buf (Printf.sprintf "candidates %s\n" cert.candidates);
   Buffer.add_string buf (Printf.sprintf "induction %d\n" cert.induction);
   Buffer.add_string buf (Printf.sprintf "retime-rounds %d\n" cert.retime_rounds);
+  (match cert.prereduce with
+  | None -> ()
+  | Some seed -> Buffer.add_string buf (Printf.sprintf "prereduced %d\n" seed));
   Buffer.add_string buf (Printf.sprintf "product-nodes %d\n" cert.product_nodes);
   Buffer.add_string buf (Printf.sprintf "classes %d\n" (List.length cert.classes));
   List.iter
@@ -443,6 +478,13 @@ let parse_string text =
   let candidates, lines = field "candidates" lines in
   let induction, lines = int_field "induction" lines in
   let retime_rounds, lines = int_field "retime-rounds" lines in
+  let prereduce, lines =
+    match lines with
+    | line :: _ when String.length line > 11 && String.sub line 0 11 = "prereduced " ->
+      let seed, lines = int_field "prereduced" lines in
+      (Some seed, lines)
+    | _ -> (None, lines)
+  in
   let product_nodes, lines = int_field "product-nodes" lines in
   let n, lines = int_field "classes" lines in
   if n < 0 then fail "negative class count %d" n;
@@ -511,6 +553,7 @@ let parse_string text =
     candidates;
     induction;
     retime_rounds;
+    prereduce;
     product_nodes;
     classes;
     proof;

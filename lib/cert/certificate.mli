@@ -18,6 +18,12 @@ type t = {
   candidates : string;  (** "all" or "registers" *)
   induction : int;  (** k: 1 = the paper's Equation (3) *)
   retime_rounds : int;  (** augmentation rounds to replay on the product *)
+  prereduce : int option;
+      (** when the relation was computed on the FRAIG-reduced pair
+          (speculative runs with the analysis layer on), the reduction
+          seed: checking replays {!Analysis.Reduce.run} on the original
+          circuits — re-proving every merge obligation with a fresh
+          solver — before rebuilding the product *)
   product_nodes : int;  (** product size after augmentation (shape check) *)
   classes : int list list;  (** normalized literals, each class sorted *)
   proof : Sat.Dimacs.drat_step list list option;
@@ -68,6 +74,8 @@ type check_error =
   | Not_initial of { lit_a : int; lit_b : int; frame : int }
   | Not_inductive of { lit_a : int; lit_b : int }
   | Output_unproved of string
+  | Reduction_invalid of { subject : string; failed : int }
+      (** replaying the pre-reduction left merge obligations unproved *)
   | Proof_missing  (** proof-mode check, but the certificate has no trace *)
   | Proof_invalid of string  (** a trace step failed RUP verification *)
 

@@ -1,0 +1,664 @@
+(* Per-class hybrid engine dispatcher for speculative reduction.
+
+   Each assumption obligation of a speculatively reduced product
+   ([Specreduce.t]) is routed to one of three discharge engines:
+
+   - simulation-refutation: a bit-parallel forward walk of the ORIGINAL
+     product from the initial state, restricted to states certified to
+     satisfy the current candidate relation Q (the BMC-style disproof
+     pass — bounded, concrete, built for free on the strengthened
+     partition);
+   - BDD: an unconstrained two-frame validity check of the obligation on
+     the reduced circuit — valid without the Q-hat assumptions is valid
+     with them a fortiori, and a counterexample is vetted against Q on
+     the original product before it may refute anything;
+   - incremental SAT: the exact workhorse — a (k+1)-frame encoding of the
+     reduced circuit with the Q-hat assumptions clause-guarded at frames
+     1..k and the obligation's difference activated at frame k+1 (k =
+     [config.unroll], the verifier's induction depth; k = 1 is the
+     paper's Eq.(3)), living in the persistent per-lane solvers (one
+     [Sat.t] per [Parsweep] lane, each round's encoding guarded by an
+     activation literal that is released when the reduction is rebuilt,
+     so retired clauses are GC'd).
+
+   Routing combines static shape (cone size and level depth of the
+   obligation's representative) with the online EMA cost model of
+   [Analysis.Steer.Cost]; an engine that exhausts its budget on a class
+   (BDD node blowup) is banned for that class and the obligation falls
+   back to SAT, which is never banned and guarantees progress.
+
+   Counterexample replay discipline (the soundness-critical invariant):
+   a pattern enters the shared [Simpool] only as (delta_orig(s, x1), x2)
+   where (s, x1) is known to satisfy Q on the ORIGINAL product — SAT
+   models by the assumed Q-hat (exactness lemma in specreduce.ml), BDD
+   models by an explicit [Specreduce.q_holds] check, simulation states by
+   construction of the walk.  The successor state is always computed with
+   the original transition function, never the speculative one. *)
+
+exception Budget_exceeded of string
+
+type engine = Sim | Bdd | Sat
+
+let engine_name = function Sim -> "sim" | Bdd -> "bdd" | Sat -> "sat"
+
+let steer_engine = function
+  | Bdd -> Analysis.Steer.Bdd
+  | Sat -> Analysis.Steer.Sat
+  | Sim -> invalid_arg "Dispatch.steer_engine: sim has no cost-model key"
+
+type config = {
+  prefer : engine;  (* options.engine bias: the tie-break default *)
+  bdd_cone_limit : int;  (* static routing threshold on cone size *)
+  bdd_level_limit : int;  (* static routing threshold on level depth *)
+  bdd_node_limit : int;  (* per-round BDD manager budget *)
+  unroll : int;  (* induction depth k of the SAT route; >= 1 *)
+  jobs : int;
+  seed : int;
+}
+
+let default_config ~prefer =
+  {
+    prefer;
+    bdd_cone_limit = 1024;
+    bdd_level_limit = Analysis.Steer.bdd_level_limit;
+    bdd_node_limit = 1_000_000;
+    unroll = 1;
+    jobs = 1;
+    seed = 0;
+  }
+
+(* One persistent solver per Parsweep lane.  A round's (k+1)-frame
+   encoding of the reduced circuit is guarded by [l_act]; switching
+   rounds releases it, which garbage-collects the stale clauses (and any
+   learnt clause mentioning them) while the solver itself — heuristic
+   state included — lives on. *)
+type lane = {
+  l_solver : Sat.t;
+  mutable l_round : int;  (* round id currently encoded; -1 = none *)
+  mutable l_act : int;  (* activation variable of that encoding *)
+  mutable l_enck : int -> Sat.Lit.t;  (* frame-(k+1) image of a reduced literal *)
+  mutable l_s : int array;  (* frame-1 latch variables *)
+  mutable l_xs : int array array;  (* input variables, one row per frame *)
+}
+
+type round = { rd_id : int; rd_sr : Specreduce.t }
+
+type counters = {
+  c_rounds : int;
+  c_sat_solves : int;
+  c_conflicts : int;
+  c_propagations : int;
+  c_restarts : int;
+  c_vars : int;  (* SAT variables created, summed over the lane solvers *)
+  c_bdd_checks : int;
+  c_peak_nodes : int;
+  c_by_sim : int;  (* obligations settled by each engine *)
+  c_by_bdd : int;
+  c_by_sat : int;
+  c_refuted : int;
+}
+
+type t = {
+  cfg : config;
+  product : Product.t;
+  pool : Simpool.t;  (* the verifier's shared counterexample pool *)
+  deadline : Deadline.t;
+  check_budget : unit -> unit;  (* caller's SAT-call budget gate *)
+  cost : Analysis.Steer.Cost.t;
+  support : Support.t;  (* cones of the ORIGINAL product *)
+  levels : int array;  (* levels of the ORIGINAL product *)
+  latch_pos : int array;  (* latch index -> BDD variable position *)
+  sched : lane Parsweep.t;
+  rng : Random.State.t;
+  survivors : (int, unit) Hashtbl.t;  (* classes the sim screen failed on *)
+  mutable round : round option;
+  mutable round_ctr : int;
+  mutable hist : bool array list;  (* certified Q-states, newest first *)
+  mutable hist_len : int;
+  mutable rounds : int;
+  mutable sat_solves : int;
+  mutable bdd_checks : int;
+  mutable peak_nodes : int;
+  mutable by_sim : int;
+  mutable by_bdd : int;
+  mutable by_sat : int;
+  mutable refuted : int;
+}
+
+let hist_cap = 128
+
+let initial_state aig =
+  Array.init (Aig.num_latches aig) (fun i -> Aig.latch_init aig i)
+
+let create ?(config = default_config ~prefer:Bdd) ?latch_order
+    ?(check_budget = fun () -> ()) ~product ~pool ~deadline () =
+  let aig = product.Product.aig in
+  let n_latches = Aig.num_latches aig in
+  let latch_pos =
+    match latch_order with
+    | Some order -> order
+    | None -> Array.init n_latches (fun i -> i)
+  in
+  {
+    cfg = config;
+    product;
+    pool;
+    deadline;
+    check_budget;
+    cost = Analysis.Steer.Cost.create ();
+    support = Support.make aig;
+    levels = (Analysis.Metrics.make aig).Analysis.Metrics.level;
+    latch_pos;
+    sched = Parsweep.create ~jobs:config.jobs ~init:(fun _ ->
+        {
+          l_solver = Sat.create ();
+          l_round = -1;
+          l_act = -1;
+          l_enck = (fun _ -> invalid_arg "Dispatch: no round encoded");
+          l_s = [||];
+          l_xs = [||];
+        });
+    rng = Random.State.make [| config.seed; 0x5bec |];
+    survivors = Hashtbl.create 64;
+    round = None;
+    round_ctr = 0;
+    hist = [ initial_state aig ];
+    hist_len = 1;
+    rounds = 0;
+    sat_solves = 0;
+    bdd_checks = 0;
+    peak_nodes = 0;
+    by_sim = 0;
+    by_bdd = 0;
+    by_sat = 0;
+    refuted = 0;
+  }
+
+let poll t =
+  if Deadline.expired t.deadline then raise (Budget_exceeded "deadline")
+
+(* ------------------------------------------------------------------ *)
+(* Routing                                                            *)
+
+let mark_sim_survivor t ~cls = Hashtbl.replace t.survivors cls ()
+let sim_survivor t ~cls = Hashtbl.mem t.survivors cls
+
+let observe t ~cls ~engine seconds =
+  match engine with
+  | Sim -> ()
+  | e -> Analysis.Steer.Cost.observe t.cost ~cls ~engine:(steer_engine e) seconds
+
+let ban t ~cls ~engine =
+  match engine with
+  | Sim -> mark_sim_survivor t ~cls
+  | e -> Analysis.Steer.Cost.note_exhausted t.cost ~cls ~engine:(steer_engine e)
+
+(* Proving-engine choice (sim aside): static cone/level thresholds give
+   the default — the caller's engine preference biases the thresholds
+   (a SAT-preferring run still sends small shallow cones to BDD, just
+   fewer of them) — then the cost model overrides once it has data, and
+   bans always win.  SAT is never banned, so the fallback path
+   terminates there. *)
+let route_prove t ~cls ~cone ~level =
+  let cone_limit, level_limit =
+    if t.cfg.prefer = Sat then
+      (t.cfg.bdd_cone_limit / 4, t.cfg.bdd_level_limit / 2)
+    else (t.cfg.bdd_cone_limit, t.cfg.bdd_level_limit)
+  in
+  let static_default =
+    if cone <= cone_limit && level <= level_limit then Analysis.Steer.Bdd
+    else Analysis.Steer.Sat
+  in
+  match Analysis.Steer.Cost.prefer t.cost ~cls ~default:static_default with
+  | Some Analysis.Steer.Bdd -> Bdd
+  | Some Analysis.Steer.Sat | None -> Sat
+
+(* Full routing rule, exposed for tests: simulation first while the class
+   has never survived a screen and certified states exist; then the
+   proving engines. *)
+let route t ~cls ~cone ~level =
+  if t.hist_len > 0 && not (sim_survivor t ~cls) then Sim
+  else route_prove t ~cls ~cone ~level
+
+let route_obligation t ob =
+  let cls = ob.Specreduce.ob_class in
+  route_prove t ~cls
+    ~cone:(Support.cone_size t.support ob.Specreduce.ob_rep)
+    ~level:
+      (max
+         t.levels.(ob.Specreduce.ob_rep)
+         t.levels.(ob.Specreduce.ob_member))
+
+(* ------------------------------------------------------------------ *)
+(* Pattern replay into the shared pool                                *)
+
+let add_pattern t partition ~splits ~latch ~pi =
+  if Simpool.is_full t.pool then splits := !splits + Simpool.flush t.pool partition;
+  Simpool.add t.pool ~pi:(fun i -> pi.(i)) ~latch:(fun i -> latch.(i))
+
+(* SAT/BDD counterexamples: [xs] holds one row of input values per
+   encoded frame, and the valuation satisfies Q on the original product
+   at every frame but the last (SAT models by the assumed Q-hat — the
+   frame-local exactness lemma in specreduce.ml — BDD models by the
+   explicit vetting, with only two frames).  Each such frame's successor
+   under the ORIGINAL transition function is therefore a certified
+   state; the pool pattern is the last one together with the free
+   last-frame inputs. *)
+let replay_cex t partition ~splits ~s ~xs =
+  let frames = Array.length xs in
+  let state = ref s in
+  for i = 0 to frames - 2 do
+    state := Specreduce.step_original t.product ~pi:xs.(i) ~latch:!state
+  done;
+  add_pattern t partition ~splits ~latch:!state ~pi:xs.(frames - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Simulation screen: the forward walk                                *)
+
+let bit w j = Int64.equal (Int64.logand (Int64.shift_right_logical w j) 1L) 1L
+
+(* One bit-parallel pass of the original product over up to 64 lanes of
+   (certified Q-state, random inputs).  Returns the node-word array, the
+   per-lane packed states/inputs, the number of lanes, and the next-state
+   words (for extending the walk). *)
+let sim_frame t =
+  let aig = t.product.Product.aig in
+  let n_pis = Aig.num_pis aig and n_latches = Aig.num_latches aig in
+  let states = Array.of_list t.hist in
+  let lanes = 64 in
+  let latch_words =
+    Array.init n_latches (fun i ->
+        let w = ref 0L in
+        for j = 0 to lanes - 1 do
+          if states.(j mod Array.length states).(i) then
+            w := Int64.logor !w (Int64.shift_left 1L j)
+        done;
+        !w)
+  in
+  let pi_words =
+    Array.init n_pis (fun _ ->
+        Int64.logor
+          (Random.State.int64 t.rng Int64.max_int)
+          (Int64.shift_left (Random.State.int64 t.rng 2L) 63))
+  in
+  let values, next = Aig.Sim.step aig ~pi_words ~latch_words in
+  (values, pi_words, latch_words, next)
+
+(* Lanes where every multi-member class agrees, i.e. the valuation
+   satisfies Q: their successor states are certified for future walks. *)
+let q_lanes_mask partition values =
+  let mask = ref (-1L) in
+  List.iter
+    (fun cls ->
+      match Partition.members partition cls with
+      | [] | [ _ ] -> ()
+      | rep :: rest ->
+        let w = Aig.Sim.lit_word values (Partition.norm_lit partition rep) in
+        List.iter
+          (fun m ->
+            let d =
+              Int64.logxor w (Aig.Sim.lit_word values (Partition.norm_lit partition m))
+            in
+            mask := Int64.logand !mask (Int64.lognot d))
+          rest)
+    (Partition.multi_member_classes partition);
+  !mask
+
+let lowest_bit w =
+  let rec go j = if j >= 64 then None else if bit w j then Some j else go (j + 1) in
+  go 0
+
+(* Screen every live obligation against one simulation frame.  Refuted
+   obligations are counted per class; each distinct witnessing lane is
+   replayed once.  Certified successor states extend the walk history. *)
+let sim_screen t partition obligations ~splits =
+  poll t;
+  let values, pi_words, latch_words, next = sim_frame t in
+  let refuted_lanes = Hashtbl.create 8 in
+  let surviving = ref [] in
+  let n_refuted = ref 0 in
+  Array.iter
+    (fun ob ->
+      let dm = Aig.Sim.lit_word values (Partition.norm_lit partition ob.Specreduce.ob_member)
+      and dr = Aig.Sim.lit_word values (Partition.norm_lit partition ob.Specreduce.ob_rep) in
+      match lowest_bit (Int64.logxor dm dr) with
+      | Some j ->
+        incr n_refuted;
+        t.by_sim <- t.by_sim + 1;
+        Hashtbl.replace refuted_lanes j ()
+      | None ->
+        mark_sim_survivor t ~cls:ob.Specreduce.ob_class;
+        surviving := ob :: !surviving)
+    obligations;
+  Hashtbl.iter
+    (fun j () ->
+      let latch = Array.map (fun w -> bit w j) latch_words in
+      let pi = Array.map (fun w -> bit w j) pi_words in
+      add_pattern t partition ~splits ~latch ~pi)
+    refuted_lanes;
+  (* extend the walk with certified successors *)
+  let qmask = q_lanes_mask partition values in
+  (match lowest_bit qmask with
+  | None -> ()
+  | Some j ->
+    let s2 = Array.map (fun w -> bit w j) next in
+    t.hist <- s2 :: t.hist;
+    t.hist_len <- t.hist_len + 1;
+    if t.hist_len > hist_cap then begin
+      t.hist <- List.filteri (fun i _ -> i < hist_cap) t.hist;
+      t.hist_len <- hist_cap
+    end);
+  (!n_refuted, List.rev !surviving)
+
+(* ------------------------------------------------------------------ *)
+(* BDD route                                                          *)
+
+exception Bdd_blowup
+
+(* Per-round BDD state: frame-1 node functions over (state, input)
+   variables, next-state functions, and frame-2 node functions over the
+   fresh-input variables composed with the next-state functions — the
+   same lazy construction as the BDD sweep engine, on the reduced
+   circuit. *)
+type bdd_round = {
+  br_man : Bdd.manager;
+  br_cur : Bdd.t option array;
+  br_nxt : Bdd.t option array;
+  br_delta : Bdd.t option array;
+  mutable br_dead : bool;
+}
+
+let bdd_state t raig =
+  let n_latches = Aig.num_latches raig in
+  let man = Bdd.create () in
+  Bdd.set_node_limit man (2 * t.cfg.bdd_node_limit);
+  {
+    br_man = man;
+    br_cur = Array.make (Aig.num_nodes raig) None;
+    br_nxt = Array.make (Aig.num_nodes raig) None;
+    br_delta = Array.make n_latches None;
+    br_dead = false;
+  }
+
+let bdd_check_limit t man =
+  let live = Bdd.live_nodes man in
+  if live > t.peak_nodes then t.peak_nodes <- live;
+  if live > t.cfg.bdd_node_limit then raise Bdd_blowup
+
+let bdd_build t br raig =
+  let n_latches = Aig.num_latches raig and n_pis = Aig.num_pis raig in
+  let man = br.br_man in
+  let rec cur id =
+    match br.br_cur.(id) with
+    | Some b -> b
+    | None ->
+      let b =
+        match Aig.node raig id with
+        | Aig.Const -> Bdd.zero
+        | Aig.Pi i -> Bdd.var man (n_latches + i)
+        | Aig.Latch i -> Bdd.var man t.latch_pos.(i)
+        | Aig.And (a, b) ->
+          bdd_check_limit t man;
+          Bdd.mk_and man (cur_lit a) (cur_lit b)
+      in
+      br.br_cur.(id) <- Some b;
+      b
+  and cur_lit l =
+    let b = cur (Aig.node_of_lit l) in
+    if l land 1 = 1 then Bdd.mk_not man b else b
+  in
+  let delta i =
+    match br.br_delta.(i) with
+    | Some b -> b
+    | None ->
+      let b = cur_lit (Aig.latch_next raig i) in
+      br.br_delta.(i) <- Some b;
+      b
+  in
+  let rec nxt id =
+    match br.br_nxt.(id) with
+    | Some b -> b
+    | None ->
+      let b =
+        match Aig.node raig id with
+        | Aig.Const -> Bdd.zero
+        | Aig.Pi i -> Bdd.var man (n_latches + n_pis + i)
+        | Aig.Latch i -> delta i
+        | Aig.And (a, b) ->
+          bdd_check_limit t man;
+          Bdd.mk_and man (nxt_lit a) (nxt_lit b)
+      in
+      br.br_nxt.(id) <- Some b;
+      b
+  and nxt_lit l =
+    let b = nxt (Aig.node_of_lit l) in
+    if l land 1 = 1 then Bdd.mk_not man b else b
+  in
+  nxt_lit
+
+type bdd_result =
+  | Bdd_discharged
+  | Bdd_maybe of bool array * bool array * bool array  (* unvetted (s, x1, x2) *)
+  | Bdd_out  (* node budget blown *)
+
+let bdd_solve t br raig ob =
+  poll t;
+  t.bdd_checks <- t.bdd_checks + 1;
+  let n_latches = Aig.num_latches raig and n_pis = Aig.num_pis raig in
+  try
+    let nxt_lit = bdd_build t br raig in
+    let diff =
+      Bdd.mk_xor br.br_man
+        (nxt_lit ob.Specreduce.ob_mem_lit)
+        (nxt_lit ob.Specreduce.ob_rep_lit)
+    in
+    bdd_check_limit t br.br_man;
+    if Bdd.is_false diff then Bdd_discharged
+    else
+      match Bdd.any_sat diff with
+      | None -> Bdd_discharged
+      | Some assignment ->
+        let s = Array.make n_latches false in
+        let x1 = Array.make n_pis false and x2 = Array.make n_pis false in
+        let pos_to_latch = Array.make n_latches 0 in
+        Array.iteri (fun i p -> pos_to_latch.(p) <- i) t.latch_pos;
+        List.iter
+          (fun (v, b) ->
+            if v < n_latches then s.(pos_to_latch.(v)) <- b
+            else if v < n_latches + n_pis then x1.(v - n_latches) <- b
+            else x2.(v - n_latches - n_pis) <- b)
+          assignment;
+        Bdd_maybe (s, x1, x2)
+  with Bdd_blowup | Bdd.Limit_exceeded ->
+    br.br_dead <- true;
+    Bdd_out
+
+(* ------------------------------------------------------------------ *)
+(* SAT route: persistent per-lane solvers                             *)
+
+let ensure_round t lane =
+  match t.round with
+  | None -> invalid_arg "Dispatch: no active round"
+  | Some rd ->
+    if lane.l_round <> rd.rd_id then begin
+      let solver = lane.l_solver in
+      if lane.l_act >= 0 then Sat.release solver lane.l_act;
+      let raig = rd.rd_sr.Specreduce.raig in
+      let n_pis = Aig.num_pis raig and n_latches = Aig.num_latches raig in
+      let act = Sat.new_var solver in
+      let k = max 1 t.cfg.unroll in
+      let s = Array.init n_latches (fun _ -> Sat.new_var solver) in
+      let x1 = Array.init n_pis (fun _ -> Sat.new_var solver) in
+      let enc1 =
+        Aig.Cnf.encode ~act solver raig
+          ~pi_var:(fun i -> x1.(i))
+          ~latch_var:(fun i -> s.(i))
+      in
+      (* frames 2..k+1: each frame's state variables are tied to the
+         next-state functions of the previous frame; the Q-hat
+         assumptions hold at frames 1..k, guarded by the round literal *)
+      let assume enc =
+        Array.iter
+          (fun ob ->
+            let a = enc ob.Specreduce.ob_mem_lit
+            and b = enc ob.Specreduce.ob_rep_lit in
+            Sat.add_clause ~act solver [ Sat.Lit.negate a; b ];
+            Sat.add_clause ~act solver [ a; Sat.Lit.negate b ])
+          rd.rd_sr.Specreduce.obligations
+      in
+      assume enc1;
+      let xs = Array.make (k + 1) x1 in
+      let rec unroll frame enc =
+        if frame > k + 1 then enc
+        else begin
+          let sf = Array.init n_latches (fun _ -> Sat.new_var solver) in
+          let xf = Array.init n_pis (fun _ -> Sat.new_var solver) in
+          xs.(frame - 1) <- xf;
+          for i = 0 to n_latches - 1 do
+            let nl = enc (Aig.latch_next raig i) in
+            let v = Sat.Lit.pos sf.(i) in
+            Sat.add_clause ~act solver [ Sat.Lit.negate v; nl ];
+            Sat.add_clause ~act solver [ v; Sat.Lit.negate nl ]
+          done;
+          let encf =
+            Aig.Cnf.encode ~act solver raig
+              ~pi_var:(fun i -> xf.(i))
+              ~latch_var:(fun i -> sf.(i))
+          in
+          if frame <= k then assume encf;
+          unroll (frame + 1) encf
+        end
+      in
+      let enck = unroll 2 enc1 in
+      lane.l_round <- rd.rd_id;
+      lane.l_act <- act;
+      lane.l_enck <- enck;
+      lane.l_s <- s;
+      lane.l_xs <- xs
+    end
+
+type sat_result =
+  | Sat_discharged of float
+  | Sat_refuted of bool array * bool array array * float  (* (s, per-frame inputs) *)
+
+let sat_solve t lane ob =
+  poll t;
+  t.check_budget ();
+  ensure_round t lane;
+  let solver = lane.l_solver in
+  let start = Clock.now () in
+  let d = Sat.new_var solver in
+  let a2 = lane.l_enck ob.Specreduce.ob_mem_lit
+  and b2 = lane.l_enck ob.Specreduce.ob_rep_lit in
+  (* d -> (a2 XOR b2): the obligation fails at the last frame *)
+  Sat.add_clause ~act:d solver [ a2; b2 ];
+  Sat.add_clause ~act:d solver [ Sat.Lit.negate a2; Sat.Lit.negate b2 ];
+  let result =
+    match Sat.solve solver ~assumptions:[ Sat.Lit.pos lane.l_act; Sat.Lit.pos d ] with
+    | Sat.Unsat -> Sat_discharged (Clock.since start)
+    | Sat.Sat ->
+      let read = Array.map (fun v -> Sat.value solver v) in
+      Sat_refuted (read lane.l_s, Array.map read lane.l_xs, Clock.since start)
+  in
+  Sat.release solver d;
+  result
+
+(* ------------------------------------------------------------------ *)
+(* The per-round discharge driver                                     *)
+
+(* Discharge every obligation of [sr] against [partition], replaying
+   counterexamples through the shared pool.  Returns (refuted, splits):
+   the number of failed assumptions and the number of classes the
+   replayed patterns created.  The caller rebuilds the reduction while
+   [refuted > 0]. *)
+let discharge t partition sr =
+  t.round_ctr <- t.round_ctr + 1;
+  t.round <- Some { rd_id = t.round_ctr; rd_sr = sr };
+  t.rounds <- t.rounds + 1;
+  let splits = ref 0 in
+  let refuted = ref 0 in
+  (* 1. simulation screen: refute what one frame of certified patterns
+     can, sort the survivors to the proving engines *)
+  let n_sim, surviving = sim_screen t partition sr.Specreduce.obligations ~splits in
+  refuted := !refuted + n_sim;
+  let bdd_obs, sat_obs =
+    List.partition (fun ob -> route_obligation t ob = Bdd) surviving
+  in
+  (* 2. BDD screen (coordinator-serial): unconstrained validity on the
+     reduced circuit; counterexamples must pass the Q check on the
+     original product before they refute, otherwise the obligation
+     escalates to SAT *)
+  let sat_obs = ref sat_obs in
+  let br = lazy (bdd_state t sr.Specreduce.raig) in
+  List.iter
+    (fun ob ->
+      if Specreduce.obligation_live partition ob then begin
+        let br = Lazy.force br in
+        if br.br_dead then sat_obs := ob :: !sat_obs
+        else begin
+          let start = Clock.now () in
+          match bdd_solve t br sr.Specreduce.raig ob with
+          | Bdd_discharged ->
+            t.by_bdd <- t.by_bdd + 1;
+            observe t ~cls:ob.Specreduce.ob_class ~engine:Bdd (Clock.since start)
+          | Bdd_maybe (s, x1, x2) ->
+            observe t ~cls:ob.Specreduce.ob_class ~engine:Bdd (Clock.since start);
+            if Specreduce.q_holds t.product partition ~pi:x1 ~latch:s then begin
+              t.by_bdd <- t.by_bdd + 1;
+              incr refuted;
+              replay_cex t partition ~splits ~s ~xs:[| x1; x2 |]
+            end
+            else sat_obs := ob :: !sat_obs
+          | Bdd_out ->
+            ban t ~cls:ob.Specreduce.ob_class ~engine:Bdd;
+            sat_obs := ob :: !sat_obs
+        end
+      end)
+    bdd_obs;
+  (* 3. SAT (parallel over the persistent lanes): exact discharge under
+     the Q-hat assumptions.  The partition is only read here on the
+     coordinator — staleness is filtered before the batch, and no flush
+     happens during it. *)
+  let sat_obs =
+    Array.of_list
+      (List.filter (Specreduce.obligation_live partition) (List.rev !sat_obs))
+  in
+  let results = Parsweep.map t.sched ~f:(fun lane ob -> sat_solve t lane ob) sat_obs in
+  Array.iteri
+    (fun i result ->
+      let ob = sat_obs.(i) in
+      t.sat_solves <- t.sat_solves + 1;
+      t.by_sat <- t.by_sat + 1;
+      match result with
+      | Sat_discharged dt -> observe t ~cls:ob.Specreduce.ob_class ~engine:Sat dt
+      | Sat_refuted (s, xs, dt) ->
+        observe t ~cls:ob.Specreduce.ob_class ~engine:Sat dt;
+        incr refuted;
+        replay_cex t partition ~splits ~s ~xs)
+    results;
+  (* 4. flush whatever the round buffered *)
+  if Simpool.lanes t.pool > 0 then splits := !splits + Simpool.flush t.pool partition;
+  t.refuted <- t.refuted + !refuted;
+  (!refuted, !splits)
+
+(* ------------------------------------------------------------------ *)
+
+let counters t =
+  let solvers = List.map (fun l -> l.l_solver) (Parsweep.initialized_states t.sched) in
+  let sum f = List.fold_left (fun acc s -> acc + f s) 0 solvers in
+  {
+    c_rounds = t.rounds;
+    c_sat_solves = t.sat_solves;
+    c_conflicts = sum Sat.num_conflicts;
+    c_propagations = sum Sat.num_propagations;
+    c_restarts = sum Sat.num_restarts;
+    c_vars = sum Sat.num_vars;
+    c_bdd_checks = t.bdd_checks;
+    c_peak_nodes = t.peak_nodes;
+    c_by_sim = t.by_sim;
+    c_by_bdd = t.by_bdd;
+    c_by_sat = t.by_sat;
+    c_refuted = t.refuted;
+  }
+
+let shutdown t = Parsweep.shutdown t.sched

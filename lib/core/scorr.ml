@@ -9,6 +9,8 @@ module Simpool = Simpool
 module Support = Support
 module Simseed = Simseed
 module Ternseed = Ternseed
+module Specreduce = Specreduce
+module Dispatch = Dispatch
 module Engine_bdd = Engine_bdd
 module Engine_sat = Engine_sat
 module Retime_aug = Retime_aug

@@ -278,6 +278,127 @@ module Ternseed : sig
   (** Product-machine latches (by index) provably stuck at a constant. *)
 end
 
+(** Speculative reduction (ABC-style SRM): the product machine rebuilt
+    with every candidate class merged onto its representative, one
+    assumption obligation per merge that structural hashing did not
+    discharge outright.  Exactness argument in specreduce.ml. *)
+module Specreduce : sig
+  type obligation = {
+    ob_class : int;  (** partition class id at build time *)
+    ob_member : int;  (** original product node merged away *)
+    ob_rep : int;  (** its class representative (original node) *)
+    ob_mem_lit : int;  (** reduced literal: the member's own function *)
+    ob_rep_lit : int;  (** reduced literal: what fanouts read instead *)
+  }
+
+  type t = {
+    raig : Aig.t;  (** the speculatively reduced product (never cleaned up) *)
+    map : int array;  (** original node id -> reduced literal of its positive literal *)
+    partition_version : int;
+    obligations : obligation array;  (** strashing survivors, ascending member id *)
+    n_merges : int;  (** members merged onto representatives *)
+    n_trivial : int;  (** merges discharged structurally *)
+    strash_rewrites : int;  (** two-level identities fired during rebuild *)
+  }
+
+  val build : Product.t -> Partition.t -> t
+  val tr : t -> int -> int
+  (** Reduced image of an original-product literal. *)
+
+  val obligation_live : Partition.t -> obligation -> bool
+  (** Has the obligation's pair survived the refinements since build? *)
+
+  val q_holds : Product.t -> Partition.t -> pi:bool array -> latch:bool array -> bool
+  (** Does the full candidate relation Q hold on the ORIGINAL product at
+      this valuation?  The vetting gate for counterexamples obtained
+      without the Q-hat assumptions. *)
+
+  val step_original : Product.t -> pi:bool array -> latch:bool array -> bool array
+  (** Successor state under the ORIGINAL transition function — the only
+      way counterexample states may enter the pattern pool. *)
+end
+
+(** Per-class hybrid engine dispatcher for discharging speculation
+    obligations: simulation screen, BDD validity route, and persistent
+    per-lane incremental SAT, steered by cone/level thresholds and the
+    online {!Analysis.Steer.Cost} model. *)
+module Dispatch : sig
+  exception Budget_exceeded of string
+
+  type engine = Sim | Bdd | Sat
+
+  val engine_name : engine -> string
+
+  type config = {
+    prefer : engine;  (** the caller's engine bias: the tie-break default *)
+    bdd_cone_limit : int;  (** static routing threshold on cone size *)
+    bdd_level_limit : int;  (** static routing threshold on level depth *)
+    bdd_node_limit : int;  (** per-round BDD manager budget *)
+    unroll : int;
+        (** induction depth k of the SAT route (>= 1): Q-hat is assumed
+            at frames 1..k and obligations are checked at frame k+1 *)
+    jobs : int;  (** Parsweep lanes carrying the persistent SAT solvers *)
+    seed : int;
+  }
+
+  val default_config : prefer:engine -> config
+
+  type counters = {
+    c_rounds : int;
+    c_sat_solves : int;
+    c_conflicts : int;
+    c_propagations : int;
+    c_restarts : int;
+    c_vars : int;  (** SAT variables created, summed over the lane solvers *)
+    c_bdd_checks : int;
+    c_peak_nodes : int;
+    c_by_sim : int;  (** obligations settled by each engine *)
+    c_by_bdd : int;
+    c_by_sat : int;
+    c_refuted : int;
+  }
+
+  type t
+
+  val create :
+    ?config:config ->
+    ?latch_order:int array ->
+    ?check_budget:(unit -> unit) ->
+    product:Product.t ->
+    pool:Simpool.t ->
+    deadline:Deadline.t ->
+    unit ->
+    t
+  (** [check_budget] is called before every solver-backed discharge (from
+      whatever lane runs it) and may raise to abort the round;
+      [latch_order] seeds the BDD variable order (default: latch index). *)
+
+  val route : t -> cls:int -> cone:int -> level:int -> engine
+  (** The routing rule: simulation first while certified walk states
+      exist and the class never survived a screen; then the proving
+      engines by cost-model preference, static cone/level thresholds and
+      exhaustion bans (SAT is never banned — the fallback terminus). *)
+
+  val observe : t -> cls:int -> engine:engine -> float -> unit
+  (** Feed one solve time into the cost model (ignored for [Sim]). *)
+
+  val ban : t -> cls:int -> engine:engine -> unit
+  (** Exhaustion: never route this class to this engine again ([Sim]
+      marks the class a sim-survivor instead). *)
+
+  val mark_sim_survivor : t -> cls:int -> unit
+  val sim_survivor : t -> cls:int -> bool
+
+  val discharge : t -> Partition.t -> Specreduce.t -> int * int
+  (** Discharge every obligation, replaying counterexamples through the
+      shared pool: [(refuted, splits)].  The caller rebuilds the
+      reduction while [refuted > 0]; [refuted > 0] with [splits = 0]
+      signals a broken replay invariant and demands a fallback. *)
+
+  val counters : t -> counters
+  val shutdown : t -> unit
+end
+
 (** BDD refinement engine (the paper's own implementation style). *)
 module Engine_bdd : sig
   exception Budget_exceeded of string
@@ -615,6 +736,17 @@ module Verify : sig
             obligation into a throwaway solver, the A/B baseline.  The
             fixed point and verdict are identical either way
             (property-tested).  The BDD engine ignores it. *)
+    use_speculation : bool;
+        (** Speculative reduction (default false, overridable via the
+            SEQVER_SPECULATE environment variable): merge every candidate
+            class onto its representative ({!Specreduce}), discharge one
+            assumption obligation per surviving merge on the REDUCED
+            product through the per-class hybrid dispatcher
+            ({!Dispatch}), and rebuild on refutation.  Exact
+            counterexample replay makes the fixed point, verdict and
+            final partition identical to the plain sweeps
+            (property-tested).  Drives depth-1 induction only;
+            [sat_unroll > 1] falls back to the plain loop. *)
     use_analysis : bool;
         (** Static-analysis steering (default false): the engines run the
             zero-cost PI-support prefilter before every pass, the BDD
@@ -685,6 +817,19 @@ module Verify : sig
     cache_hits : int;  (** classes skipped by the stability (UNSAT) cache *)
     static_splits : int;
         (** classes split by the PI-support prefilter at zero solver cost *)
+    spec_rounds : int;
+        (** speculative reductions built; 0 when speculation was off or
+            never engaged (deep induction, immediate convergence) *)
+    spec_merges : int;
+        (** candidate members merged onto representatives, summed over
+            the speculation rounds *)
+    refuted_assumptions : int;
+        (** speculation obligations refuted by a discharge engine — each
+            fed the pool and refined the partition *)
+    spec_by_sim : int;
+        (** obligations settled by the dispatcher's simulation screen *)
+    spec_by_bdd : int;  (** … by the BDD route *)
+    spec_by_sat : int;  (** … by the incremental-SAT route *)
     domains : int;  (** worker lanes of the sweep scheduler *)
     lane_solves : int list;  (** sweep tasks completed per lane *)
     steals : int;  (** tasks claimed from another lane's segment *)
@@ -733,11 +878,21 @@ module Verify : sig
       [levels], when given (per-node combinational depths of the product),
       sorts each cone's latches by the depth of their next-state logic. *)
 
+  val prereduces : options -> bool
+  (** Will this run verify the FRAIG-reduced pair instead of the circuits
+      as given?  True when speculation and the analysis layer are both on
+      for a non-resumed run: both sides are pre-reduced once
+      (semantics-preserving, so verdicts and witness traces carry back to
+      the originals), the transform the portfolio applies.  Certificate
+      emitters must record it so checking can replay the reduction. *)
+
   val run_with_relation :
     ?options:options -> Aig.t -> Aig.t -> verdict * Product.t * Partition.t option
   (** Like {!run}, also returning the product machine and (when a fixed
       point was computed) the final correspondence relation — the
-      checker's certificate. *)
+      checker's certificate.  When [prereduces options] holds, the product
+      and relation are over the FRAIG-reduced pair, not the circuits as
+      given. *)
 
   val pp_relation : Format.formatter -> Product.t * Partition.t -> unit
   (** Print the multi-member classes of a relation with side/kind tags. *)

@@ -1,0 +1,158 @@
+(* Speculative reduction (ABC-style SRM over the product machine).
+
+   Assume every candidate equivalence of the current partition at once:
+   rebuild the product with each non-representative class member REPLACED
+   by (the polarity-adjusted image of) its representative, so every
+   fanout reads the representative's signal.  Each merge carries one
+   assumption obligation — "the member's own function still equals the
+   representative's signal in the reduced machine" — and the one-frame
+   induction step Eq.(3) is discharged on this reduced machine instead of
+   the full product.  Structural hashing plus the two-level rewrite rules
+   ([Analysis.Reduce.smart_and]) collapse most member functions onto
+   their representative outright (the FRAIG effect): those obligations
+   are structurally true and never reach a solver, which is where the
+   speedup comes from.
+
+   Soundness / exactness.  Write Q for the conjunction of the partition's
+   candidate equivalences over the ORIGINAL product and Q-hat for the
+   conjunction of the (non-trivial) obligations over the reduced machine.
+   By induction over the topological order, any frame-1 valuation of
+   (inputs, latches) satisfying Q-hat makes every reduced node equal to
+   its original counterpart — a merged fanin read is exactly the equality
+   Q grants — so at such valuations the reduced transition function, the
+   reduced obligations at frame 2, and the original Eq.(3) instances all
+   coincide with their original-product counterparts.  Hence discharging
+   "Q-hat at frame 1 implies each obligation at frame 2" on the reduced
+   machine proves exactly Eq.(3) for the partition, and any counterexample
+   model yields a genuine Eq.(3) witness of the original product (replayed
+   through [Simpool] after re-simulating the ORIGINAL transition function
+   — never the speculative one).  The fixed point reached by
+   refine-on-refutation is therefore the same greatest fixed point the
+   plain per-class sweeps compute.
+
+   The reduced AIG deliberately skips [Aig.cleanup]: obligation literals
+   must stay valid node references even when the merge makes them dead. *)
+
+type obligation = {
+  ob_class : int;  (* partition class id at build time *)
+  ob_member : int;  (* original product node merged away *)
+  ob_rep : int;  (* its class representative (original node) *)
+  ob_mem_lit : int;  (* reduced literal: the member's own function *)
+  ob_rep_lit : int;  (* reduced literal: what fanouts read instead *)
+}
+
+type t = {
+  raig : Aig.t;  (* the speculatively reduced product *)
+  map : int array;  (* original node id -> reduced literal of its positive literal *)
+  partition_version : int;
+  obligations : obligation array;  (* the strashing survivors, ascending member id *)
+  n_merges : int;  (* members merged onto representatives *)
+  n_trivial : int;  (* merges discharged structurally *)
+  strash_rewrites : int;  (* two-level identities fired during rebuild *)
+}
+
+(* Reduced image of an original literal. *)
+let tr t l = t.map.(Aig.node_of_lit l) lxor (l land 1)
+
+let build product partition =
+  let aig = product.Product.aig in
+  let n = Aig.num_nodes aig in
+  (* member node -> representative node, for every merge candidate *)
+  let rep_tbl = Hashtbl.create 256 in
+  List.iter
+    (fun (rep, mem) -> Hashtbl.replace rep_tbl mem rep)
+    (Partition.constraint_pairs partition);
+  let raig = Aig.create () in
+  let pi_lits = Array.init (Aig.num_pis aig) (fun _ -> Aig.add_pi raig) in
+  let latch_lits =
+    Array.init (Aig.num_latches aig) (fun i -> Aig.add_latch raig ~init:(Aig.latch_init aig i))
+  in
+  let map = Array.make (max n 1) 0 in
+  let tr l = map.(Aig.node_of_lit l) lxor (l land 1) in
+  let rewrites = ref 0 in
+  let obligations = ref [] in
+  let n_merges = ref 0 and n_trivial = ref 0 in
+  for id = 0 to n - 1 do
+    (* the node's own function over the (already merged) fanin images *)
+    let shadow =
+      match Aig.node aig id with
+      | Aig.Const -> 0
+      | Aig.Pi i -> pi_lits.(i)
+      | Aig.Latch i -> latch_lits.(i)
+      | Aig.And (a, b) -> Analysis.Reduce.smart_and rewrites raig (tr a) (tr b)
+    in
+    match Hashtbl.find_opt rep_tbl id with
+    | None -> map.(id) <- shadow
+    | Some rep ->
+      (* representatives are class minima, so [map.(rep)] is already set *)
+      incr n_merges;
+      let pol_diff = Partition.polarity partition id <> Partition.polarity partition rep in
+      let rep_img = map.(rep) lxor (if pol_diff then 1 else 0) in
+      map.(id) <- rep_img;
+      if shadow = rep_img then incr n_trivial
+      else
+        obligations :=
+          {
+            ob_class = Partition.class_of partition rep;
+            ob_member = id;
+            ob_rep = rep;
+            ob_mem_lit = shadow;
+            ob_rep_lit = rep_img;
+          }
+          :: !obligations
+  done;
+  List.iteri
+    (fun i lit -> Aig.set_latch_next raig lit ~next:(tr (Aig.latch_next aig i)))
+    (Array.to_list latch_lits);
+  List.iter (fun (name, l) -> Aig.add_po raig name (tr l)) (Aig.pos aig);
+  {
+    raig;
+    map;
+    partition_version = Partition.version partition;
+    obligations = Array.of_list (List.rev !obligations);
+    n_merges = !n_merges;
+    n_trivial = !n_trivial;
+    strash_rewrites = !rewrites;
+  }
+
+(* Is an obligation still live?  Mid-round Simpool flushes refine the
+   partition; an obligation whose pair has already been separated (or
+   re-polarized) needs no solver time. *)
+let obligation_live partition ob =
+  Partition.lits_equal partition
+    (Partition.norm_lit partition ob.ob_member)
+    (Partition.norm_lit partition ob.ob_rep)
+
+let broadcast b = if b then -1L else 0L
+
+(* Does the full candidate relation Q of [partition] hold on the ORIGINAL
+   product at the given frame-1 valuation?  Used to vet counterexamples
+   found without the Q-hat assumptions (the BDD screen) before their
+   successor state is replayed into the pool, and to certify simulation
+   states as Q-reachable. *)
+let q_holds product partition ~pi ~latch =
+  let aig = product.Product.aig in
+  let pi_words = Array.map broadcast pi in
+  let latch_words = Array.map broadcast latch in
+  let values = Aig.Sim.eval_comb aig ~pi_words ~latch_words in
+  List.for_all
+    (fun cls ->
+      match Partition.members partition cls with
+      | [] | [ _ ] -> true
+      | rep :: rest ->
+        let v = Aig.Sim.lit_word values (Partition.norm_lit partition rep) in
+        List.for_all
+          (fun m -> Aig.Sim.lit_word values (Partition.norm_lit partition m) = v)
+          rest)
+    (Partition.multi_member_classes partition)
+
+(* Original-product successor state of a frame-1 valuation: the exact
+   replay rule.  Counterexample states always step through the ORIGINAL
+   transition function — stepping the speculative one would justify
+   splits with states the real machine cannot reach under Q. *)
+let step_original product ~pi ~latch =
+  let aig = product.Product.aig in
+  let pi_words = Array.map broadcast pi in
+  let latch_words = Array.map broadcast latch in
+  let _, next = Aig.Sim.step aig ~pi_words ~latch_words in
+  Array.map (fun w -> Int64.equal (Int64.logand w 1L) 1L) next

@@ -42,6 +42,14 @@ type options = {
          activation-released staging, failed-core pruning and cross-lane
          clause sharing; [false] re-encodes every obligation into a
          throwaway solver (the A/B baseline).  BDD engine: ignored. *)
+  use_speculation : bool;
+      (* speculative reduction: merge every candidate class onto its
+         representative, discharge the assumption obligations on the
+         REDUCED product through the per-class hybrid dispatcher, and
+         rebuild on refutation.  Reaches the same greatest fixed point as
+         the plain sweeps (exact counterexample replay — see
+         specreduce.ml); only drives depth-1 induction, so [sat_unroll]
+         > 1 falls back to the plain loop. *)
   use_analysis : bool;
       (* static-analysis steering: semantics-preserving pre-reduction (in
          {!portfolio}, when not resuming), the zero-cost PI-support
@@ -82,6 +90,13 @@ let default_jobs () =
   | Some s -> ( match int_of_string_opt (String.trim s) with Some n when n >= 1 -> n | _ -> 1)
   | None -> 1
 
+(* SEQVER_SPECULATE pushes whole suites through the speculation path the
+   same way — verdicts and final partitions are unchanged by design. *)
+let default_speculation () =
+  match Sys.getenv_opt "SEQVER_SPECULATE" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
 let default_options =
   {
     engine = Bdd_engine;
@@ -92,6 +107,7 @@ let default_options =
     use_ternary_seed = true;
     use_batched_sweeps = true;
     use_incremental = true;
+    use_speculation = default_speculation ();
     use_analysis = false;
     use_fundep = true;
     use_retime = true;
@@ -126,6 +142,20 @@ let candidates_string options =
 let effective_induction options =
   match options.engine with Bdd_engine -> 1 | Sat_engine -> max 1 options.sat_unroll
 
+(* Does this run verify the FRAIG-reduced pair instead of the circuits as
+   given?  Speculation combined with the analysis layer pre-reduces both
+   sides once (semantics-preserving: PIs and POs are preserved exactly,
+   so verdicts and witness traces carry back to the originals verbatim) —
+   the same transform the portfolio applies, which is what lets a single
+   engine configuration close pairs whose unreduced product has spurious
+   unreachable-state counterexamples (dead latches widen the induction
+   hypothesis space).  Skipped when resuming: checkpoint fingerprints
+   bind to the circuits as given.  Certificates emitted from such a run
+   record the reduction (see Cert.Certificate), so they still check
+   against the original circuit files. *)
+let prereduces options =
+  options.use_speculation && options.use_analysis && options.resume = None
+
 (* Rung label for progress streaming and portfolio displays. *)
 let rung_label options =
   match options.engine with
@@ -144,6 +174,12 @@ type stats = {
   batched_solves : int; (* one-per-class disjunctive solves / key scans *)
   cache_hits : int; (* classes skipped by the stability (UNSAT) cache *)
   static_splits : int; (* classes split by the PI-support prefilter, no solver *)
+  spec_rounds : int; (* speculative reductions built (0 = speculation off/unused) *)
+  spec_merges : int; (* candidate members merged onto representatives, all rounds *)
+  refuted_assumptions : int; (* speculation obligations a discharge refuted *)
+  spec_by_sim : int; (* obligations settled by each dispatcher engine *)
+  spec_by_bdd : int;
+  spec_by_sat : int;
   domains : int; (* worker lanes of the sweep scheduler *)
   lane_solves : int list; (* sweep tasks completed per lane *)
   steals : int; (* tasks claimed from another lane's segment *)
@@ -182,6 +218,9 @@ let verdict_stats = function
 type engine_ops = {
   refine_initial : Partition.t -> unit;
   refine_once : Partition.t -> bool;
+  pool : Simpool.t;
+      (* the engine's counterexample pool, shared with the speculation
+         dispatcher so its replayed patterns flow through one buffer *)
   peak_bdd : unit -> int;
   n_sat_calls : unit -> int;
   sweep_counters : unit -> int * int * int * int * int;
@@ -350,6 +389,7 @@ let make_engine (options : options) deadline product pol =
     {
       refine_initial = wrap (Engine_bdd.refine_initial ctx);
       refine_once = (fun p -> wrap refine_once p);
+      pool = ctx.Engine_bdd.pool;
       peak_bdd = (fun () -> ctx.Engine_bdd.peak_nodes);
       n_sat_calls = (fun () -> 0);
       sweep_counters =
@@ -390,6 +430,7 @@ let make_engine (options : options) deadline product pol =
     {
       refine_initial = wrap refine_initial;
       refine_once = (fun p -> wrap refine_once p);
+      pool = ctx.Engine_sat.pool;
       peak_bdd = (fun () -> 0);
       n_sat_calls = (fun () -> Atomic.get ctx.Engine_sat.sat_calls);
       sweep_counters =
@@ -599,6 +640,12 @@ let run_with_relation ?(options = default_options) spec impl =
     Lint.preflight_aig ~subject:"specification" spec;
     Lint.preflight_aig ~subject:"implementation" impl
   end;
+  let spec, impl =
+    if prereduces options then
+      ( fst (Analysis.Reduce.run ~seed:options.seed spec),
+        fst (Analysis.Reduce.run ~seed:options.seed impl) )
+    else (spec, impl)
+  in
   let start = Clock.now () in
   let deadline =
     let d = Deadline.make ~seconds:options.deadline_seconds in
@@ -623,6 +670,12 @@ let run_with_relation ?(options = default_options) spec impl =
   let batched_solves = ref 0 in
   let cache_hits = ref 0 in
   let static_splits = ref 0 in
+  let spec_rounds = ref 0 in
+  let spec_merges = ref 0 in
+  let refuted_assumptions = ref 0 in
+  let spec_by_sim = ref 0 in
+  let spec_by_bdd = ref 0 in
+  let spec_by_sat = ref 0 in
   let domains = ref 1 in
   let lane_solves = ref [||] in
   let steals = ref 0 in
@@ -685,6 +738,12 @@ let run_with_relation ?(options = default_options) spec impl =
       batched_solves = !batched_solves;
       cache_hits = !cache_hits;
       static_splits = !static_splits;
+      spec_rounds = !spec_rounds;
+      spec_merges = !spec_merges;
+      refuted_assumptions = !refuted_assumptions;
+      spec_by_sim = !spec_by_sim;
+      spec_by_bdd = !spec_by_bdd;
+      spec_by_sat = !spec_by_sat;
       domains = !domains;
       lane_solves = Array.to_list !lane_solves;
       steals = !steals;
@@ -871,20 +930,116 @@ let run_with_relation ?(options = default_options) spec impl =
                   if options.max_iterations > 0 && !iterations >= options.max_iterations
                   then raise (Budget "iterations")
                 in
+                (* Speculative fixed point: merge all candidates, discharge
+                   the assumption obligations on the reduced product via the
+                   per-class dispatcher, refine and rebuild on refutation.
+                   Returns true when it converged (no obligation refuted —
+                   the partition is Eq.(3)-stable at the configured
+                   induction depth, and exact replay makes it THE greatest
+                   fixed point, so the plain loop is skipped); false falls
+                   back to the plain per-class sweeps.  The SAT route
+                   unrolls to [effective_induction] frames of Q-hat
+                   assumptions, matching what the plain sweep would
+                   assume, so the fixed points coincide at every k. *)
+                let speculative_fixpoint partition =
+                  (* start from the sharpest partition: replay whatever the
+                     seeding phases or a resume buffered in the pool *)
+                  if Simpool.lanes engine.pool > 0 then
+                    ignore (Simpool.flush engine.pool partition);
+                  let prefer =
+                    match options.engine with
+                    | Bdd_engine -> Dispatch.Bdd
+                    | Sat_engine -> Dispatch.Sat
+                  in
+                  let config =
+                    {
+                      (Dispatch.default_config ~prefer) with
+                      Dispatch.bdd_node_limit = options.node_limit;
+                      unroll = effective_induction options;
+                      jobs = options.jobs;
+                      seed = options.seed;
+                    }
+                  in
+                  let spec_calls = Atomic.make 0 in
+                  let check_budget () =
+                    let used = Atomic.fetch_and_add spec_calls 1 in
+                    if
+                      options.max_sat_calls > 0
+                      && engine.n_sat_calls () + used >= options.max_sat_calls
+                    then raise (Budget "sat calls")
+                  in
+                  let dispatch =
+                    Dispatch.create ~config
+                      ~latch_order:(latch_order_from_outputs product)
+                      ~check_budget ~product ~pool:engine.pool ~deadline ()
+                  in
+                  let harvest () =
+                    let c = Dispatch.counters dispatch in
+                    sat_calls := !sat_calls + c.Dispatch.c_sat_solves;
+                    conflicts := !conflicts + c.Dispatch.c_conflicts;
+                    propagations := !propagations + c.Dispatch.c_propagations;
+                    restarts := !restarts + c.Dispatch.c_restarts;
+                    encoded_vars := !encoded_vars + c.Dispatch.c_vars;
+                    peak_bdd := max !peak_bdd c.Dispatch.c_peak_nodes;
+                    spec_by_sim := !spec_by_sim + c.Dispatch.c_by_sim;
+                    spec_by_bdd := !spec_by_bdd + c.Dispatch.c_by_bdd;
+                    spec_by_sat := !spec_by_sat + c.Dispatch.c_by_sat
+                  in
+                  Fun.protect
+                    ~finally:(fun () ->
+                      harvest ();
+                      Dispatch.shutdown dispatch)
+                    (fun () ->
+                      (* every productive round splits >= 1 class, and
+                         classes are bounded by the candidate count, so
+                         this terminates; a round that refutes without
+                         splitting would violate the exact-replay
+                         invariant, and we fall back rather than spin *)
+                      let rec go () =
+                        poll ();
+                        let sr = Specreduce.build product partition in
+                        incr spec_rounds;
+                        spec_merges := !spec_merges + sr.Specreduce.n_merges;
+                        if Array.length sr.Specreduce.obligations = 0 then true
+                        else begin
+                          let refuted, splits =
+                            try Dispatch.discharge dispatch partition sr
+                            with Dispatch.Budget_exceeded why -> raise (Budget why)
+                          in
+                          refuted_assumptions := !refuted_assumptions + refuted;
+                          incr iterations;
+                          notify partition;
+                          if
+                            options.checkpoint_every > 0
+                            && !iterations mod options.checkpoint_every = 0
+                          then
+                            write_checkpoint ~round:n
+                              ~patterns:(engine.pool_patterns ())
+                              partition;
+                          if refuted = 0 then true
+                          else if splits = 0 then false
+                          else go ()
+                        end
+                      in
+                      go ())
+                in
+                let use_spec = options.use_speculation in
                 phase "fixpoint" (fun () ->
                     poll ();
-                    while engine.refine_once partition do
-                      incr iterations;
-                      notify partition;
-                      poll ();
-                      if
-                        options.checkpoint_every > 0
-                        && !iterations mod options.checkpoint_every = 0
-                      then
-                        write_checkpoint ~round:n
-                          ~patterns:(engine.pool_patterns ())
-                          partition
-                    done);
+                    let converged = use_spec && speculative_fixpoint partition in
+                    if not converged then
+                      while engine.refine_once partition do
+                        incr iterations;
+                        notify partition;
+                        poll ();
+                        if
+                          options.checkpoint_every > 0
+                          && !iterations mod options.checkpoint_every = 0
+                        then
+                          write_checkpoint ~round:n
+                            ~patterns:(engine.pool_patterns ())
+                            partition
+                      done);
                 incr iterations;
                 record_stats ();
                 if phase "outputs" (fun () -> outputs_proved options product partition) then

@@ -176,6 +176,7 @@ let scorr_options d job ~resume =
     seed = job.opts.seed;
     use_analysis = job.opts.analysis || job.opts.meth = "auto";
     use_incremental = job.opts.incremental;
+    use_speculation = job.opts.speculate;
     deadline_seconds = job.opts.deadline;
     preflight = false;  (* done at submission time *)
     jobs = 1;  (* parallelism lives at the job level here *)
@@ -201,6 +202,12 @@ let base_outcome job =
     restarts = 0;
     reused_clauses = 0;
     shared_clauses = 0;
+    spec_rounds = 0;
+    spec_merges = 0;
+    refuted_assumptions = 0;
+    spec_by_sim = 0;
+    spec_by_bdd = 0;
+    spec_by_sat = 0;
     eq_pct = 0.0;
     cert = None;
     reason = None;
@@ -217,6 +224,12 @@ let outcome_of_stats o (s : Scorr.Verify.stats) =
     restarts = s.restarts;
     reused_clauses = s.reused_clauses;
     shared_clauses = s.shared_clauses;
+    spec_rounds = s.spec_rounds;
+    spec_merges = s.spec_merges;
+    refuted_assumptions = s.refuted_assumptions;
+    spec_by_sim = s.spec_by_sim;
+    spec_by_bdd = s.spec_by_bdd;
+    spec_by_sat = s.spec_by_sat;
     eq_pct = s.eq_pct;
   }
 

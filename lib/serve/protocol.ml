@@ -21,6 +21,7 @@ type verify_opts = {
   seed : int;
   analysis : bool;
   incremental : bool;  (** persistent per-lane SAT solvers (default) *)
+  speculate : bool;  (** speculative reduction with the per-class dispatcher *)
   deadline : float;  (** per-job wall budget, seconds; 0 = none *)
 }
 
@@ -32,6 +33,7 @@ let default_opts =
     seed = 1;
     analysis = false;
     incremental = true;
+    speculate = false;
     deadline = 0.0;
   }
 
@@ -59,6 +61,12 @@ type outcome = {
   restarts : int;
   reused_clauses : int;  (** clauses live across incremental re-solves *)
   shared_clauses : int;  (** learned clauses imported across sweep lanes *)
+  spec_rounds : int;  (** speculative reduce/discharge rounds (0 = plain sweep) *)
+  spec_merges : int;  (** candidate merges across speculative rounds *)
+  refuted_assumptions : int;  (** speculation assumptions refuted by a solver *)
+  spec_by_sim : int;  (** obligations settled by the simulation screen *)
+  spec_by_bdd : int;  (** obligations settled by the BDD route *)
+  spec_by_sat : int;  (** obligations settled by the SAT route *)
   eq_pct : float;
   cert : string option;  (** on-disk certificate path, when one exists *)
   reason : string option;  (** unknown/cancel reason *)
@@ -109,6 +117,7 @@ let opts_to_json o =
       ("seed", Json.Int o.seed);
       ("analysis", Json.Bool o.analysis);
       ("incremental", Json.Bool o.incremental);
+      ("speculate", Json.Bool o.speculate);
       ("deadline", Json.Float o.deadline);
     ]
 
@@ -149,6 +158,12 @@ let outcome_to_json o =
       ("restarts", Json.Int o.restarts);
       ("reused_clauses", Json.Int o.reused_clauses);
       ("shared_clauses", Json.Int o.shared_clauses);
+      ("spec_rounds", Json.Int o.spec_rounds);
+      ("spec_merges", Json.Int o.spec_merges);
+      ("refuted_assumptions", Json.Int o.refuted_assumptions);
+      ("spec_by_sim", Json.Int o.spec_by_sim);
+      ("spec_by_bdd", Json.Int o.spec_by_bdd);
+      ("spec_by_sat", Json.Int o.spec_by_sat);
       ("eq_pct", Json.Float o.eq_pct);
       ("cert", opt_string o.cert);
       ("reason", opt_string o.reason);
@@ -239,6 +254,7 @@ let opts_of_json v =
       seed = Json.to_int ~default:d.seed (Json.member "seed" v);
       analysis = Json.to_bool ~default:d.analysis (Json.member "analysis" v);
       incremental = Json.to_bool ~default:d.incremental (Json.member "incremental" v);
+      speculate = Json.to_bool ~default:d.speculate (Json.member "speculate" v);
       deadline = Json.to_float ~default:d.deadline (Json.member "deadline" v);
     }
 
@@ -299,6 +315,12 @@ let outcome_of_json v =
     restarts = Json.to_int ~default:0 (Json.member "restarts" v);
     reused_clauses = Json.to_int ~default:0 (Json.member "reused_clauses" v);
     shared_clauses = Json.to_int ~default:0 (Json.member "shared_clauses" v);
+    spec_rounds = Json.to_int ~default:0 (Json.member "spec_rounds" v);
+    spec_merges = Json.to_int ~default:0 (Json.member "spec_merges" v);
+    refuted_assumptions = Json.to_int ~default:0 (Json.member "refuted_assumptions" v);
+    spec_by_sim = Json.to_int ~default:0 (Json.member "spec_by_sim" v);
+    spec_by_bdd = Json.to_int ~default:0 (Json.member "spec_by_bdd" v);
+    spec_by_sat = Json.to_int ~default:0 (Json.member "spec_by_sat" v);
     eq_pct = Json.to_float ~default:0.0 (Json.member "eq_pct" v);
     cert = string_opt_of_json (Json.member "cert" v);
     reason = string_opt_of_json (Json.member "reason" v);

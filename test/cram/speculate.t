@@ -1,0 +1,36 @@
+Speculative reduction: --speculate merges every candidate class onto its
+representative and discharges the assumption obligations on the reduced
+product through the per-class engine dispatcher.  The verdict and the
+relation match the plain sweep exactly; the stats block reports the
+speculation rounds and the per-engine obligation split:
+
+  $ seqver gen ctr8 -o spec.blif
+  $ seqver opt spec.blif impl.aag --recipe retime --seed 7 > /dev/null
+  $ seqver verify spec.blif impl.aag --speculate -q
+  $ seqver verify spec.blif impl.aag --speculate | grep -E 'spec rounds|spec merges|refuted assumps'
+    spec rounds:     15
+    spec merges:     1524
+    refuted assumps: 56
+
+--no-speculate forces it off (and wins over --speculate); plain runs
+print no speculation block:
+
+  $ seqver verify spec.blif impl.aag --speculate --no-speculate | grep -c 'spec rounds'
+  0
+  [1]
+
+A certificate emitted by a speculative run with the analysis layer on
+records the FRAIG pre-reduction seed and still checks against the
+ORIGINAL circuits — the checker replays the reduction, re-proving every
+merge, before rebuilding the product:
+
+  $ seqver verify spec.blif impl.aag --speculate --analysis --emit-cert cert.txt -q
+  $ grep prereduced cert.txt
+  prereduced 17
+  $ seqver check-cert cert.txt spec.blif impl.aag
+  certificate valid: 42 classes, 82 constraints (induction 1)
+
+Speculation composes with the k-inductive SAT engine — Q-hat is assumed
+over k frames and obligations are checked at frame k+1:
+
+  $ seqver verify spec.blif impl.aag -e sat -k 2 --speculate -q

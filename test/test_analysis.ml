@@ -135,7 +135,15 @@ let prop_prefilter_preserves_fixed_point =
          List.for_all
            (fun engine ->
              let opts use_analysis =
-               { Scorr.default_options with Scorr.Verify.engine; use_analysis }
+               (* speculation pinned off: with it on, the analysis arm
+                  would additionally FRAIG-reduce the pair (Verify.
+                  prereduces) and the partitions would live over
+                  different products *)
+               { Scorr.default_options with
+                 Scorr.Verify.engine;
+                 use_analysis;
+                 use_speculation = false
+               }
              in
              let v0 = Scorr.check ~options:(opts false) a a' in
              let v1 = Scorr.check ~options:(opts true) a a' in

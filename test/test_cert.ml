@@ -31,6 +31,7 @@ let gen_cert =
     oneofl [ "all"; "registers" ] >>= fun candidates ->
     int_range 1 4 >>= fun induction ->
     int_range 0 3 >>= fun retime_rounds ->
+    opt (int_range 0 99) >>= fun prereduce ->
     int_range 1 500 >>= fun product_nodes ->
     list_size (int_range 0 5) (list_size (int_range 0 4) (int_range 0 999)) >>= fun classes ->
     (* half the certificates carry a DRAT proof section, so the format
@@ -52,6 +53,7 @@ let gen_cert =
         candidates;
         induction;
         retime_rounds;
+        prereduce;
         product_nodes;
         classes;
         proof;
@@ -221,6 +223,7 @@ let handcrafted_cert spec impl classes =
       candidates = "all";
       induction = 1;
       retime_rounds = 0;
+      prereduce = None;
       product_nodes = Aig.num_nodes product.Scorr.Product.aig;
       classes;
       proof = None;

@@ -436,6 +436,50 @@ let prop_incremental_matches_fresh =
              && classes ri = classes rf)
            [ 1; 2; 4 ]))
 
+let prop_speculation_matches_plain =
+  (* speculative reduction — merge all candidates, discharge assumption
+     obligations on the reduced product through the per-class dispatcher,
+     refine on refutation — reaches the same greatest fixed point as the
+     plain per-class sweep (the exactness lemma in specreduce.ml): under
+     either engine and any worker count, verdict, equivalence score and
+     final partition must match exactly.  Analysis is off so neither arm
+     pre-reduces and the partitions live over the same product. *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"speculation matches plain sweeps" ~count:8
+       QCheck.(pair (int_range 0 100_000) (oneofl [ `Bdd; `Sat ]))
+       (fun (seed, eng) ->
+         let a = small_aig seed in
+         let a' = Circuits.Suite.implementation ~recipe:Circuits.Suite.Retime_opt ~seed a in
+         let base = match eng with `Bdd -> bdd_opts | `Sat -> sat_opts in
+         let run ~jobs ~spec =
+           Scorr.Verify.run_with_relation
+             ~options:{ base with Scorr.Verify.jobs; use_speculation = spec }
+             a a'
+         in
+         let classes = function
+           | _, _, Some p ->
+             Some
+               (List.sort compare
+                  (List.map
+                     (fun c -> List.sort compare (Scorr.Partition.members p c))
+                     (Scorr.Partition.multi_member_classes p)))
+           | _, _, None -> None
+         in
+         let tag = function
+           | Scorr.Equivalent _ -> 0
+           | Scorr.Not_equivalent _ -> 1
+           | Scorr.Unknown _ -> 2
+         in
+         List.for_all
+           (fun jobs ->
+             let ((vs, _, _) as rs) = run ~jobs ~spec:true
+             and ((vp, _, _) as rp) = run ~jobs ~spec:false in
+             tag vs = tag vp
+             && (Scorr.Verify.verdict_stats vs).Scorr.Verify.eq_pct
+                = (Scorr.Verify.verdict_stats vp).Scorr.Verify.eq_pct
+             && classes rs = classes rp)
+           [ 1; 2; 4 ]))
+
 (* --- register correspondence ----------------------------------------------------- *)
 
 let test_regcorr_proves_comb_opt () =
@@ -541,6 +585,7 @@ let suite =
     prop_batched_matches_pairwise;
     prop_parallel_matches_sequential;
     prop_incremental_matches_fresh;
+    prop_speculation_matches_plain;
     prop_regcorr_sound;
     prop_k_induction_sound;
     prop_k2_extends_k1;

@@ -120,6 +120,12 @@ let sample_outcome =
     restarts = 2;
     reused_clauses = 23;
     shared_clauses = 5;
+    spec_rounds = 2;
+    spec_merges = 29;
+    refuted_assumptions = 3;
+    spec_by_sim = 1;
+    spec_by_bdd = 4;
+    spec_by_sat = 6;
     eq_pct = 87.5;
     cert = Some "cache/x/cert";
     reason = Some "because";

@@ -178,8 +178,14 @@ let test_budget_unknown_keeps_bdd_stats () =
   let spec, impl = budget_pair () in
   let options =
     (* low enough that the refinement sweep blows the budget, high enough
-       that engine construction itself succeeds (it needs ~5k nodes) *)
-    { Scorr.default_options with Scorr.Verify.node_limit = 10_000; use_retime = false }
+       that engine construction itself succeeds (it needs ~5k nodes);
+       speculation pinned off — its dispatcher would route the starved
+       classes to SAT and prove the pair instead of going Unknown *)
+    { Scorr.default_options with
+      Scorr.Verify.node_limit = 10_000;
+      use_retime = false;
+      use_speculation = false
+    }
   in
   match Scorr.check ~options spec impl with
   | Scorr.Unknown s ->
