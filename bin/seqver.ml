@@ -21,6 +21,17 @@ let read_circuit path =
       Lint.preflight_aig ~subject:path aig;
       aig
     end
+    else if Filename.check_suffix path ".v" then begin
+      (* structural Verilog carries register specs (enables, derived
+         clocks, resets): preflight the raw circuit so lenient-parse
+         defects are reported, then lower to plain latches for the
+         prover and preflight the result. *)
+      let design = Netlist.Verilog.parse_file ~lenient:true path in
+      Lint.preflight_netlist ~subject:path (Netlist.Clocking.circuit design);
+      let lowered = Netlist.Clocking.lower design in
+      Lint.preflight_netlist ~subject:path lowered;
+      fst (Aig.of_netlist lowered)
+    end
     else begin
       let netlist =
         if Filename.check_suffix path ".bench" then
@@ -35,8 +46,11 @@ let read_circuit path =
       prerr_string report;
       exit 2
   | Netlist.Blif.Parse_error msg | Netlist.Bench.Parse_error msg
-  | Aig.Aiger.Parse_error msg ->
+  | Netlist.Verilog.Parse_error msg | Aig.Aiger.Parse_error msg ->
       Printf.eprintf "%s: parse error: %s\n" path msg;
+      exit 2
+  | Netlist.Clocking.Lower_error msg ->
+      Printf.eprintf "%s: clocking error: %s\n" path msg;
       exit 2
 
 let write_circuit path aig =
@@ -406,13 +420,15 @@ let run_gen name out fmt list_only =
       let text =
         match fmt with
         | "bench" -> Netlist.Bench.to_string netlist
+        | "verilog" | "v" -> Netlist.Verilog.to_string netlist
         | _ -> Netlist.Blif.to_string netlist
       in
       (match out with
       | Some path ->
         let oc = open_out path in
-        output_string oc text;
-        close_out oc
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc text)
       | None -> print_string text);
       0
 
@@ -581,8 +597,9 @@ let run_replay witness_path spec_path impl_path do_shrink vcd quiet =
     | None -> ()
     | Some path ->
       let oc = open_out path in
-      output_string oc (Cert.Witness.to_vcd ~spec ~impl w);
-      close_out oc;
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Cert.Witness.to_vcd ~spec ~impl w));
       if not quiet then Printf.printf "vcd: %s\n" path);
     0
   | Error Cert.Witness.No_failure ->
@@ -603,6 +620,20 @@ let lint_subjects files suite =
     if Filename.check_suffix path ".aag" then (path, `Aig (Aig.Aiger.parse_file path))
     else if Filename.check_suffix path ".bench" then
       (path, `Netlist (Netlist.Bench.parse_file ~lenient:true path))
+    else if Filename.check_suffix path ".v" then begin
+      (* lint the lowered form so the ternary/X rules see the real
+         next-state functions; fall back to the raw circuit when the
+         design is too defective to lower. *)
+      let design = Netlist.Verilog.parse_file ~lenient:true path in
+      let netlist =
+        match Netlist.Clocking.validate design with
+        | Ok () -> (
+          try Netlist.Clocking.lower design
+          with Netlist.Clocking.Lower_error _ -> Netlist.Clocking.circuit design)
+        | Error _ -> Netlist.Clocking.circuit design
+      in
+      (path, `Netlist netlist)
+    end
     else (path, `Netlist (Netlist.Blif.parse_file ~lenient:true path))
   in
   let from_suite =
@@ -617,7 +648,8 @@ let lint_subjects files suite =
 let run_lint files suite json strict analysis =
   let subjects =
     try lint_subjects files suite with
-    | Netlist.Blif.Parse_error msg | Netlist.Bench.Parse_error msg ->
+    | Netlist.Blif.Parse_error msg | Netlist.Bench.Parse_error msg
+    | Netlist.Verilog.Parse_error msg ->
       Printf.eprintf "seqver lint: parse error: %s\n" msg;
       exit 2
     | Aig.Aiger.Parse_error msg ->
@@ -1056,11 +1088,11 @@ let gen_cmd =
   let circuit_name = Arg.(value & pos 0 string "" & info [] ~docv:"NAME") in
   let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.") in
   let fmt =
-    Arg.(value & opt string "blif" & info [ "format" ] ~doc:"Output format: blif or bench.")
+    Arg.(value & opt string "blif" & info [ "format" ] ~doc:"Output format: blif, bench or verilog.")
   in
   let list_only = Arg.(value & flag & info [ "list" ] ~doc:"List available circuits.") in
   Cmd.v
-    (Cmd.info "gen" ~doc:"Emit a benchmark circuit as BLIF or .bench")
+    (Cmd.info "gen" ~doc:"Emit a benchmark circuit as BLIF, .bench or structural Verilog")
     Term.(const run_gen $ circuit_name $ out $ fmt $ list_only)
 
 let opt_cmd =

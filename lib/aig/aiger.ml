@@ -155,8 +155,9 @@ let parse_string text =
 
 let to_file path t =
   let oc = open_out path in
-  output_string oc (to_string t);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string t))
 
 let parse_file path =
   let ic = open_in path in

@@ -561,8 +561,9 @@ let parse_string text =
 
 let to_file path cert =
   let oc = open_out path in
-  output_string oc (to_string cert);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string cert))
 
 let parse_file path =
   let ic = open_in_bin path in

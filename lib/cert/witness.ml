@@ -347,8 +347,9 @@ let parse_string text =
 
 let to_file path w =
   let oc = open_out path in
-  output_string oc (to_string w);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string w))
 
 let parse_file path =
   let ic = open_in_bin path in

@@ -7,4 +7,5 @@ module Pipeline = Pipeline
 module Arbiter = Arbiter
 module Composite = Composite
 module Fig2 = Fig2
+module Clocked = Clocked
 module Suite = Suite

@@ -68,6 +68,38 @@ module Fig2 : sig
   (** Both sides, already converted to AIGs. *)
 end
 
+(** Registered designs with clock enables, derived clocks and resets,
+    built on the {!Netlist.Clocking} front end.  The [Clocking.t]
+    builders return the raw multi-clock design; feed them through
+    [Clocking.lower] for the plain-netlist pipeline. *)
+module Clocked : sig
+  val ffde_spec : ?name:string -> unit -> Netlist.Clocking.t
+  (** Clock-enabled register sampled every cycle by a plain register. *)
+
+  val ffde_impl : ?name:string -> unit -> Netlist.Clocking.t
+  (** The same front register sampled by a second clock-enabled register
+      whose enable is the one-cycle-delayed enable (initially on).
+      Equivalent to {!ffde_spec}, but only via a mux invariant — plain
+      register pairing is not inductive for this pair. *)
+
+  val ffde_pair : ?name:string -> unit -> Netlist.Clocking.t
+  (** Both halves in one circuit with shared inputs (outputs [o1]/[o2]). *)
+
+  val gated_divider : ?name:string -> stages:int -> unit -> Netlist.Clocking.t
+  (** Ripple clock divider: each stage toggles on the rising edge of the
+      previous stage — a chain of derived clocks. *)
+
+  val gated_divider_flat : ?name:string -> stages:int -> unit -> Netlist.t
+  (** Hand-built structural twin of [lower (gated_divider ~stages)]:
+      shadow registers plus rising-edge capture muxes on the primary
+      clock. *)
+
+  val reset_counter :
+    ?name:string -> kind:Netlist.Clocking.reset_kind -> bits:int -> unit -> Netlist.Clocking.t
+  (** Up-counter with enable whose registers carry a real sync/async
+      reset spec. *)
+end
+
 (** The Table 1 suite and the synthesis recipes that produce the
     implementations under verification. *)
 module Suite : sig

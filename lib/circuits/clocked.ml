@@ -1,0 +1,135 @@
+(* Registered designs exercising the clock-enable / gated-clock / reset
+   front end.  Builders return the raw [Netlist.Clocking] design so the
+   tests can compare the reference simulator against the lowered form;
+   the suite wraps them through [Clocking.lower] into plain netlists. *)
+
+module Clocking = Netlist.Clocking
+
+(* The snippet-2 pair: a clock-enabled register sampled by a plain
+   register (spec) against the same front register sampled by a second
+   clock-enabled register whose enable is the one-cycle-delayed enable
+   (impl).  The two agree because whenever the delayed enable is low the
+   front register held its value, so holding the back register equals
+   re-sampling it.  Proving the pair needs the mux invariant
+   [mux(e', back, forth) = back] on top of plain latch correspondence,
+   which makes it the canonical non-inductive-register-pairing test. *)
+
+let ffde_spec ?(name = "ffde_spec") () =
+  let d = Clocking.create name in
+  let c = Clocking.circuit d in
+  let i = Netlist.add_input ~name:"i" c in
+  let e = Netlist.add_input ~name:"e" c in
+  let back = Clocking.add_reg ~name:"back" ~enable:e d ~init:false in
+  Netlist.set_latch_data c back ~data:i;
+  let forth = Clocking.add_reg ~name:"forth" d ~init:false in
+  Netlist.set_latch_data c forth ~data:back;
+  Netlist.add_output c "o" forth;
+  d
+
+let ffde_impl ?(name = "ffde_impl") () =
+  let d = Clocking.create name in
+  let c = Clocking.circuit d in
+  let i = Netlist.add_input ~name:"i" c in
+  let e = Netlist.add_input ~name:"e" c in
+  let back = Clocking.add_reg ~name:"back" ~enable:e d ~init:false in
+  Netlist.set_latch_data c back ~data:i;
+  (* the delayed enable starts at 1 so the very first sample is taken,
+     matching the spec's always-on forth register *)
+  let ed = Clocking.add_reg ~name:"ed" d ~init:true in
+  Netlist.set_latch_data c ed ~data:e;
+  let forth = Clocking.add_reg ~name:"forth" ~enable:ed d ~init:false in
+  Netlist.set_latch_data c forth ~data:back;
+  Netlist.add_output c "o" forth;
+  d
+
+(* Both halves of the pair in one circuit (shared inputs, one output per
+   half) so the suite's spec-vs-retimed check also crosses the two
+   register disciplines. *)
+let ffde_pair ?(name = "ffde") () =
+  let d = Clocking.create name in
+  let c = Clocking.circuit d in
+  let i = Netlist.add_input ~name:"i" c in
+  let e = Netlist.add_input ~name:"e" c in
+  let back1 = Clocking.add_reg ~name:"back1" ~enable:e d ~init:false in
+  Netlist.set_latch_data c back1 ~data:i;
+  let forth1 = Clocking.add_reg ~name:"forth1" d ~init:false in
+  Netlist.set_latch_data c forth1 ~data:back1;
+  let back2 = Clocking.add_reg ~name:"back2" ~enable:e d ~init:false in
+  Netlist.set_latch_data c back2 ~data:i;
+  let ed = Clocking.add_reg ~name:"ed" d ~init:true in
+  Netlist.set_latch_data c ed ~data:e;
+  let forth2 = Clocking.add_reg ~name:"forth2" ~enable:ed d ~init:false in
+  Netlist.set_latch_data c forth2 ~data:back2;
+  Netlist.add_output c "o1" forth1;
+  Netlist.add_output c "o2" forth2;
+  d
+
+(* Ripple clock divider: stage 0 toggles on the primary clock (under an
+   enable input), every later stage toggles on the rising edge of the
+   previous stage's output — a chain of derived clocks. *)
+let gated_divider ?(name = "gclk_div") ~stages () =
+  if stages < 1 then invalid_arg "Clocked.gated_divider: stages < 1";
+  let d = Clocking.create (Printf.sprintf "%s%d" name stages) in
+  let c = Clocking.circuit d in
+  let en = Netlist.add_input ~name:"en" c in
+  let t0 = Clocking.add_reg ~name:"t0" ~enable:en d ~init:false in
+  Netlist.set_latch_data c t0 ~data:(Netlist.bnot c t0);
+  Netlist.add_output c "d0" t0;
+  let prev = ref t0 in
+  for s = 1 to stages - 1 do
+    let t =
+      Clocking.add_reg ~name:(Printf.sprintf "t%d" s) ~clock_gate:!prev d ~init:false
+    in
+    Netlist.set_latch_data c t ~data:(Netlist.bnot c t);
+    Netlist.add_output c (Printf.sprintf "d%d" s) t;
+    prev := t
+  done;
+  d
+
+(* The structural twin of [lower (gated_divider ~stages)]: every derived
+   clock is modelled by hand as a shadow register plus a rising-edge
+   capture mux on the primary clock.  Equivalent to the gated version by
+   construction; used to pin down the lowering semantics in tests. *)
+let gated_divider_flat ?(name = "gclk_flat") ~stages () =
+  if stages < 1 then invalid_arg "Clocked.gated_divider_flat: stages < 1";
+  let c = Netlist.create (Printf.sprintf "%s%d" name stages) in
+  let en = Netlist.add_input ~name:"en" c in
+  let t0 = Netlist.add_latch ~name:"t0" c ~init:false in
+  Netlist.set_latch_data c t0 ~data:(Netlist.bxor c t0 en);
+  Netlist.add_output c "d0" t0;
+  let prev = ref t0 in
+  for s = 1 to stages - 1 do
+    let past = Netlist.add_latch ~name:(Printf.sprintf "p%d" s) c ~init:false in
+    Netlist.set_latch_data c past ~data:!prev;
+    let tick = Netlist.band c !prev (Netlist.bnot c past) in
+    let t = Netlist.add_latch ~name:(Printf.sprintf "t%d" s) c ~init:false in
+    Netlist.set_latch_data c t ~data:(Netlist.bxor c t tick);
+    Netlist.add_output c (Printf.sprintf "d%d" s) t;
+    prev := t
+  done;
+  c
+
+(* n-bit up-counter whose registers carry a real reset spec instead of
+   the gate-level reset masking of [Counter.binary].  [kind] selects the
+   synchronous or asynchronous discipline; the async variant makes every
+   fanout see the reset value in the reset cycle itself. *)
+let reset_counter ?(name = "rstctr") ~kind ~bits () =
+  if bits < 1 then invalid_arg "Clocked.reset_counter: bits < 1";
+  let d = Clocking.create (Printf.sprintf "%s%d" name bits) in
+  let c = Clocking.circuit d in
+  let en = Netlist.add_input ~name:"en" c in
+  let rst = Netlist.add_input ~name:"rst" c in
+  let regs =
+    List.init bits (fun i ->
+        Clocking.add_reg
+          ~name:(Printf.sprintf "q%d" i)
+          ~enable:en ~reset:(kind, rst, false) d ~init:false)
+  in
+  let carry = ref (Netlist.const1 c) in
+  List.iteri
+    (fun i q ->
+      Netlist.set_latch_data c q ~data:(Netlist.bxor c q !carry);
+      Netlist.add_output c (Printf.sprintf "count%d" i) q;
+      if i < bits - 1 then carry := Netlist.band c q !carry)
+    regs;
+  d

@@ -41,6 +41,14 @@ let suite =
       build = (fun () -> Composite.bus_controller ~timer_bits:6 ~channels:4 ~history:8 ()) };
     { name = "tx"; description = "transmitter (FSM+shift+CRC)";
       build = (fun () -> Composite.transmitter ~payload_bits:16 ~crc_bits:8 ~poly:0x07 ()) };
+    { name = "ffde"; description = "clock-enable pair (delayed-enable resample)";
+      build = (fun () -> Netlist.Clocking.lower (Clocked.ffde_pair ())) };
+    { name = "gclk-div"; description = "4-stage gated-clock ripple divider";
+      build = (fun () -> Netlist.Clocking.lower (Clocked.gated_divider ~stages:4 ())) };
+    { name = "rst-sync"; description = "6-bit counter with synchronous reset regs";
+      build = (fun () -> Netlist.Clocking.lower (Clocked.reset_counter ~kind:Netlist.Clocking.Sync ~bits:6 ())) };
+    { name = "rst-async"; description = "6-bit counter with asynchronous reset regs";
+      build = (fun () -> Netlist.Clocking.lower (Clocked.reset_counter ~kind:Netlist.Clocking.Async ~bits:6 ())) };
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) suite

@@ -318,8 +318,9 @@ let parse_string text =
 
 let to_file path cp =
   let oc = open_out path in
-  output_string oc (to_string cp);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string cp))
 
 let parse_file path =
   let ic = open_in_bin path in

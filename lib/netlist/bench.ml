@@ -262,5 +262,6 @@ let to_string c =
 
 let to_file path c =
   let oc = open_out path in
-  output_string oc (to_string c);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string c))

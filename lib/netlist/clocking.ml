@@ -1,0 +1,383 @@
+(* Register-spec layer: clock enables, synchronous/asynchronous resets and
+   gated/derived clocks on top of the plain always-enabled latch model.
+
+   A clocked design is a {!Circuit.t} plus one spec per latch saying how
+   that register is really clocked.  [lower] normalizes every spec away —
+   the clk2fflogic move — so the whole downstream pipeline (AIG
+   conversion, the fixed-point engines, certificates, the serve cache)
+   applies unchanged; [simulate] is the direct multi-clock reference
+   semantics the lowering is checked against (qcheck property in
+   test_clocking.ml).
+
+   Reference semantics, per global step t (one edge of the implicit
+   primary clock); all combinational values are evaluated from the
+   current latch states and inputs first:
+
+     trigger  = 1                    for a primary-clocked register
+              = gate_t & ~gate_{t-1} for a gated/derived clock (the gate
+                                     net's previous sampled value; taken
+                                     as 0 before the first step)
+     capture  = trigger & (enable, 1 when none)
+
+     sync reset:   q_{t+1} = trigger ? (rst ? rval : (en ? d : q_t)) : q_t
+     async reset:  fanout sees  visible = rst ? rval : q_t   (same cycle)
+                   q_{t+1} = rst ? rval : (capture ? d : q_t)
+     no reset:     q_{t+1} = capture ? d : q_t
+
+   [lower] builds exactly these equations as mux feedback logic: one
+   always-enabled latch per register, one shadow latch per distinct gate
+   net holding its previous value, and for async resets every fanout of
+   the register is rewired to the [visible] mux. *)
+
+type reset_kind = Sync | Async
+
+type spec = {
+  clock_gate : int option;  (* derived-clock net; None = primary clock *)
+  enable : int option;      (* capture only when this net is 1 *)
+  reset : (reset_kind * int * bool) option;  (* kind, net, reset value *)
+}
+
+let default_spec = { clock_gate = None; enable = None; reset = None }
+
+type t = {
+  circuit : Circuit.t;
+  specs : (int, spec) Hashtbl.t;  (* latch net -> spec; absent = default *)
+  mutable clock_name : string;    (* primary clock label for Verilog I/O *)
+}
+
+let create model =
+  { circuit = Circuit.create model; specs = Hashtbl.create 16; clock_name = "clock" }
+
+let of_circuit ?(clock_name = "clock") circuit =
+  { circuit; specs = Hashtbl.create 16; clock_name }
+
+let circuit t = t.circuit
+let clock_name t = t.clock_name
+let set_clock_name t name = t.clock_name <- name
+
+let spec t latch =
+  match Hashtbl.find_opt t.specs latch with Some s -> s | None -> default_spec
+
+let set_spec t latch s =
+  (match Circuit.node t.circuit latch with
+  | Circuit.Latch _ -> ()
+  | Circuit.Input | Circuit.Gate _ -> invalid_arg "Clocking.set_spec: not a latch");
+  if s = default_spec then Hashtbl.remove t.specs latch
+  else Hashtbl.replace t.specs latch s
+
+let is_plain t = Hashtbl.length t.specs = 0
+
+(* Allocate a register with a spec; its data input is closed later with
+   {!Circuit.set_latch_data} on [circuit t].  Spec nets may be allocated
+   after the register (feedback through enables and gates is real), so
+   they are only range-checked at [validate]/[lower] time. *)
+let add_reg ?name ?clock_gate ?enable ?reset t ~init =
+  let q = Circuit.add_latch ?name t.circuit ~init in
+  set_spec t q { clock_gate; enable; reset };
+  q
+
+(* --- validation ---------------------------------------------------------- *)
+
+let validate t =
+  let n = Circuit.num_nets t.circuit in
+  let problems = ref [] in
+  let check_net what latch net =
+    if net < 0 || net >= n then
+      problems :=
+        Printf.sprintf "register %s: %s net %d out of range"
+          (Diag.net_label (latch, Circuit.name_of t.circuit latch))
+          what net
+        :: !problems
+  in
+  Hashtbl.iter
+    (fun latch s ->
+      (match Circuit.node t.circuit latch with
+      | Circuit.Latch _ -> ()
+      | Circuit.Input | Circuit.Gate _ ->
+        problems := Printf.sprintf "spec on non-latch net %d" latch :: !problems);
+      Option.iter (check_net "clock-gate" latch) s.clock_gate;
+      Option.iter (check_net "enable" latch) s.enable;
+      Option.iter (fun (_, net, _) -> check_net "reset" latch net) s.reset)
+    t.specs;
+  match !problems with
+  | [] -> Check.validate t.circuit
+  | ps -> Error (String.concat "; " (List.sort compare ps))
+
+(* --- direct reference simulation ----------------------------------------- *)
+
+(* 64-lane bit-parallel interpreter of the reference semantics above,
+   deliberately independent of [lower]: it keeps per-register state plus
+   one past-value word per gated clock and applies the update equations
+   wordwise.  The only shared code is the combinational [Sim.gate_eval].
+
+   Combinational values are computed by memoized recursion so that an
+   async-reset register's visible value can depend on a reset cone
+   computed from this frame's inputs (and vice versa for gates reading
+   the visible value) in any declaration order; the one true cycle —
+   a register's own reset cone passing through its output — is rejected,
+   matching [lower]. *)
+let mux_w sel a b = Int64.(logor (logand sel a) (logand (lognot sel) b))
+
+let simulate t stimuli =
+  let c = t.circuit in
+  let n = Circuit.num_nets c in
+  let inputs = Circuit.inputs c in
+  let latches = Circuit.latches c in
+  let values = Array.make n 0L in
+  let computed = Array.make n false in
+  let visiting = Array.make n false in
+  let state = Hashtbl.create 16 in
+  let gate_past = Hashtbl.create 4 in
+  List.iter
+    (fun l ->
+      Hashtbl.replace state l (if Circuit.latch_init c l then -1L else 0L);
+      match (spec t l).clock_gate with
+      | Some g -> Hashtbl.replace gate_past g 0L
+      | None -> ())
+    latches;
+  let rec eval net =
+    if computed.(net) then values.(net)
+    else begin
+      if visiting.(net) then
+        failwith
+          (Printf.sprintf
+             "Clocking.simulate: async-reset cone of %s passes through the \
+              register itself"
+             (Diag.net_label (net, Circuit.name_of c net)));
+      visiting.(net) <- true;
+      let w =
+        match Circuit.node c net with
+        | Circuit.Input -> values.(net) (* frame word, or 0 if undriven *)
+        | Circuit.Gate (fn, fanins) ->
+          Array.iter (fun f -> ignore (eval f)) fanins;
+          Sim.gate_eval fn values fanins
+        | Circuit.Latch _ -> (
+          let q = Hashtbl.find state net in
+          match (spec t net).reset with
+          | Some (Async, rst, rval) ->
+            mux_w (eval rst) (if rval then -1L else 0L) q
+          | Some (Sync, _, _) | None -> q)
+      in
+      visiting.(net) <- false;
+      values.(net) <- w;
+      computed.(net) <- true;
+      w
+    end
+  in
+  List.map
+    (fun frame ->
+      if List.length inputs <> Array.length frame then
+        invalid_arg "Clocking.simulate: wrong number of input words";
+      Array.fill computed 0 n false;
+      List.iteri
+        (fun i net ->
+          values.(net) <- frame.(i);
+          computed.(net) <- true)
+        inputs;
+      let outs =
+        List.map (fun (name, net) -> (name, eval net)) (Circuit.outputs c)
+      in
+      (* sequential update: every register applies its equation from the
+         same pre-step snapshot *)
+      let next =
+        List.map
+          (fun l ->
+            let s = spec t l in
+            let q = Hashtbl.find state l in
+            let data = Circuit.latch_data c l in
+            if data < 0 then (l, q) (* unclosed latch of a lenient parse *)
+            else
+              let d = eval data in
+              let trigger =
+                match s.clock_gate with
+                | None -> -1L
+                | Some g ->
+                  Int64.(logand (eval g) (lognot (Hashtbl.find gate_past g)))
+              in
+              let capture =
+                match s.enable with
+                | None -> trigger
+                | Some en -> Int64.logand trigger (eval en)
+              in
+              let next =
+                match s.reset with
+                | None -> mux_w capture d q
+                | Some (Sync, rst, rval) ->
+                  let rv = if rval then -1L else 0L in
+                  mux_w trigger (mux_w (eval rst) rv (mux_w capture d q)) q
+                | Some (Async, rst, rval) ->
+                  let rv = if rval then -1L else 0L in
+                  (* fanout already saw [visible]; the stored state follows
+                     the same dominance: reset wins over any capture *)
+                  mux_w (eval rst) rv (mux_w capture d (eval l))
+              in
+              (l, next))
+          latches
+      in
+      let past_next =
+        Hashtbl.fold (fun g _ acc -> (g, eval g) :: acc) gate_past []
+      in
+      List.iter (fun (l, w) -> Hashtbl.replace state l w) next;
+      List.iter (fun (g, w) -> Hashtbl.replace gate_past g w) past_next;
+      outs)
+    stimuli
+
+(* --- lowering ------------------------------------------------------------ *)
+
+exception Lower_error of string
+
+(* clk2fflogic: rewrite every spec-bearing register into a plain
+   always-enabled latch plus mux feedback logic implementing the
+   reference equations, and one shadow latch per distinct gate net
+   holding its previous sampled value (initial 0, matching the
+   reference simulator's pre-first-step convention).
+
+   Exactness: the lowered circuit's step function equals the reference
+   step function on every lane of every state/input word (the qcheck
+   property), and its initial state maps register inits unchanged with
+   shadow latches at 0 — the same initial snapshot.  Two clocked designs
+   are therefore sequentially equivalent iff their lowerings are, so
+   proving the lowered product with the unchanged fixed-point engines
+   decides the original question. *)
+let lower t =
+  let c = t.circuit in
+  let out = Circuit.create (Circuit.model c) in
+  let n = Circuit.num_nets c in
+  let map = Array.make n (-1) in
+  let carry_name net net' =
+    (match Circuit.name_of c net with
+    | Some name -> Circuit.set_name out net' name
+    | None -> ());
+    net'
+  in
+  let c0 = lazy (Circuit.const0 out) and c1 = lazy (Circuit.const1 out) in
+  let const b = if b then Lazy.force c1 else Lazy.force c0 in
+  (* inputs and latch shells first, in declaration order *)
+  List.iter (fun net -> map.(net) <- carry_name net (Circuit.add_input out)) (Circuit.inputs c);
+  let latch_shell = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      let q = carry_name l (Circuit.add_latch out ~init:(Circuit.latch_init c l)) in
+      Hashtbl.replace latch_shell l q)
+    (Circuit.latches c);
+  (* one shadow latch per distinct gate net, allocated up front so the
+     trigger logic below can reference it *)
+  let shadows = Hashtbl.create 4 in
+  List.iter
+    (fun l ->
+      match (spec t l).clock_gate with
+      | Some g when not (Hashtbl.mem shadows g) ->
+        let name =
+          match Circuit.name_of c g with
+          | Some n -> Printf.sprintf "%s_past" n
+          | None -> Printf.sprintf "gate%d_past" g
+        in
+        Hashtbl.replace shadows g (Circuit.add_latch ~name out ~init:false)
+      | _ -> ())
+    (Circuit.latches c);
+  (* map old nets to lowered nets on demand.  A latch maps to its
+     [visible] value — for async resets a mux over the reset cone, which
+     may itself pass through other latches' visible values; [visiting]
+     rejects the degenerate combinational cycle where a register's reset
+     cone passes through its own output. *)
+  let visiting = Array.make n false in
+  let rec map_net net =
+    if map.(net) >= 0 then map.(net)
+    else begin
+      if visiting.(net) then
+        raise
+          (Lower_error
+             (Printf.sprintf
+                "async-reset cone of %s passes through the register itself"
+                (Diag.net_label (net, Circuit.name_of c net))));
+      visiting.(net) <- true;
+      let net' =
+        match Circuit.node c net with
+        | Circuit.Input ->
+          (* an undriven net of a lenient parse: keep it undriven *)
+          carry_name net (Circuit.add_undriven out)
+        | Circuit.Gate (fn, fanins) ->
+          let fanins' = Array.to_list (Array.map map_net fanins) in
+          carry_name net (Circuit.add_gate out fn fanins')
+        | Circuit.Latch _ -> (
+          let q = Hashtbl.find latch_shell net in
+          match (spec t net).reset with
+          | Some (Async, rst, rval) ->
+            let rst' = map_net rst in
+            let rv = const rval in
+            Circuit.bmux out ~sel:rst' ~t1:rv ~t0:q
+          | Some (Sync, _, _) | None -> q)
+      in
+      visiting.(net) <- false;
+      map.(net) <- net';
+      net'
+    end
+  in
+  (* close every register's feedback with the reference update equation *)
+  List.iter
+    (fun l ->
+      let s = spec t l in
+      let q = Hashtbl.find latch_shell l in
+      let d_old = Circuit.latch_data c l in
+      if d_old < 0 then () (* unclosed latch of a lenient parse: keep it *)
+      else begin
+        let d = map_net d_old in
+        let trigger =
+          match s.clock_gate with
+          | None -> None
+          | Some g ->
+            let g' = map_net g in
+            let past = Hashtbl.find shadows g in
+            Some (Circuit.band out g' (Circuit.bnot out past))
+        in
+        let capture =
+          match (trigger, s.enable) with
+          | None, None -> None
+          | Some trig, None -> Some trig
+          | None, Some en -> Some (map_net en)
+          | Some trig, Some en -> Some (Circuit.band out trig (map_net en))
+        in
+        (* holding value when not captured: the shell state, except for
+           async resets where fanout (and thus the hold) is the visible
+           mux *)
+        let captured_over hold =
+          match capture with
+          | None -> d
+          | Some cap -> Circuit.bmux out ~sel:cap ~t1:d ~t0:hold
+        in
+        let next =
+          match s.reset with
+          | None -> captured_over q
+          | Some (Sync, rst, rval) ->
+            let rst' = map_net rst in
+            let rv = const rval in
+            let after_reset =
+              Circuit.bmux out ~sel:rst' ~t1:rv ~t0:(captured_over q)
+            in
+            (match trigger with
+            | None -> after_reset  (* primary clock: trigger is constant 1 *)
+            | Some trig -> Circuit.bmux out ~sel:trig ~t1:after_reset ~t0:q)
+          | Some (Async, rst, rval) ->
+            let rst' = map_net rst in
+            let rv = const rval in
+            (* capture falls back to the visible value, and reset
+               dominates everything; only materialize the visible mux
+               when something actually holds through it *)
+            let captured =
+              match capture with
+              | None -> d
+              | Some cap -> Circuit.bmux out ~sel:cap ~t1:d ~t0:(map_net l)
+            in
+            Circuit.bmux out ~sel:rst' ~t1:rv ~t0:captured
+        in
+        Circuit.set_latch_data out q ~data:next
+      end)
+    (Circuit.latches c);
+  (* shadow latches sample their gate nets *)
+  Hashtbl.iter
+    (fun g past -> Circuit.set_latch_data out past ~data:(map_net g))
+    shadows;
+  List.iter
+    (fun (name, net) -> Circuit.add_output out name (map_net net))
+    (Circuit.outputs c);
+  out

@@ -8,6 +8,7 @@ module Blif = Blif
 module Bench = Bench
 module Verilog = Verilog
 module Sim = Sim
+module Clocking = Clocking
 
 (* Well-formedness, reimplemented on top of the lint rules: every
    error-level diagnostic is reported, not just the first. *)

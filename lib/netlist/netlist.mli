@@ -182,14 +182,117 @@ module Bench : sig
   val to_file : string -> t -> unit
 end
 
-(** {1 Structural Verilog (write-only)} *)
+(** {1 Clocked registers: enables, resets, gated clocks}
+
+    A clocked design is a circuit plus one spec per latch describing how
+    that register is really clocked.  {!Clocking.lower} normalizes every
+    spec away — the clk2fflogic move — producing a plain always-enabled
+    circuit whose step function equals the reference semantics
+    implemented directly by {!Clocking.simulate}, so the whole
+    verification pipeline applies unchanged. *)
+
+module Clocking : sig
+  type reset_kind = Sync | Async
+
+  type spec = {
+    clock_gate : int option;
+        (** derived-clock net: the register captures on the 0→1 edge of
+            this net, sampled against its previous step's value (taken
+            as 0 before the first step).  [None] = the primary clock. *)
+    enable : int option;  (** capture only when this net is 1 *)
+    reset : (reset_kind * int * bool) option;
+        (** reset kind, controlling net, and the value the register is
+            reset to.  A synchronous reset applies on the clock trigger
+            and wins over the enable; an asynchronous reset dominates
+            immediately — every fanout of the register sees the reset
+            value in the same cycle. *)
+  }
+
+  type clocked := t
+
+  type t
+  (** A circuit plus per-latch register specs. *)
+
+  val create : string -> t
+  val of_circuit : ?clock_name:string -> clocked -> t
+  (** Wrap a plain circuit; every latch gets the default (always-on,
+      primary-clock, no-reset) spec. *)
+
+  val circuit : t -> clocked
+  (** The underlying circuit; build combinational logic and close latch
+      feedback ({!set_latch_data}) directly on it. *)
+
+  val clock_name : t -> string
+  val set_clock_name : t -> string -> unit
+
+  val default_spec : spec
+  val spec : t -> int -> spec
+  val set_spec : t -> int -> spec -> unit
+
+  val is_plain : t -> bool
+  (** No latch carries a non-default spec. *)
+
+  val add_reg :
+    ?name:string ->
+    ?clock_gate:int ->
+    ?enable:int ->
+    ?reset:reset_kind * int * bool ->
+    t ->
+    init:bool ->
+    int
+  (** Allocate a register with a spec; spec nets may be allocated after
+      the register (feedback is real) and are range-checked at
+      {!validate}/{!lower} time. *)
+
+  val validate : t -> (unit, string) result
+
+  val simulate : t -> int64 array list -> (string * int64) list list
+  (** Direct 64-lane reference simulation of the multi-clock semantics,
+      independent of {!lower}; same calling convention as {!Sim.run}. *)
+
+  exception Lower_error of string
+
+  val lower : t -> clocked
+  (** Rewrite every spec-bearing register into a plain always-enabled
+      latch plus mux feedback logic (plus one shadow latch per distinct
+      gate net holding its previous value).  Net names are preserved.
+      @raise Lower_error if an async reset cone passes through its own
+      register's output. *)
+end
+
+(** {1 Structural Verilog I/O} *)
 
 module Verilog : sig
+  exception Parse_error of string
+
   val to_string : t -> string
   (** One module with assigns for the gates and a clocked always-block
-      with reset-to-initial-value for the latches. *)
+      with reset-to-initial-value for the latches.  Emitted labels are
+      uniquified: sanitization collisions, user signals shadowing the
+      generated [clock]/[reset] ports, and names colliding with the
+      [n<net>] fallback are all suffixed apart. *)
 
   val to_file : string -> t -> unit
+
+  val design_to_string : Clocking.t -> string
+  (** Like {!to_string} but keeps enables, resets and gated clocks as
+      [always @(posedge …)] blocks with [if (reset)] / [if (enable)]
+      nests instead of baking the reset mux into the data logic. *)
+
+  val parse_string : ?lenient:bool -> string -> Clocking.t
+  (** Read the structural subset the writer emits: one module,
+      input/output/wire/reg declarations, [assign]s over the writer's
+      operator set ([~ & | ^], [~(...)] forms, constants), and
+      [always @(posedge clk)] / [always @(posedge clk or posedge rst)]
+      blocks whose bodies are non-blocking assignments under optional
+      [if (rst) … else if (en) …] nests.  A reset branch assigning a
+      constant becomes the register's reset spec and initial value; a
+      posedge net that is not a module input becomes a gated-clock spec.
+      With [~lenient:true], undefined signals become undriven nets and
+      registers without an always-block stay unclosed, mirroring
+      {!Blif.parse_string}; strict mode raises {!Parse_error}. *)
+
+  val parse_file : ?lenient:bool -> string -> Clocking.t
 end
 
 (** {1 Bit-parallel simulation} *)

@@ -114,8 +114,9 @@ exception Malformed of string
 let write_file path text =
   let tmp = path ^ ".tmp" in
   let oc = open_out tmp in
-  output_string oc text;
-  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc text);
   Sys.rename tmp path
 
 let read_file path =

@@ -1,0 +1,502 @@
+(* Tests for the clocking front end: lowering vs the direct multi-clock
+   reference simulator, Verilog writer/reader round trips, the label
+   uniquification fixes, and malformed-input handling. *)
+
+module Clocking = Netlist.Clocking
+
+let sorted_frames = List.map (List.sort compare)
+
+(* A random clocked design exercising enables, gated clocks and both
+   reset styles.  Reset nets are drawn from the input-only cone so the
+   pathological async cycle (reset cone through the register's own
+   output) cannot arise; enables and clock gates may come from anywhere,
+   including other registers. *)
+let random_design ?(n_inputs = 4) ?(n_regs = 4) ?(n_gates = 12) seed =
+  let rng = Random.State.make [| seed; 0xc10c |] in
+  let d = Clocking.create (Printf.sprintf "clkrand%d" seed) in
+  let c = Clocking.circuit d in
+  let ins =
+    List.init n_inputs (fun i ->
+        Netlist.add_input ~name:(Printf.sprintf "in%d" i) c)
+  in
+  (* a small input-only cone for spec nets *)
+  let spec_pool = ref ins in
+  for _ = 1 to 3 do
+    let pick l = List.nth l (Random.State.int rng (List.length l)) in
+    spec_pool :=
+      Netlist.add_gate c
+        (if Random.State.bool rng then Netlist.And else Netlist.Xor)
+        [ pick !spec_pool; pick !spec_pool ]
+      :: !spec_pool
+  done;
+  let pick l = List.nth l (Random.State.int rng (List.length l)) in
+  let all = ref !spec_pool in
+  let regs =
+    List.init n_regs (fun i ->
+        let clock_gate =
+          if Random.State.int rng 3 = 0 then Some (pick !all) else None
+        in
+        let enable =
+          if Random.State.int rng 2 = 0 then Some (pick !all) else None
+        in
+        let reset =
+          match Random.State.int rng 3 with
+          | 0 -> None
+          | 1 -> Some (Clocking.Sync, pick !spec_pool, Random.State.bool rng)
+          | _ -> Some (Clocking.Async, pick !spec_pool, Random.State.bool rng)
+        in
+        let q =
+          Clocking.add_reg
+            ~name:(Printf.sprintf "r%d" i)
+            ?clock_gate ?enable ?reset d
+            ~init:(Random.State.bool rng)
+        in
+        all := q :: !all;
+        q)
+  in
+  for _ = 1 to n_gates do
+    all :=
+      Netlist.add_gate c
+        (match Random.State.int rng 4 with
+        | 0 -> Netlist.And
+        | 1 -> Netlist.Or
+        | 2 -> Netlist.Xor
+        | _ -> Netlist.Nand)
+        [ pick !all; pick !all ]
+      :: !all
+  done;
+  List.iter (fun q -> Netlist.set_latch_data c q ~data:(pick !all)) regs;
+  Netlist.add_output c "out0" (pick !all);
+  Netlist.add_output c "out1" (pick !all);
+  d
+
+let prop_lower_preserves_sim =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"lowering preserves 64-lane simulation" ~count:200
+       QCheck.(int_range 0 100_000)
+       (fun seed ->
+         let d = random_design seed in
+         QCheck.assume (Clocking.validate d = Ok ());
+         let n_inputs = List.length (Netlist.inputs (Clocking.circuit d)) in
+         let stimuli =
+           Netlist.Sim.random_stimuli ~seed ~n_inputs ~n_frames:24
+         in
+         let reference = Clocking.simulate d stimuli in
+         let lowered = Netlist.Sim.run (Clocking.lower d) stimuli in
+         sorted_frames reference = sorted_frames lowered))
+
+(* Pin the documented conventions with tiny hand-computed sequences
+   (single-lane stimuli: one bit per frame in lane 0). *)
+let lane0 outs name =
+  List.map
+    (fun frame -> Int64.to_int (Int64.logand 1L (List.assoc name frame)))
+    outs
+
+let test_enable_semantics () =
+  let d = Clocking.create "en" in
+  let c = Clocking.circuit d in
+  let din = Netlist.add_input ~name:"d" c in
+  let en = Netlist.add_input ~name:"e" c in
+  let q = Clocking.add_reg ~name:"q" ~enable:en d ~init:false in
+  Netlist.set_latch_data c q ~data:din;
+  Netlist.add_output c "q" q;
+  (* frames: (d, e) *)
+  let stim = List.map (fun (d, e) -> [| d; e |])
+      [ (1L, 0L); (1L, 1L); (0L, 0L); (0L, 1L); (0L, 0L) ] in
+  let expect = [ 0; 0; 1; 1; 0 ] in
+  Alcotest.(check (list int)) "reference" expect (lane0 (Clocking.simulate d stim) "q");
+  Alcotest.(check (list int)) "lowered" expect
+    (lane0 (Netlist.Sim.run (Clocking.lower d) stim) "q")
+
+let test_gated_clock_semantics () =
+  (* gated clock: capture only on a 0->1 edge of g; g's past value starts
+     at 0, so g=1 in the very first frame triggers a capture *)
+  let d = Clocking.create "gc" in
+  let c = Clocking.circuit d in
+  let din = Netlist.add_input ~name:"d" c in
+  let g = Netlist.add_input ~name:"g" c in
+  let q = Clocking.add_reg ~name:"q" ~clock_gate:g d ~init:false in
+  Netlist.set_latch_data c q ~data:din;
+  Netlist.add_output c "q" q;
+  let stim = List.map (fun (d, g) -> [| d; g |])
+      [ (1L, 1L); (0L, 1L); (1L, 0L); (1L, 1L); (0L, 0L) ] in
+  (* captures at frames 0 (first edge) and 3 (0->1 edge) *)
+  let expect = [ 0; 1; 1; 1; 1 ] in
+  Alcotest.(check (list int)) "reference" expect (lane0 (Clocking.simulate d stim) "q");
+  Alcotest.(check (list int)) "lowered" expect
+    (lane0 (Netlist.Sim.run (Clocking.lower d) stim) "q")
+
+let test_reset_semantics () =
+  (* sync reset is visible one cycle later, async in the same cycle *)
+  let build kind =
+    let d = Clocking.create "rst" in
+    let c = Clocking.circuit d in
+    let din = Netlist.add_input ~name:"d" c in
+    let rst = Netlist.add_input ~name:"r" c in
+    let q = Clocking.add_reg ~name:"q" ~reset:(kind, rst, true) d ~init:true in
+    Netlist.set_latch_data c q ~data:din;
+    Netlist.add_output c "q" q;
+    d
+  in
+  let stim = List.map (fun (d, r) -> [| d; r |])
+      [ (0L, 0L); (0L, 1L); (0L, 0L); (1L, 1L); (0L, 0L) ] in
+  let check name kind expect =
+    let d = build kind in
+    Alcotest.(check (list int)) (name ^ " reference") expect
+      (lane0 (Clocking.simulate d stim) "q");
+    Alcotest.(check (list int)) (name ^ " lowered") expect
+      (lane0 (Netlist.Sim.run (Clocking.lower d) stim) "q")
+  in
+  (* sync: q0=1(init); frame1 r=1 -> q2=1; async: r=1 forces q=1 visibly *)
+  check "sync" Clocking.Sync [ 1; 0; 1; 0; 1 ];
+  check "async" Clocking.Async [ 1; 1; 1; 1; 1 ]
+
+let test_async_cycle_rejected () =
+  let d = Clocking.create "cyc" in
+  let c = Clocking.circuit d in
+  let q = ref (-1) in
+  let d_in = Netlist.add_input ~name:"d" c in
+  (* reset cone passes through the register's own output *)
+  q := Clocking.add_reg ~name:"q" d ~init:false;
+  let rst = Netlist.add_gate ~name:"r" c Netlist.Buf [ !q ] in
+  Clocking.set_spec d !q
+    { Clocking.default_spec with reset = Some (Clocking.Async, rst, false) };
+  Netlist.set_latch_data c !q ~data:d_in;
+  Netlist.add_output c "q" !q;
+  Alcotest.check_raises "lower rejects"
+    (Clocking.Lower_error
+       "async-reset cone of r passes through the register itself")
+    (fun () -> ignore (Clocking.lower d))
+
+(* --- Verilog round trips ------------------------------------------------- *)
+
+(* Plain-circuit round trip: the written text must be a fixed point of
+   write-parse-write, and the reparsed design (reset input tied low) must
+   behave exactly like the original circuit. *)
+let roundtrip_plain ?(n_frames = 24) c =
+  let v1 = Netlist.Verilog.to_string c in
+  let d = Netlist.Verilog.parse_string v1 in
+  let v2 = Netlist.Verilog.design_to_string d in
+  if v1 <> v2 then (
+    Printf.printf "FIRST:\n%s\nSECOND:\n%s\n" v1 v2;
+    Alcotest.fail "re-serialized Verilog differs");
+  let lowered = Clocking.lower d in
+  let n_inputs = List.length (Netlist.inputs c) in
+  let stimuli = Netlist.Sim.random_stimuli ~seed:9 ~n_inputs ~n_frames in
+  let has_reset =
+    List.length (Netlist.inputs lowered) = n_inputs + 1
+  in
+  let stimuli' =
+    if has_reset then
+      List.map (fun f -> Array.append [| 0L |] f) stimuli
+    else stimuli
+  in
+  let o1 = Netlist.Sim.run c stimuli in
+  let o2 = Netlist.Sim.run lowered stimuli' in
+  Alcotest.(check bool) "same behaviour" true
+    (sorted_frames o1 = sorted_frames o2)
+
+let test_roundtrip_suite () =
+  List.iter
+    (fun entry ->
+      let c = entry.Circuits.Suite.build () in
+      roundtrip_plain c)
+    Circuits.Suite.suite
+
+let prop_roundtrip_random =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"verilog round trip on random circuits" ~count:60
+       QCheck.(int_range 0 10_000)
+       (fun seed ->
+         let c = Test_util.random_circuit seed in
+         QCheck.assume (Netlist.validate c = Ok ());
+         let v1 = Netlist.Verilog.to_string c in
+         let d = Netlist.Verilog.parse_string v1 in
+         let v2 = Netlist.Verilog.design_to_string d in
+         v1 = v2))
+
+(* Clocked designs round-trip through the design-level writer, specs and
+   all. *)
+let prop_roundtrip_design =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"verilog round trip on clocked designs" ~count:100
+       QCheck.(int_range 0 100_000)
+       (fun seed ->
+         let d = random_design seed in
+         QCheck.assume (Clocking.validate d = Ok ());
+         let v1 = Netlist.Verilog.design_to_string d in
+         let d2 = Netlist.Verilog.parse_string v1 in
+         let v2 = Netlist.Verilog.design_to_string d2 in
+         let n_inputs = List.length (Netlist.inputs (Clocking.circuit d)) in
+         let stimuli =
+           Netlist.Sim.random_stimuli ~seed ~n_inputs ~n_frames:24
+         in
+         v1 = v2
+         && sorted_frames (Clocking.simulate d stimuli)
+            = sorted_frames (Clocking.simulate d2 stimuli)))
+
+(* --- label uniquification regressions ------------------------------------ *)
+
+let declared_identifiers ?(kinds = [ "input "; "output "; "wire "; "reg " ]) v =
+  (* declared labels of the given declaration kinds *)
+  let ids = ref [] in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      List.iter
+        (fun prefix ->
+          let pl = String.length prefix in
+          if String.length line > pl && String.sub line 0 pl = prefix then
+            let rest = String.sub line pl (String.length line - pl) in
+            let rest = String.trim rest in
+            let id =
+              match String.index_opt rest ';' with
+              | Some i -> String.sub rest 0 i
+              | None -> rest
+            in
+            ids := String.trim id :: !ids)
+        kinds)
+    (String.split_on_char '\n' v);
+  !ids
+
+(* signals must be pairwise distinct within input/wire/reg (one namespace
+   of drivers); an output may legally share its name with the wire/reg it
+   re-declares, but never with an input or another output *)
+let check_distinct_labels v =
+  let rec dup = function
+    | a :: (b :: _ as rest) -> if a = b then Some a else dup rest
+    | _ -> None
+  in
+  let signals =
+    List.sort compare (declared_identifiers ~kinds:[ "input "; "wire "; "reg " ] v)
+  in
+  (match dup signals with
+  | Some id -> Alcotest.fail (Printf.sprintf "duplicate signal %s" id)
+  | None -> ());
+  let outs = declared_identifiers ~kinds:[ "output " ] v in
+  (match dup (List.sort compare outs) with
+  | Some id -> Alcotest.fail (Printf.sprintf "duplicate output %s" id)
+  | None -> ());
+  let ins = declared_identifiers ~kinds:[ "input " ] v in
+  List.iter
+    (fun o ->
+      if List.mem o ins then
+        Alcotest.fail (Printf.sprintf "output %s collides with an input" o))
+    outs
+
+let test_adversarial_names () =
+  let c = Netlist.create "names" in
+  (* a.b and a_b sanitize to the same label; clock/reset shadow the
+     generated ports; n5 collides with the fallback label of unnamed net
+     5; wire is a keyword *)
+  let a_dot_b = Netlist.add_input ~name:"a.b" c in
+  let a_und_b = Netlist.add_input ~name:"a_b" c in
+  let clk = Netlist.add_input ~name:"clock" c in
+  let rst = Netlist.add_input ~name:"reset" c in
+  let n5 = Netlist.add_input ~name:"n5" c in
+  let kw = Netlist.add_input ~name:"wire" c in
+  (* unnamed gates: one of them is net 5 or nearby, exercising the n%d
+     fallback against the explicit "n5" input *)
+  let g1 = Netlist.add_gate c Netlist.And [ a_dot_b; a_und_b ] in
+  let g2 = Netlist.add_gate c Netlist.Xor [ clk; rst ] in
+  let g3 = Netlist.add_gate c Netlist.Or [ n5; kw ] in
+  let q = Netlist.add_latch ~name:"q" c ~init:true in
+  Netlist.set_latch_data c q ~data:g1;
+  Netlist.add_output c "o1" g2;
+  Netlist.add_output c "o2" g3;
+  Netlist.add_output c "q" q;
+  let v = Netlist.Verilog.to_string c in
+  check_distinct_labels v;
+  (* and the output still parses and behaves like the original *)
+  roundtrip_plain c
+
+let test_output_alias_collision () =
+  (* output named like an unnamed net's fallback label *)
+  let c = Netlist.create "alias" in
+  let a = Netlist.add_input ~name:"a" c in
+  let g = Netlist.add_gate c Netlist.Not [ a ] in
+  (* net 1 is unnamed -> label n1; output deliberately named n1 *)
+  Netlist.add_output c "n1" g;
+  let v = Netlist.Verilog.to_string c in
+  check_distinct_labels v;
+  (* the user-chosen output name wins; the unnamed net's fallback label
+     is the one suffixed away *)
+  let outs = declared_identifiers ~kinds:[ "output " ] v in
+  Alcotest.(check (list string)) "output keeps its name" [ "n1" ] outs;
+  roundtrip_plain c
+
+(* --- reader: clocked constructs from external text ----------------------- *)
+
+let test_parse_enable_reset () =
+  let src =
+    {|
+module top(clk, rst, en, d, q);
+  input clk;
+  input rst;
+  input en;
+  input d;
+  output q;
+  reg q;
+  always @(posedge clk) begin
+    if (rst) q <= 1'b0;
+    else if (en) q <= d;
+  end
+endmodule
+|}
+  in
+  let dsg = Netlist.Verilog.parse_string src in
+  let c = Clocking.circuit dsg in
+  Alcotest.(check string) "clock name" "clk" (Clocking.clock_name dsg);
+  let q = Option.get (Netlist.net_of_name c "q") in
+  let s = Clocking.spec dsg q in
+  Alcotest.(check bool) "enable" true (s.Clocking.enable <> None);
+  (match s.Clocking.reset with
+  | Some (Clocking.Sync, _, false) -> ()
+  | _ -> Alcotest.fail "expected sync reset to 0");
+  Alcotest.(check bool) "init from reset" false (Netlist.latch_init c q)
+
+let test_parse_async_reset () =
+  let src =
+    {|
+module top(clk, rst, d, q);
+  input clk;
+  input rst;
+  input d;
+  output q;
+  reg q;
+  always @(posedge clk or posedge rst) begin
+    if (rst) q <= 1'b1;
+    else q <= d;
+  end
+endmodule
+|}
+  in
+  let dsg = Netlist.Verilog.parse_string src in
+  let c = Clocking.circuit dsg in
+  let q = Option.get (Netlist.net_of_name c "q") in
+  (match (Clocking.spec dsg q).Clocking.reset with
+  | Some (Clocking.Async, _, true) -> ()
+  | _ -> Alcotest.fail "expected async reset to 1");
+  Alcotest.(check bool) "init from reset" true (Netlist.latch_init c q)
+
+let test_parse_gated_clock () =
+  let src =
+    {|
+module top(clk, d, q);
+  input clk;
+  input d;
+  output q;
+  reg tick;
+  reg q;
+  wire gclk;
+  assign gclk = tick;
+  always @(posedge clk) tick <= ~tick;
+  always @(posedge gclk) q <= d;
+endmodule
+|}
+  in
+  let dsg = Netlist.Verilog.parse_string src in
+  let c = Clocking.circuit dsg in
+  let q = Option.get (Netlist.net_of_name c "q") in
+  Alcotest.(check bool) "gated" true
+    ((Clocking.spec dsg q).Clocking.clock_gate <> None);
+  let tick = Option.get (Netlist.net_of_name c "tick") in
+  Alcotest.(check bool) "tick on primary clock" true
+    ((Clocking.spec dsg tick).Clocking.clock_gate = None)
+
+(* --- malformed input ------------------------------------------------------ *)
+
+let expect_parse_error ?lenient src =
+  match Netlist.Verilog.parse_string ?lenient src with
+  | exception Netlist.Verilog.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected Parse_error"
+
+let test_malformed () =
+  (* unclosed module: syntactic, rejected in both modes *)
+  let unclosed = "module m(a);\n  input a;\n" in
+  expect_parse_error unclosed;
+  expect_parse_error ~lenient:true unclosed;
+  (* non-subset constructs: rejected in both modes *)
+  let star = "module m(a); input a; always @(a) begin end endmodule" in
+  expect_parse_error star;
+  expect_parse_error ~lenient:true star;
+  let negedge =
+    "module m(c, q); input c; output q; reg q;\n\
+     always @(negedge c) q <= 1'b0; endmodule"
+  in
+  expect_parse_error negedge;
+  expect_parse_error ~lenient:true negedge;
+  let wide = "module m(a, y); input a; output y; wire y; assign y = 2'b10; endmodule" in
+  expect_parse_error wide;
+  expect_parse_error ~lenient:true wide
+
+let test_lenient_recovery () =
+  (* a reg with no always block and an undefined rhs signal: strict
+     rejects, lenient materializes the defects for lint, mirroring
+     BLIF/.bench behaviour *)
+  let src =
+    {|
+module broken(clk, a, y);
+  input clk;
+  input a;
+  output y;
+  reg q;
+  wire y;
+  assign y = a & ghost;
+endmodule
+|}
+  in
+  expect_parse_error src;
+  let dsg = Netlist.Verilog.parse_string ~lenient:true src in
+  let c = Clocking.circuit dsg in
+  (match Netlist.validate c with
+  | Error msg ->
+    Alcotest.(check bool) "reports unclosed latch" true
+      (Str.string_match (Str.regexp ".*unclosed.*") msg 0
+       || Str.string_match (Str.regexp ".*undriven.*") msg 0)
+  | Ok () -> Alcotest.fail "lenient parse should keep the defects visible")
+
+(* The snippet-2 pair: the delayed-enable resampling design must match
+   the plain-resampling spec, both under the reference simulator and
+   after lowering. *)
+let test_ffde_pair_equiv () =
+  let spec = Circuits.Clocked.ffde_spec () in
+  let impl = Circuits.Clocked.ffde_impl () in
+  let stim = Netlist.Sim.random_stimuli ~seed:11 ~n_inputs:2 ~n_frames:40 in
+  let outs d = List.map (List.filter (fun (n, _) -> n = "o")) (Clocking.simulate d stim) in
+  Alcotest.(check bool) "reference simulation agrees" true (outs spec = outs impl);
+  let lowered d = sorted_frames (Netlist.Sim.run (Clocking.lower d) stim) in
+  Alcotest.(check bool) "lowered simulation agrees" true
+    (lowered spec = lowered impl)
+
+(* The hand-flattened divider is the structural twin of the lowered
+   gated-clock divider: identical behaviour on every output. *)
+let test_divider_flat_equiv () =
+  let gated = Clocking.lower (Circuits.Clocked.gated_divider ~stages:3 ()) in
+  let flat = Circuits.Clocked.gated_divider_flat ~stages:3 () in
+  let stim = Netlist.Sim.random_stimuli ~seed:5 ~n_inputs:1 ~n_frames:64 in
+  Alcotest.(check bool) "divider twins agree" true
+    (sorted_frames (Netlist.Sim.run gated stim)
+    = sorted_frames (Netlist.Sim.run flat stim))
+
+let suite =
+  [ Alcotest.test_case "enable semantics" `Quick test_enable_semantics;
+    Alcotest.test_case "gated clock semantics" `Quick test_gated_clock_semantics;
+    Alcotest.test_case "reset semantics" `Quick test_reset_semantics;
+    Alcotest.test_case "async cycle rejected" `Quick test_async_cycle_rejected;
+    Alcotest.test_case "roundtrip suite circuits" `Slow test_roundtrip_suite;
+    Alcotest.test_case "adversarial names" `Quick test_adversarial_names;
+    Alcotest.test_case "output alias collision" `Quick test_output_alias_collision;
+    Alcotest.test_case "parse enable+reset" `Quick test_parse_enable_reset;
+    Alcotest.test_case "parse async reset" `Quick test_parse_async_reset;
+    Alcotest.test_case "parse gated clock" `Quick test_parse_gated_clock;
+    Alcotest.test_case "malformed inputs" `Quick test_malformed;
+    Alcotest.test_case "lenient recovery" `Quick test_lenient_recovery;
+    Alcotest.test_case "ffde pair equivalence" `Quick test_ffde_pair_equiv;
+    Alcotest.test_case "divider flat twin" `Quick test_divider_flat_equiv;
+    prop_lower_preserves_sim;
+    prop_roundtrip_random;
+    prop_roundtrip_design;
+  ]
+
+let () = Alcotest.run "clocking" [ ("clocking", suite) ]

@@ -170,8 +170,9 @@ let test_verilog_writer () =
   List.iter
     (fun fragment ->
       Alcotest.(check bool) ("contains " ^ fragment) true (contains fragment))
-    [ "module ctr4("; "input clock, reset;"; "input en;"; "output count0;";
-      "reg q0;"; "always @(posedge clock)"; "q0 <= 1'b0;"; "endmodule" ];
+    [ "module ctr4("; "input clock;"; "input reset;"; "input en;";
+      "output count0;"; "reg q0;"; "always @(posedge clock)"; "q0 <= 1'b0;";
+      "endmodule" ];
   (* every latch gets both a reset and an update assignment *)
   List.iter
     (fun i ->
